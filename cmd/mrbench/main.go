@@ -1,0 +1,82 @@
+// Command mrbench regenerates every table and figure of the paper's
+// evaluation section on the simulated cluster.
+//
+// Usage:
+//
+//	mrbench [-full] [experiment ...]
+//
+// Experiments: table1 table2 fig3 fig4a fig4b fig4c fig5 fig6
+// ablation-commitwait ablation-nonvoters ablation-survivability all
+// (default: all).
+//
+// -full runs at a scale close to the paper's (minutes per figure); the
+// default quick scale finishes in seconds per figure and preserves every
+// reported shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mrdb/internal/bench"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at paper scale (slow)")
+	flag.Parse()
+
+	scale := bench.Quick()
+	if *full {
+		scale = bench.Full()
+	}
+	experiments := flag.Args()
+	if len(experiments) == 0 {
+		experiments = []string{"all"}
+	}
+
+	type runner func(io.Writer) error
+	table := map[string]runner{
+		"table1": func(w io.Writer) error { return bench.Table1(w) },
+		"table2": func(w io.Writer) error { return bench.Table2(w) },
+		"fig3":   func(w io.Writer) error { return bench.Fig3(w, scale) },
+		"fig4a":  func(w io.Writer) error { return bench.Fig4a(w, scale) },
+		"fig4b":  func(w io.Writer) error { return bench.Fig4b(w, scale) },
+		"fig4c":  func(w io.Writer) error { return bench.Fig4c(w, scale) },
+		"fig5":   func(w io.Writer) error { return bench.Fig5(w, scale) },
+		"fig6":   func(w io.Writer) error { return bench.Fig6(w, scale, *full) },
+		"ablation-commitwait": func(w io.Writer) error {
+			return bench.AblationCommitWait(w, scale)
+		},
+		"ablation-nonvoters": func(w io.Writer) error {
+			return bench.AblationNonVoters(w, scale)
+		},
+		"ablation-survivability": func(w io.Writer) error {
+			return bench.AblationSurvivability(w, scale)
+		},
+	}
+	order := []string{
+		"table1", "table2", "fig3", "fig4a", "fig4b", "fig4c", "fig5", "fig6",
+		"ablation-commitwait", "ablation-nonvoters", "ablation-survivability",
+	}
+
+	var toRun []string
+	for _, e := range experiments {
+		if e == "all" {
+			toRun = append(toRun, order...)
+			continue
+		}
+		if _, ok := table[e]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", e, order)
+			os.Exit(2)
+		}
+		toRun = append(toRun, e)
+	}
+	for _, e := range toRun {
+		if err := table[e](os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module mrdb
+
+go 1.22

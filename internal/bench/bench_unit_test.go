@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+)
+
+func TestTable1Output(t *testing.T) {
+	var sb stringsWriter
+	if err := Table1(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"us-east1", "australia-southeast1", "63", "274", "113"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	var sb stringsWriter
+	if err := Table2(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"movr", "tpcc", "ycsb", "28", "44", "CREATE DATABASE movr"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q", want)
+		}
+	}
+}
+
+func TestScalePresets(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.RecordCount >= f.RecordCount || q.OpsPerClient >= f.OpsPerClient {
+		t.Error("Quick not smaller than Full")
+	}
+	if f.RecordCount != 100000 || f.ClientsPerRegion != 10 {
+		t.Errorf("Full scale does not match the paper: %+v", f)
+	}
+}
+
+func TestSyntheticRegionsTopology(t *testing.T) {
+	specs, rtt := syntheticRegions(8)
+	if len(specs) != 8 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	near := rtt[[2]simnet.Region{"region-00", "region-01"}]
+	far := rtt[[2]simnet.Region{"region-00", "region-04"}]
+	if near != 85*sim.Millisecond {
+		t.Errorf("neighbor RTT = %v, want 85ms", near)
+	}
+	if far != 280*sim.Millisecond { // 20 + 4*65 = 280, below the cap
+		t.Errorf("antipode RTT = %v, want 280ms", far)
+	}
+	// Neighbor spacing must not depend on region count.
+	_, rtt2 := syntheticRegions(26)
+	if rtt2[[2]simnet.Region{"region-00", "region-01"}] != near {
+		t.Error("neighbor RTT depends on region count")
+	}
+}

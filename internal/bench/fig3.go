@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+	"mrdb/internal/workload"
+)
+
+// fig3Run executes the §7.1 workload (YCSB-A, zipf, 5 regions, us-east1
+// primary) against one table configuration and returns the workload with
+// its recorders.
+func fig3Run(seed int64, maxOffset sim.Duration, scale Scale, locality string, stale bool, dupIndexes bool) (*workload.YCSB, error) {
+	c := paperCluster(seed, maxOffset)
+	catalog := newCatalog()
+	cfg := workload.YCSBConfig{
+		Variant:          workload.YCSBA,
+		RecordCount:      scale.RecordCount,
+		Distribution:     "zipfian",
+		OpsPerClient:     scale.OpsPerClient,
+		ClientsPerRegion: scale.ClientsPerRegion,
+		StaleReads:       stale,
+	}
+	if dupIndexes {
+		cfg.SchemaSQL = "CREATE TABLE usertable (ycsb_key STRING PRIMARY KEY, field0 STRING) WITH DUPLICATE INDEXES"
+	}
+	y := workload.NewYCSB(c, catalog, cfg)
+	err := runSim(c, 12*3600*sim.Second, func(p *sim.Proc) error {
+		if err := y.SetupSchema(p, locality); err != nil {
+			return err
+		}
+		p.Sleep(2 * sim.Second)
+		if err := y.Load(p); err != nil {
+			return err
+		}
+		p.Sleep(2 * sim.Second)
+		return y.Run(p)
+	})
+	return y, err
+}
+
+// Fig3 reproduces paper Figure 3: transaction latency for REGIONAL and
+// GLOBAL tables, from the PRIMARY region and from non-PRIMARY regions,
+// with max_clock_offset = 250ms.
+func Fig3(w io.Writer, scale Scale) error {
+	header(w, "Figure 3: transaction latency for REGIONAL and GLOBAL tables (max_clock_offset=250ms)")
+	type variant struct {
+		name     string
+		locality string
+		stale    bool
+	}
+	variants := []variant{
+		{"Global", "LOCALITY GLOBAL", false},
+		{"Regional (Latest)", "LOCALITY REGIONAL BY TABLE IN PRIMARY REGION", false},
+		{"Regional (Stale)", "LOCALITY REGIONAL BY TABLE IN PRIMARY REGION", true},
+	}
+	primary := simnet.USEast1
+	for i, v := range variants {
+		y, err := fig3Run(100+int64(i), 250*sim.Millisecond, scale, v.locality, v.stale, false)
+		if err != nil {
+			return fmt.Errorf("fig3 %s: %w", v.name, err)
+		}
+		fmt.Fprintf(w, "\n%s:\n", v.name)
+		isPrimary := func(r simnet.Region) bool { return r == primary }
+		notPrimary := func(r simnet.Region) bool { return r != primary }
+		boxRow(w, "read  / primary region", mergeRecorders("", y.ReadLat, isPrimary))
+		boxRow(w, "read  / non-primary", mergeRecorders("", y.ReadLat, notPrimary))
+		if !v.stale {
+			boxRow(w, "write / primary region", mergeRecorders("", y.WriteLat, isPrimary))
+			boxRow(w, "write / non-primary", mergeRecorders("", y.WriteLat, notPrimary))
+		} else {
+			boxRow(w, "write / primary region (fresh)", mergeRecorders("", y.WriteLat, isPrimary))
+			boxRow(w, "write / non-primary (fresh)", mergeRecorders("", y.WriteLat, notPrimary))
+		}
+	}
+	fmt.Fprintln(w, `
+Expected shape (paper): GLOBAL reads < 3ms everywhere, GLOBAL writes
+500-600ms; REGIONAL reads/writes < 3ms from the primary region and
+100-200ms remote; stale remote reads < 3ms.`)
+	return nil
+}

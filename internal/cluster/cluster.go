@@ -1,0 +1,196 @@
+// Package cluster assembles a complete simulated mrdb cluster: a topology
+// of regions/zones/nodes, one Store per node with its own skewed HLC clock,
+// the shared range catalog and transaction registry, an Admin for range
+// operations, and a DistSender per gateway node.
+package cluster
+
+import (
+	"fmt"
+
+	"mrdb/internal/hlc"
+	"mrdb/internal/kv"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+	"mrdb/internal/zones"
+)
+
+// RegionSpec describes one region of the cluster.
+type RegionSpec struct {
+	Name         simnet.Region
+	Zones        int
+	NodesPerZone int
+}
+
+// Config parameterizes a cluster.
+type Config struct {
+	Seed    int64
+	Regions []RegionSpec
+	// MaxOffset is the configured maximum tolerated clock skew
+	// (max_clock_offset); it sizes uncertainty intervals and the
+	// closed-timestamp lead of GLOBAL ranges. Default 250ms (the paper's
+	// CRDB Dedicated default).
+	MaxOffset sim.Duration
+	// SkewSpread bounds the actual per-node clock skew: each node's
+	// clock is offset by a deterministic value in [-SkewSpread/2,
+	// +SkewSpread/2]. Real deployments keep actual skew far below the
+	// configured maximum; default 2ms.
+	SkewSpread sim.Duration
+	// RTT, if non-nil, overrides the default Table 1 inter-region RTT
+	// matrix.
+	RTT map[[2]simnet.Region]sim.Duration
+	// Jitter is the network latency jitter fraction; default 0.03.
+	Jitter float64
+	// CloseLag overrides the lagging closed-timestamp interval.
+	CloseLag sim.Duration
+	// GCTTL, when non-zero, starts the MVCC garbage-collection loop on
+	// every store with this version time-to-live.
+	GCTTL sim.Duration
+	// AutoSplitKeys, when non-zero, starts the split queue: ranges whose
+	// leaseholder holds more live keys are divided.
+	AutoSplitKeys int
+}
+
+// Cluster is a running simulated deployment.
+type Cluster struct {
+	Sim      *sim.Simulation
+	Topo     *simnet.Topology
+	Net      *simnet.Network
+	Catalog  *kv.RangeCatalog
+	Registry *kv.TxnRegistry
+	Admin    *kv.Admin
+	Stores   map[simnet.NodeID]*kv.Store
+	Senders  map[simnet.NodeID]*kv.DistSender
+
+	MaxOffset sim.Duration
+	regions   []simnet.Region
+}
+
+// PaperRegions returns the paper's five-region topology spec (§7.1.1:
+// 3 nodes per region; we spread them one per zone).
+func PaperRegions() []RegionSpec {
+	var out []RegionSpec
+	for _, r := range simnet.Table1Regions() {
+		out = append(out, RegionSpec{Name: r, Zones: 3, NodesPerZone: 1})
+	}
+	return out
+}
+
+// ThreeRegions returns the 3-region topology used in §7.2 (us-east1,
+// europe-west2, asia-northeast1; nine nodes total).
+func ThreeRegions() []RegionSpec {
+	return []RegionSpec{
+		{Name: simnet.USEast1, Zones: 3, NodesPerZone: 1},
+		{Name: simnet.EuropeW2, Zones: 3, NodesPerZone: 1},
+		{Name: simnet.AsiaNE1, Zones: 3, NodesPerZone: 1},
+	}
+}
+
+// New builds and wires a cluster. Ranges are created afterwards via
+// c.Admin (usually through the SQL layer).
+func New(cfg Config) *Cluster {
+	if cfg.MaxOffset == 0 {
+		cfg.MaxOffset = 250 * sim.Millisecond
+	}
+	if cfg.SkewSpread == 0 {
+		cfg.SkewSpread = 2 * sim.Millisecond
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.03
+	}
+	s := sim.New(cfg.Seed)
+	topo := simnet.NewTable1Topology()
+	if cfg.RTT != nil {
+		topo.RTT = cfg.RTT
+	}
+	topo.Jitter = cfg.Jitter
+
+	c := &Cluster{
+		Sim:       s,
+		Topo:      topo,
+		Catalog:   kv.NewRangeCatalog(),
+		Stores:    map[simnet.NodeID]*kv.Store{},
+		Senders:   map[simnet.NodeID]*kv.DistSender{},
+		MaxOffset: cfg.MaxOffset,
+	}
+	c.Net = simnet.NewNetwork(s, topo)
+	c.Registry = kv.NewTxnRegistry(s, topo)
+
+	id := simnet.NodeID(1)
+	for _, rs := range cfg.Regions {
+		c.regions = append(c.regions, rs.Name)
+		for z := 0; z < rs.Zones; z++ {
+			zone := simnet.Zone(fmt.Sprintf("%s-%c", rs.Name, 'a'+z))
+			for n := 0; n < rs.NodesPerZone; n++ {
+				topo.AddNode(id, simnet.Locality{Region: rs.Name, Zone: zone})
+				// Deterministic skew in [-spread/2, +spread/2].
+				skew := sim.Duration(s.Rand().Int63n(int64(cfg.SkewSpread))) - cfg.SkewSpread/2
+				clock := hlc.NewClock(hlc.SimWallSource{Sim: s, Skew: skew}, cfg.MaxOffset)
+				st := kv.NewStore(id, s, c.Net, topo, clock, c.Registry)
+				if cfg.CloseLag != 0 {
+					st.CloseLag = cfg.CloseLag
+				}
+				c.Stores[id] = st
+				c.Senders[id] = &kv.DistSender{
+					NodeID: id, Net: c.Net, Topo: topo, Catalog: c.Catalog,
+				}
+				id++
+			}
+		}
+	}
+	c.Admin = &kv.Admin{
+		Sim: s, Topo: topo, Catalog: c.Catalog, Stores: c.Stores,
+		MaxOffset: cfg.MaxOffset,
+	}
+	if cfg.GCTTL > 0 {
+		for _, id := range topo.Nodes() {
+			c.Stores[id].StartGCLoop(cfg.GCTTL)
+		}
+	}
+	if cfg.AutoSplitKeys > 0 {
+		c.Admin.StartSplitQueue(cfg.AutoSplitKeys, 5*sim.Second)
+	}
+	return c
+}
+
+// Regions returns the cluster's regions in creation order.
+func (c *Cluster) Regions() []simnet.Region { return c.regions }
+
+// GatewayFor returns the lowest-numbered node in a region, the conventional
+// gateway for clients located there.
+func (c *Cluster) GatewayFor(r simnet.Region) simnet.NodeID {
+	nodes := c.Topo.NodesInRegion(r)
+	if len(nodes) == 0 {
+		return 0
+	}
+	return nodes[0]
+}
+
+// Allocator returns a zone-config allocator over the current topology with
+// store replica counts as load.
+func (c *Cluster) Allocator() *zones.Allocator {
+	load := map[simnet.NodeID]int{}
+	for id, st := range c.Stores {
+		load[id] = st.Replicas()
+	}
+	return &zones.Allocator{Topo: c.Topo, Load: load}
+}
+
+// ApplyErrors sums command application failures across all stores; tests
+// assert this is zero at the end of every run.
+func (c *Cluster) ApplyErrors() int {
+	n := 0
+	for _, st := range c.Stores {
+		n += st.ApplyErrors()
+	}
+	return n
+}
+
+// CreateRangeWithZoneConfig allocates a placement for zcfg and creates a
+// range covering [start, end) with it.
+func (c *Cluster) CreateRangeWithZoneConfig(start, end []byte, zcfg zones.Config, policy kv.ClosedTSPolicy) (*kv.RangeDescriptor, error) {
+	placement, err := c.Allocator().Allocate(zcfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.Admin.CreateRange(start, end, placement, policy)
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"mrdb/internal/mvcc"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+	"mrdb/internal/txn"
+)
+
+// TestRangeSplit exercises Admin.SplitRange: data lands on both sides, the
+// catalog routes correctly, and reads/writes keep working on both halves.
+func TestRangeSplit(t *testing.T) {
+	c := New(Config{Seed: 41, Regions: ThreeRegions(), MaxOffset: 250 * sim.Millisecond})
+	desc := regionalRange(t, c, "sp")
+	key := func(i int) mvcc.Key { return mvcc.Key(fmt.Sprintf("sp/%03d", i)) }
+	c.Sim.Spawn("test", func(p *sim.Proc) {
+		defer c.Sim.Stop()
+		if err := c.Admin.WaitAllReady(p); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(500 * sim.Millisecond)
+		gw := c.GatewayFor(simnet.USEast1)
+		co := txn.NewCoordinator(c.Stores[gw], c.Senders[gw])
+		for i := 0; i < 10; i++ {
+			if err := co.Run(p, func(tx *txn.Txn) error {
+				return tx.Put(p, key(i), mvcc.Value(fmt.Sprintf("v%d", i)))
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		newDesc, err := c.Admin.SplitRange(p, desc.RangeID, key(5))
+		if err != nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		// Catalog routes each half correctly.
+		left, err := c.Catalog.Lookup(key(2))
+		if err != nil || left.RangeID != desc.RangeID {
+			t.Errorf("left lookup: %v %v", left, err)
+		}
+		right, err := c.Catalog.Lookup(key(7))
+		if err != nil || right.RangeID != newDesc.RangeID {
+			t.Errorf("right lookup: %v %v", right, err)
+		}
+		// All data readable on both halves; writes work on both.
+		for i := 0; i < 10; i++ {
+			var got mvcc.Value
+			if err := co.Run(p, func(tx *txn.Txn) error {
+				v, err := tx.Get(p, key(i))
+				got = v
+				return err
+			}); err != nil || string(got) != fmt.Sprintf("v%d", i) {
+				t.Errorf("key %d after split: %q %v", i, got, err)
+			}
+		}
+		if err := co.Run(p, func(tx *txn.Txn) error {
+			if err := tx.Put(p, key(2), mvcc.Value("left-after")); err != nil {
+				return err
+			}
+			return tx.Put(p, key(8), mvcc.Value("right-after"))
+		}); err != nil {
+			t.Errorf("cross-split txn: %v", err)
+		}
+		var got mvcc.Value
+		co.Run(p, func(tx *txn.Txn) error {
+			v, err := tx.Get(p, key(8))
+			got = v
+			return err
+		})
+		if string(got) != "right-after" {
+			t.Errorf("right half write lost: %q", got)
+		}
+		// Splitting again inside the right half works too.
+		if _, err := c.Admin.SplitRange(p, newDesc.RangeID, key(8)); err != nil {
+			t.Errorf("second split: %v", err)
+		}
+		// Invalid split keys are rejected.
+		if _, err := c.Admin.SplitRange(p, desc.RangeID, mvcc.Key("zz")); err == nil {
+			t.Error("split outside range accepted")
+		}
+	})
+	c.Sim.RunFor(10 * 60 * sim.Second)
+	if n := c.ApplyErrors(); n != 0 {
+		t.Fatalf("%d apply errors", n)
+	}
+}
+
+// TestSplitFollowerReads verifies the right-hand range serves stale reads
+// from followers after a split (closed timestamps carry over).
+func TestSplitFollowerReads(t *testing.T) {
+	c := New(Config{Seed: 42, Regions: ThreeRegions(), MaxOffset: 250 * sim.Millisecond})
+	desc := regionalRange(t, c, "sf")
+	c.Sim.Spawn("test", func(p *sim.Proc) {
+		defer c.Sim.Stop()
+		if err := c.Admin.WaitAllReady(p); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(500 * sim.Millisecond)
+		gw := c.GatewayFor(simnet.USEast1)
+		co := txn.NewCoordinator(c.Stores[gw], c.Senders[gw])
+		if err := co.Run(p, func(tx *txn.Txn) error {
+			return tx.Put(p, mvcc.Key("sf/zz"), mvcc.Value("right-side"))
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := c.Admin.SplitRange(p, desc.RangeID, mvcc.Key("sf/m")); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(5 * sim.Second) // close lag + propagation
+		asia := txn.NewCoordinator(c.Stores[c.GatewayFor(simnet.AsiaNE1)], c.Senders[c.GatewayFor(simnet.AsiaNE1)])
+		start := p.Now()
+		v, served, err := asia.ExactStaleRead(p, mvcc.Key("sf/zz"), asia.Store.Clock.Now().Add(-4*sim.Second))
+		if err != nil || string(v) != "right-side" {
+			t.Errorf("stale read after split: %q %v", v, err)
+			return
+		}
+		loc, _ := c.Topo.LocalityOf(served)
+		if loc.Region != simnet.AsiaNE1 {
+			t.Errorf("served by %s, want local follower", loc.Region)
+		}
+		if d := p.Now().Sub(start); d > 10*sim.Millisecond {
+			t.Errorf("stale read took %v", d)
+		}
+	})
+	c.Sim.RunFor(10 * 60 * sim.Second)
+}

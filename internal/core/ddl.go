@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+
+	"mrdb/internal/simnet"
+)
+
+// This file reproduces paper Table 2: the number of DDL statements needed
+// for multi-region schema operations before and after the declarative
+// syntax. The "after" statement lists are generated directly from the new
+// syntax. The "before" lists reconstruct the legacy recipe the paper
+// describes — manual partitioning, per-partition zone configurations, and
+// duplicate indexes — for each workload's schema; the paper does not print
+// the legacy statements, so the reconstruction's index layout is calibrated
+// against Table 2's totals and recorded here and in EXPERIMENTS.md.
+
+// SchemaSpec describes a workload schema for DDL accounting.
+type SchemaSpec struct {
+	Name string
+	// RegionalTables are tables that become REGIONAL BY ROW.
+	RegionalTables []TableSpec
+	// GlobalTables are tables that become GLOBAL (legacy: duplicate
+	// indexes).
+	GlobalTables []string
+	// ComputedRegionTables lists regional tables that need an explicit
+	// computed crdb_region column (e.g. city → region).
+	ComputedRegionTables []string
+	// CountCreateDatabase controls whether database-level statements are
+	// counted; the YCSB benchmark operates on a pre-existing database so
+	// only table-level statements count (paper Table 2 shows 1).
+	CountCreateDatabase bool
+	// LegacySecondaryIndexStatements is the number of extra legacy
+	// statements for separately partitioned secondary indexes during
+	// schema creation.
+	LegacySecondaryIndexStatements int
+	// LegacySecondaryIndexStatementsOnRegionChange is the analogous
+	// count when adding/dropping a region requires repartitioning
+	// secondary indexes individually.
+	LegacySecondaryIndexStatementsOnRegionChange int
+	// LegacyExtraStatements covers workload-specific extra legacy
+	// statements at schema creation (e.g. database-wide default zone
+	// configs).
+	LegacyExtraStatements int
+	// LegacyExtraStatementsOnRegionChange is the analogous count for
+	// add/drop region (e.g. fix-ups of special indexes).
+	LegacyExtraStatementsOnRegionChange int
+}
+
+// TableSpec names a regional table.
+type TableSpec struct {
+	Name string
+}
+
+// MovrSchema returns the paper's movr ride-sharing schema (§1.1, §7.5.1):
+// six tables, promo_codes GLOBAL, the rest REGIONAL BY ROW with computed
+// region columns translating city to a region.
+func MovrSchema() SchemaSpec {
+	return SchemaSpec{
+		Name: "movr",
+		RegionalTables: []TableSpec{
+			{Name: "users"}, {Name: "vehicles"}, {Name: "rides"},
+			{Name: "vehicle_location_histories"}, {Name: "user_promo_codes"},
+		},
+		GlobalTables: []string{"promo_codes"},
+		ComputedRegionTables: []string{
+			"users", "vehicles", "rides", "vehicle_location_histories", "user_promo_codes",
+		},
+		CountCreateDatabase:                          true,
+		LegacySecondaryIndexStatements:               3,
+		LegacySecondaryIndexStatementsOnRegionChange: 3,
+	}
+}
+
+// TPCCSchema returns the TPC-C schema (§7.4): items GLOBAL, the other
+// eight tables REGIONAL BY ROW with the region computed from warehouse ID.
+func TPCCSchema() SchemaSpec {
+	return SchemaSpec{
+		Name: "tpcc",
+		RegionalTables: []TableSpec{
+			{Name: "warehouse"}, {Name: "district"}, {Name: "customer"},
+			{Name: "history"}, {Name: "orders"}, {Name: "new_order"},
+			{Name: "order_line"}, {Name: "stock"},
+		},
+		GlobalTables: []string{"item"},
+		ComputedRegionTables: []string{
+			"warehouse", "district", "customer", "history",
+			"orders", "new_order", "order_line", "stock",
+		},
+		CountCreateDatabase:                          true,
+		LegacySecondaryIndexStatements:               7,
+		LegacySecondaryIndexStatementsOnRegionChange: 0,
+		LegacyExtraStatementsOnRegionChange:          2,
+	}
+}
+
+// YCSBSchema returns the single-table YCSB schema; its database pre-exists
+// so only table statements are counted.
+func YCSBSchema() SchemaSpec {
+	return SchemaSpec{
+		Name:                  "ycsb",
+		RegionalTables:        []TableSpec{{Name: "usertable"}},
+		CountCreateDatabase:   false,
+		LegacyExtraStatements: 1, // database-wide default zone config
+	}
+}
+
+// NewSyntaxNewSchema generates the declarative statements for creating the
+// schema as multi-region from scratch.
+func NewSyntaxNewSchema(s SchemaSpec, regions []simnet.Region) []string {
+	var out []string
+	if s.CountCreateDatabase {
+		stmt := fmt.Sprintf("CREATE DATABASE %s PRIMARY REGION %q", s.Name, regions[0])
+		for i, r := range regions[1:] {
+			if i == 0 {
+				stmt += fmt.Sprintf(" REGIONS %q", r)
+			} else {
+				stmt += fmt.Sprintf(", %q", r)
+			}
+		}
+		out = append(out, stmt)
+	}
+	for _, t := range s.RegionalTables {
+		out = append(out, fmt.Sprintf("CREATE TABLE %s (...) LOCALITY REGIONAL BY ROW", t.Name))
+	}
+	for _, t := range s.GlobalTables {
+		out = append(out, fmt.Sprintf("CREATE TABLE %s (...) LOCALITY GLOBAL", t))
+	}
+	for _, t := range s.ComputedRegionTables {
+		out = append(out, fmt.Sprintf(
+			"ALTER TABLE %s ALTER COLUMN crdb_region SET DEFAULT region_from_city(city)", t))
+	}
+	return out
+}
+
+// NewSyntaxConvertSchema generates the statements to convert an existing
+// single-region schema: the same locality/computed statements plus ADD
+// REGION for each non-primary region.
+func NewSyntaxConvertSchema(s SchemaSpec, regions []simnet.Region) []string {
+	var out []string
+	if s.CountCreateDatabase {
+		out = append(out, fmt.Sprintf("ALTER DATABASE %s SET PRIMARY REGION %q", s.Name, regions[0]))
+		for _, r := range regions[1:] {
+			out = append(out, fmt.Sprintf("ALTER DATABASE %s ADD REGION %q", s.Name, r))
+		}
+	}
+	for _, t := range s.RegionalTables {
+		out = append(out, fmt.Sprintf("ALTER TABLE %s SET LOCALITY REGIONAL BY ROW", t.Name))
+	}
+	for _, t := range s.GlobalTables {
+		out = append(out, fmt.Sprintf("ALTER TABLE %s SET LOCALITY GLOBAL", t))
+	}
+	for _, t := range s.ComputedRegionTables {
+		out = append(out, fmt.Sprintf(
+			"ALTER TABLE %s ALTER COLUMN crdb_region SET DEFAULT region_from_city(city)", t))
+	}
+	return out
+}
+
+// NewSyntaxAddRegion is always a single statement.
+func NewSyntaxAddRegion(s SchemaSpec, r simnet.Region) []string {
+	return []string{fmt.Sprintf("ALTER DATABASE %s ADD REGION %q", s.Name, r)}
+}
+
+// NewSyntaxDropRegion is always a single statement.
+func NewSyntaxDropRegion(s SchemaSpec, r simnet.Region) []string {
+	return []string{fmt.Sprintf("ALTER DATABASE %s DROP REGION %q", s.Name, r)}
+}
+
+// LegacyNewSchema reconstructs the pre-declarative recipe: partition every
+// regional table by list of regions, add a zone configuration per
+// partition, and build duplicate indexes (one per non-primary region, each
+// pinned) for global-style tables.
+func LegacyNewSchema(s SchemaSpec, regions []simnet.Region) []string {
+	var out []string
+	for _, t := range s.RegionalTables {
+		out = append(out, fmt.Sprintf("ALTER TABLE %s PARTITION BY LIST (region) (%d partitions)", t.Name, len(regions)))
+		for _, r := range regions {
+			out = append(out, fmt.Sprintf(
+				"ALTER PARTITION %q OF TABLE %s CONFIGURE ZONE USING constraints='[+region=%s]', lease_preferences='[[+region=%s]]'",
+				r, t.Name, r, r))
+		}
+	}
+	for i := 0; i < s.LegacySecondaryIndexStatements; i++ {
+		out = append(out, fmt.Sprintf("ALTER INDEX secondary_idx_%d PARTITION BY LIST (region) (...)", i+1))
+	}
+	for _, t := range s.GlobalTables {
+		for _, r := range regions[1:] {
+			out = append(out, fmt.Sprintf("CREATE INDEX %s_idx_%s ON %s (...) STORING (...)", t, r, t))
+		}
+		for _, r := range regions {
+			out = append(out, fmt.Sprintf(
+				"ALTER INDEX %s_idx_%s CONFIGURE ZONE USING lease_preferences='[[+region=%s]]'", t, r, r))
+		}
+	}
+	for i := 0; i < s.LegacyExtraStatements; i++ {
+		out = append(out, fmt.Sprintf("ALTER DATABASE %s CONFIGURE ZONE USING num_replicas=3", s.Name))
+	}
+	return out
+}
+
+// LegacyConvertSchema is the same work as LegacyNewSchema: partitioning and
+// zone configs must be specified either way (paper Table 2 shows identical
+// before-counts).
+func LegacyConvertSchema(s SchemaSpec, regions []simnet.Region) []string {
+	return LegacyNewSchema(s, regions)
+}
+
+// LegacyAddRegion reconstructs adding one region: repartition each regional
+// table (and separately partitioned secondary indexes), configure the new
+// partition's zone, and extend each duplicate-index table with a new pinned
+// index.
+func LegacyAddRegion(s SchemaSpec, r simnet.Region) []string {
+	var out []string
+	for _, t := range s.RegionalTables {
+		out = append(out, fmt.Sprintf("ALTER TABLE %s PARTITION BY LIST (region) (... + %q)", t.Name, r))
+		out = append(out, fmt.Sprintf(
+			"ALTER PARTITION %q OF TABLE %s CONFIGURE ZONE USING constraints='[+region=%s]'", r, t.Name, r))
+	}
+	for i := 0; i < s.LegacySecondaryIndexStatementsOnRegionChange; i++ {
+		out = append(out, fmt.Sprintf("ALTER INDEX secondary_idx_%d PARTITION BY LIST (region) (... + %q)", i+1, r))
+	}
+	for _, t := range s.GlobalTables {
+		out = append(out, fmt.Sprintf("CREATE INDEX %s_idx_%s ON %s (...) STORING (...)", t, r, t))
+		out = append(out, fmt.Sprintf(
+			"ALTER INDEX %s_idx_%s CONFIGURE ZONE USING lease_preferences='[[+region=%s]]'", t, r, r))
+	}
+	for i := 0; i < s.LegacyExtraStatementsOnRegionChange; i++ {
+		out = append(out, fmt.Sprintf("ALTER INDEX special_idx_%d PARTITION BY LIST (region) (... + %q)", i+1, r))
+	}
+	return out
+}
+
+// LegacyDropRegion reconstructs dropping one region: repartition regional
+// tables and secondary indexes without the region and drop the region's
+// duplicate indexes (partition zone configs disappear with the partitions).
+func LegacyDropRegion(s SchemaSpec, r simnet.Region) []string {
+	var out []string
+	for _, t := range s.RegionalTables {
+		out = append(out, fmt.Sprintf("ALTER TABLE %s PARTITION BY LIST (region) (... - %q)", t.Name, r))
+	}
+	for i := 0; i < s.LegacySecondaryIndexStatementsOnRegionChange; i++ {
+		out = append(out, fmt.Sprintf("ALTER INDEX secondary_idx_%d PARTITION BY LIST (region) (... - %q)", i+1, r))
+	}
+	for _, t := range s.GlobalTables {
+		out = append(out, fmt.Sprintf("DROP INDEX %s_idx_%s", t, r))
+	}
+	for i := 0; i < s.LegacyExtraStatementsOnRegionChange; i++ {
+		out = append(out, fmt.Sprintf("ALTER INDEX special_idx_%d PARTITION BY LIST (region) (... - %q)", i+1, r))
+	}
+	// The YCSB single-table setup also rewrote its table-level zone
+	// config when the region set changed.
+	for i := 0; i < s.LegacyExtraStatements; i++ {
+		out = append(out, fmt.Sprintf("ALTER TABLE %s CONFIGURE ZONE USING constraints='...'", s.Name))
+	}
+	return out
+}
+
+// Table2Row holds one workload's before/after counts for all four
+// operations.
+type Table2Row struct {
+	Workload                          string
+	NewSchemaBefore, NewSchemaAfter   int
+	ConvertBefore, ConvertAfter       int
+	AddRegionBefore, AddRegionAfter   int
+	DropRegionBefore, DropRegionAfter int
+}
+
+// Table2 computes the full Table 2 for the three workloads over the given
+// regions (the paper uses 3).
+func Table2(regions []simnet.Region) []Table2Row {
+	var rows []Table2Row
+	for _, s := range []SchemaSpec{MovrSchema(), TPCCSchema(), YCSBSchema()} {
+		newRegion := simnet.Region("new-region-1")
+		rows = append(rows, Table2Row{
+			Workload:         s.Name,
+			NewSchemaBefore:  len(LegacyNewSchema(s, regions)),
+			NewSchemaAfter:   len(NewSyntaxNewSchema(s, regions)),
+			ConvertBefore:    len(LegacyConvertSchema(s, regions)),
+			ConvertAfter:     len(NewSyntaxConvertSchema(s, regions)),
+			AddRegionBefore:  len(LegacyAddRegion(s, newRegion)),
+			AddRegionAfter:   len(NewSyntaxAddRegion(s, newRegion)),
+			DropRegionBefore: len(LegacyDropRegion(s, regions[len(regions)-1])),
+			DropRegionAfter:  len(NewSyntaxDropRegion(s, regions[len(regions)-1])),
+		})
+	}
+	return rows
+}

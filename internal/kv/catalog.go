@@ -1,0 +1,125 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"mrdb/internal/mvcc"
+)
+
+// RangeCatalog is the authoritative map from keyspace to range
+// descriptors. In CockroachDB this state lives in the meta ranges and is
+// cached by each node; here it is a single shared structure — routing
+// lookups are free, but leaseholder information may still be stale relative
+// to a replica's own view, so NotLeaseholderError handling remains
+// necessary. The simplification is recorded in DESIGN.md.
+type RangeCatalog struct {
+	// descs is sorted by StartKey; ranges must not overlap.
+	descs  []*RangeDescriptor
+	nextID RangeID
+}
+
+// NewRangeCatalog returns an empty catalog.
+func NewRangeCatalog() *RangeCatalog { return &RangeCatalog{} }
+
+// NextRangeID allocates a fresh range ID.
+func (c *RangeCatalog) NextRangeID() RangeID {
+	c.nextID++
+	return c.nextID
+}
+
+// Insert adds a descriptor, keeping the catalog sorted. It rejects overlap.
+func (c *RangeCatalog) Insert(d *RangeDescriptor) error {
+	i := sort.Search(len(c.descs), func(i int) bool {
+		return bytes.Compare(c.descs[i].StartKey, d.StartKey) > 0
+	})
+	// Check neighbors for overlap.
+	if i > 0 {
+		prev := c.descs[i-1]
+		if prev.EndKey == nil || bytes.Compare(prev.EndKey, d.StartKey) > 0 {
+			return fmt.Errorf("kv: range %d overlaps new range at %q", prev.RangeID, d.StartKey)
+		}
+	}
+	if i < len(c.descs) {
+		next := c.descs[i]
+		if d.EndKey == nil || bytes.Compare(d.EndKey, next.StartKey) > 0 {
+			return fmt.Errorf("kv: new range overlaps range %d", next.RangeID)
+		}
+	}
+	c.descs = append(c.descs, nil)
+	copy(c.descs[i+1:], c.descs[i:])
+	c.descs[i] = d
+	return nil
+}
+
+// Remove deletes the descriptor for a range ID.
+func (c *RangeCatalog) Remove(id RangeID) {
+	for i, d := range c.descs {
+		if d.RangeID == id {
+			c.descs = append(c.descs[:i], c.descs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Lookup returns the descriptor containing key.
+func (c *RangeCatalog) Lookup(key mvcc.Key) (*RangeDescriptor, error) {
+	i := sort.Search(len(c.descs), func(i int) bool {
+		return bytes.Compare(c.descs[i].StartKey, key) > 0
+	})
+	if i == 0 {
+		return nil, fmt.Errorf("kv: no range contains key %q", key)
+	}
+	d := c.descs[i-1]
+	if !d.ContainsKey(key) {
+		return nil, fmt.Errorf("kv: no range contains key %q", key)
+	}
+	return d, nil
+}
+
+// LookupByID returns the descriptor with the given range ID.
+func (c *RangeCatalog) LookupByID(id RangeID) (*RangeDescriptor, bool) {
+	for _, d := range c.descs {
+		if d.RangeID == id {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// LookupSpan returns the descriptors overlapping [start, end), in order.
+func (c *RangeCatalog) LookupSpan(start, end mvcc.Key) []*RangeDescriptor {
+	var out []*RangeDescriptor
+	for _, d := range c.descs {
+		if end != nil && bytes.Compare(d.StartKey, end) >= 0 {
+			break
+		}
+		if d.EndKey != nil && bytes.Compare(d.EndKey, start) <= 0 {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// All returns every descriptor in key order.
+func (c *RangeCatalog) All() []*RangeDescriptor {
+	return append([]*RangeDescriptor(nil), c.descs...)
+}
+
+// Update replaces the stored descriptor for d.RangeID with d if d's
+// generation is newer.
+func (c *RangeCatalog) Update(d *RangeDescriptor) {
+	for i, cur := range c.descs {
+		if cur.RangeID == d.RangeID {
+			if d.Generation >= cur.Generation {
+				c.descs[i] = d
+			}
+			return
+		}
+	}
+}
+
+// Len returns the number of ranges.
+func (c *RangeCatalog) Len() int { return len(c.descs) }

@@ -1,0 +1,201 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+
+	"mrdb/internal/hlc"
+	"mrdb/internal/mvcc"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+)
+
+// DistSender routes KV requests from a gateway node to the right replica of
+// the right range: the leaseholder for consistent reads and all writes, or
+// the nearest replica for follower-read-eligible requests. It retries
+// around leaseholder moves and follower-read misses.
+type DistSender struct {
+	NodeID  simnet.NodeID
+	Net     *simnet.Network
+	Topo    *simnet.Topology
+	Catalog *RangeCatalog
+
+	// RPCTimeout bounds each attempt. Zero uses the network default.
+	RPCTimeout sim.Duration
+
+	// Stats.
+	Sent             int64
+	Retries          int64
+	FollowerMisses   int64
+	LeaseholderHints int64
+}
+
+// keyOf extracts the routing key from a request.
+func keyOf(req interface{}) (mvcc.Key, bool) {
+	switch q := req.(type) {
+	case *GetRequest:
+		return q.Key, true
+	case *PutRequest:
+		return q.Key, true
+	case *ScanRequest:
+		return q.StartKey, true
+	case *EndTxnRequest:
+		return q.Txn.Meta.Key, true
+	case *ResolveIntentRequest:
+		return q.Key, true
+	case *RefreshRequest:
+		return q.Key, true
+	case *NegotiateRequest:
+		return q.StartKey, true
+	case *QueryIntentRequest:
+		return q.Key, true
+	}
+	return nil, false
+}
+
+// wantsFollower reports whether the request may be served by any replica.
+func wantsFollower(req interface{}) bool {
+	switch q := req.(type) {
+	case *GetRequest:
+		return q.FollowerRead
+	case *ScanRequest:
+		return q.FollowerRead
+	case *RefreshRequest:
+		return q.FollowerRead
+	case *NegotiateRequest:
+		return true
+	}
+	return false
+}
+
+// nearestReplica picks the lowest-RTT replica of d from the gateway.
+func (ds *DistSender) nearestReplica(d *RangeDescriptor) simnet.NodeID {
+	best := simnet.NodeID(0)
+	var bestRTT sim.Duration
+	for _, id := range d.Replicas() {
+		rtt := ds.Topo.NodeRTT(ds.NodeID, id)
+		if best == 0 || rtt < bestRTT {
+			best, bestRTT = id, rtt
+		}
+	}
+	return best
+}
+
+// maxSendAttempts bounds routing retries before giving up.
+const maxSendAttempts = 16
+
+// Send routes req and returns the typed response. It parks p for network
+// and evaluation time.
+func (ds *DistSender) Send(p *sim.Proc, req interface{}) Response {
+	key, ok := keyOf(req)
+	if !ok {
+		return Response{Err: fmt.Errorf("kv: cannot route %T", req)}
+	}
+	leaseholderHint := simnet.NodeID(0)
+	forceLeaseholder := false
+	for attempt := 0; attempt < maxSendAttempts; attempt++ {
+		desc, err := ds.Catalog.Lookup(key)
+		if err != nil {
+			return Response{Err: err}
+		}
+		target := desc.Leaseholder
+		if leaseholderHint != 0 {
+			target = leaseholderHint
+			leaseholderHint = 0
+		} else if wantsFollower(req) && !forceLeaseholder {
+			target = ds.nearestReplica(desc)
+		}
+		ds.Sent++
+		raw, rpcErr := ds.Net.SendRPC(p, ds.NodeID, target, BatchRequest{RangeID: desc.RangeID, Req: req}, ds.RPCTimeout)
+		if rpcErr != nil {
+			// Node unreachable: back off briefly and re-route (the
+			// descriptor or lease may move during failover).
+			ds.Retries++
+			forceLeaseholder = false
+			p.Sleep(100 * sim.Millisecond)
+			continue
+		}
+		resp := raw.(Response)
+		var nle *NotLeaseholderError
+		if errors.As(resp.Err, &nle) {
+			ds.Retries++
+			ds.LeaseholderHints++
+			if nle.Leaseholder != 0 && nle.Leaseholder != target {
+				leaseholderHint = nle.Leaseholder
+			} else {
+				p.Sleep(50 * sim.Millisecond)
+			}
+			continue
+		}
+		var fru *FollowerReadUnavailableError
+		if errors.As(resp.Err, &fru) {
+			// Paper §5.3.1: reads a follower cannot serve are
+			// redirected to the leaseholder.
+			ds.Retries++
+			ds.FollowerMisses++
+			forceLeaseholder = true
+			continue
+		}
+		var rkm *RangeKeyMismatchError
+		if errors.As(resp.Err, &rkm) {
+			ds.Retries++
+			p.Sleep(10 * sim.Millisecond)
+			continue
+		}
+		return resp
+	}
+	return Response{Err: fmt.Errorf("kv: request to %q failed after %d attempts", key, maxSendAttempts)}
+}
+
+// Get is a convenience wrapper returning the value for key.
+func (ds *DistSender) Get(p *sim.Proc, req *GetRequest) (*GetResponse, error) {
+	resp := ds.Send(p, req)
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	return resp.Get, nil
+}
+
+// Put is a convenience wrapper for writes.
+func (ds *DistSender) Put(p *sim.Proc, req *PutRequest) (*PutResponse, error) {
+	resp := ds.Send(p, req)
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	return resp.Put, nil
+}
+
+// NegotiateBoundedStaleness implements the two-phase bounded staleness
+// protocol of §5.3.2 for a set of key spans: ask the nearest replica of
+// each touched range for its locally servable timestamp and take the
+// minimum. The caller compares the result against its staleness bound.
+func (ds *DistSender) NegotiateBoundedStaleness(p *sim.Proc, spans [][2]mvcc.Key) (hlc.Timestamp, error) {
+	result := hlc.MaxTimestamp
+	for _, span := range spans {
+		descs := ds.Catalog.LookupSpan(span[0], span[1])
+		if len(descs) == 0 {
+			// Point lookup fallback.
+			d, err := ds.Catalog.Lookup(span[0])
+			if err != nil {
+				return hlc.Timestamp{}, err
+			}
+			descs = []*RangeDescriptor{d}
+		}
+		for _, desc := range descs {
+			target := ds.nearestReplica(desc)
+			raw, err := ds.Net.SendRPC(p, ds.NodeID, target,
+				BatchRequest{RangeID: desc.RangeID, Req: &NegotiateRequest{StartKey: span[0], EndKey: span[1]}}, ds.RPCTimeout)
+			if err != nil {
+				return hlc.Timestamp{}, err
+			}
+			resp := raw.(Response)
+			if resp.Err != nil {
+				return hlc.Timestamp{}, resp.Err
+			}
+			if resp.Negot.MaxTimestamp.Less(result) {
+				result = resp.Negot.MaxTimestamp
+			}
+		}
+	}
+	return result, nil
+}

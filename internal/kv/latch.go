@@ -1,0 +1,73 @@
+package kv
+
+import (
+	"mrdb/internal/mvcc"
+	"mrdb/internal/sim"
+)
+
+// latchManager serializes request evaluation per key on a leaseholder.
+// Writes take an exclusive latch held through Raft application so that a
+// concurrent read cannot slip between a write's evaluation and its apply
+// (which would let the write commit below the read). Reads only wait for
+// conflicting write latches; since evaluation is instantaneous under the
+// cooperative scheduler, reads need no latch of their own.
+type latchManager struct {
+	sim    *sim.Simulation
+	held   map[string]bool
+	queues map[string][]*sim.Cond
+}
+
+func newLatchManager(s *sim.Simulation) *latchManager {
+	return &latchManager{sim: s, held: map[string]bool{}, queues: map[string][]*sim.Cond{}}
+}
+
+// acquire takes the exclusive latch on key, parking p while another writer
+// holds it.
+func (m *latchManager) acquire(p *sim.Proc, key mvcc.Key) {
+	k := string(key)
+	for m.held[k] {
+		c := sim.NewCond(m.sim)
+		m.queues[k] = append(m.queues[k], c)
+		c.Wait(p)
+	}
+	m.held[k] = true
+}
+
+// release frees the latch and wakes the next waiter.
+func (m *latchManager) release(key mvcc.Key) {
+	k := string(key)
+	if !m.held[k] {
+		panic("kv: releasing unheld latch")
+	}
+	delete(m.held, k)
+	if q := m.queues[k]; len(q) > 0 {
+		m.queues[k] = q[1:]
+		if len(m.queues[k]) == 0 {
+			delete(m.queues, k)
+		}
+		q[0].Broadcast()
+	}
+}
+
+// waitFree parks p until no writer holds the latch on key (read-side wait).
+func (m *latchManager) waitFree(p *sim.Proc, key mvcc.Key) {
+	k := string(key)
+	for m.held[k] {
+		c := sim.NewCond(m.sim)
+		m.queues[k] = append(m.queues[k], c)
+		c.Wait(p)
+	}
+	// Wake the next queued waiter too: multiple readers may proceed, and
+	// a queued writer will re-check and re-queue if a reader got in
+	// first (readers don't mark the latch held).
+	if q := m.queues[k]; len(q) > 0 {
+		m.queues[k] = q[1:]
+		if len(m.queues[k]) == 0 {
+			delete(m.queues, k)
+		}
+		q[0].Broadcast()
+	}
+}
+
+// heldCount returns the number of held latches (testing hook).
+func (m *latchManager) heldCount() int { return len(m.held) }

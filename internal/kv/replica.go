@@ -1,0 +1,785 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+
+	"mrdb/internal/hlc"
+	"mrdb/internal/mvcc"
+	"mrdb/internal/raft"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+)
+
+// pushDelay is how long a conflicting writer waits on a lock before trying
+// to push (and possibly abort) the lock holder, breaking deadlocks.
+const pushDelay = 50 * sim.Millisecond
+
+// Replica is one copy of a Range on one Store. The leaseholder replica
+// evaluates reads and writes; all replicas apply the Raft log to their MVCC
+// engines and can serve follower reads below their closed timestamp.
+type Replica struct {
+	store  *Store
+	desc   *RangeDescriptor
+	engine *mvcc.Engine
+	raft   *raft.Node
+
+	closed  closedTracker
+	tscache *TimestampCache
+	latches *latchManager
+
+	// intentWaiters wakes requests blocked on a key's lock when an
+	// intent on that key resolves locally.
+	intentWaiters map[string]*sim.Cond
+	// lockTable holds exclusive unreplicated locks (SELECT FOR UPDATE):
+	// key -> holder transaction. Entries are stolen lazily once the
+	// holder finishes; they are leaseholder-local state and vanish on
+	// lease transfers, which is safe (they only order writers).
+	lockTable map[string]mvcc.TxnID
+	// closedAdvanced wakes adaptive follower reads waiting for the
+	// closed timestamp to catch up.
+	closedAdvanced *sim.Cond
+
+	// applyErrors counts commands whose application failed; tests assert
+	// this stays zero.
+	applyErrors int
+
+	// Stats.
+	FollowerReads   int64
+	RedirectsToLH   int64
+	WritesEvaluated int64
+}
+
+// Desc returns the replica's view of the range descriptor.
+func (r *Replica) Desc() *RangeDescriptor { return r.desc }
+
+// ClosedTimestamp returns this replica's known closed timestamp.
+func (r *Replica) ClosedTimestamp() hlc.Timestamp { return r.closed.closed }
+
+// Raft returns the underlying consensus node (testing and admin hook).
+func (r *Replica) Raft() *raft.Node { return r.raft }
+
+// EngineForBulkLoad exposes the MVCC engine for setup-time bulk loading
+// (the IMPORT path); it must not be used while the replica serves traffic.
+func (r *Replica) EngineForBulkLoad() *mvcc.Engine { return r.engine }
+
+// isLeaseholder reports whether this replica currently holds the lease.
+func (r *Replica) isLeaseholder() bool {
+	return r.desc.Leaseholder == r.store.NodeID
+}
+
+// errNotLeaseholder builds the redirect error from the local descriptor.
+func (r *Replica) errNotLeaseholder() error {
+	return &NotLeaseholderError{RangeID: r.desc.RangeID, Leaseholder: r.desc.Leaseholder}
+}
+
+// --- Request evaluation ---
+
+// evaluate dispatches a request, blocking p as needed; it returns the
+// response or a protocol error.
+func (r *Replica) evaluate(p *sim.Proc, req interface{}) Response {
+	switch q := req.(type) {
+	case *GetRequest:
+		return r.evalGet(p, q)
+	case *ScanRequest:
+		return r.evalScan(p, q)
+	case *PutRequest:
+		return r.evalPut(p, q)
+	case *EndTxnRequest:
+		return r.evalEndTxn(p, q)
+	case *ResolveIntentRequest:
+		return r.evalResolveIntent(p, q)
+	case *RefreshRequest:
+		return r.evalRefresh(q)
+	case *NegotiateRequest:
+		return r.evalNegotiate(q)
+	case *QueryIntentRequest:
+		return r.evalQueryIntent(p, q)
+	default:
+		return Response{Err: fmt.Errorf("kv: unknown request %T", req)}
+	}
+}
+
+func (r *Replica) getOpts(txn *Txn, uncertainty bool) mvcc.GetOptions {
+	opts := mvcc.GetOptions{}
+	if txn != nil {
+		opts.Txn = &txn.Meta
+		if uncertainty {
+			opts.UncertaintyLimit = txn.GlobalUncertaintyLimit
+			opts.LocalLimit = hlc.Timestamp{WallTime: r.store.Clock.PhysicalNow()}
+		}
+	}
+	return opts
+}
+
+func (r *Replica) evalGet(p *sim.Proc, req *GetRequest) Response {
+	if !req.Timestamp.IsEmpty() && !r.desc.ContainsKey(req.Key) {
+		return Response{Err: &RangeKeyMismatchError{RequestedKey: req.Key}}
+	}
+	if !r.isLeaseholder() {
+		return r.evalFollowerGet(p, req)
+	}
+	if req.ForUpdate && req.Txn != nil {
+		// SELECT FOR UPDATE: take the unreplicated lock before reading
+		// so read-modify-write transactions queue instead of racing.
+		if err := r.acquireLock(p, req.Key, req.Txn); err != nil {
+			return Response{Err: err}
+		}
+	}
+	opts := r.getOpts(req.Txn, req.Uncertainty)
+	readTS := req.Timestamp
+	var bumped hlc.Timestamp
+	for {
+		// Wait out in-flight writes on this key so we cannot read around
+		// a write that is between evaluation and application.
+		r.latches.waitFree(p, req.Key)
+		val, vts, err := r.engine.Get(req.Key, readTS, opts)
+		var wie *mvcc.WriteIntentError
+		if errors.As(err, &wie) {
+			if werr := r.waitOnIntent(p, req.Key, wie.Txn, req.Txn, false); werr != nil {
+				return Response{Err: werr}
+			}
+			continue
+		}
+		var ue *mvcc.UncertaintyError
+		if errors.As(err, &ue) && req.CanBumpReadTS {
+			// Server-side uncertainty refresh: nothing else in the
+			// transaction's read/write set can be invalidated, so
+			// ratchet locally and retry (paper §6.1).
+			readTS = ue.ValueTimestamp
+			bumped = readTS
+			continue
+		}
+		if err != nil {
+			return Response{Err: err}
+		}
+		var reader mvcc.TxnID
+		if req.Txn != nil {
+			reader = req.Txn.Meta.ID
+		}
+		r.tscache.RecordRead(req.Key, readTS, reader)
+		return Response{Get: &GetResponse{Value: val, Timestamp: vts, ServedBy: r.store.NodeID, BumpedTS: bumped}}
+	}
+}
+
+// evalFollowerGet serves a read from a non-leaseholder replica (paper §5.1).
+// A stale read only needs its own timestamp closed; a consistent
+// (uncertainty-checked) read needs its entire uncertainty interval closed —
+// this is why the LEAD policy's closed-timestamp lead includes
+// max_clock_offset (§6.2.1: "the size of uncertainty intervals must also be
+// factored in") — so that uncertainty bumps stay below the closed timestamp
+// and can be served locally without redirecting.
+func (r *Replica) evalFollowerGet(p *sim.Proc, req *GetRequest) Response {
+	required := req.Timestamp
+	if req.Uncertainty && req.Txn != nil && required.Less(req.Txn.GlobalUncertaintyLimit) {
+		required = req.Txn.GlobalUncertaintyLimit
+	}
+	if r.closed.closed.Less(required) && req.WaitForClosed > 0 {
+		// Adaptive policy (paper future work): wait for the closed
+		// timestamp to reach us instead of paying a WAN redirect.
+		r.waitForClosed(p, required, req.WaitForClosed)
+	}
+	if r.closed.closed.Less(required) {
+		r.RedirectsToLH++
+		return Response{Err: &FollowerReadUnavailableError{
+			RangeID: r.desc.RangeID, ClosedTS: r.closed.closed, ReadTS: required}}
+	}
+	opts := r.getOpts(req.Txn, req.Uncertainty)
+	readTS := req.Timestamp
+	var bumped hlc.Timestamp
+	for {
+		val, vts, err := r.engine.Get(req.Key, readTS, opts)
+		var wie *mvcc.WriteIntentError
+		if errors.As(err, &wie) {
+			// Paper §5.1.1: "the read blocks while it is redirected to
+			// the leaseholder to engage in conflict resolution."
+			r.RedirectsToLH++
+			return Response{Err: &FollowerReadUnavailableError{
+				RangeID: r.desc.RangeID, ClosedTS: r.closed.closed, ReadTS: readTS}}
+		}
+		var ue *mvcc.UncertaintyError
+		if errors.As(err, &ue) && req.CanBumpReadTS {
+			// The bump stays within the uncertainty interval, which is
+			// fully closed here, so the follower may serve it locally.
+			readTS = ue.ValueTimestamp
+			bumped = readTS
+			continue
+		}
+		if err != nil {
+			return Response{Err: err}
+		}
+		r.FollowerReads++
+		return Response{Get: &GetResponse{Value: val, Timestamp: vts, ServedBy: r.store.NodeID, BumpedTS: bumped}}
+	}
+}
+
+func (r *Replica) evalScan(p *sim.Proc, req *ScanRequest) Response {
+	if !r.isLeaseholder() {
+		if r.closed.closed.Less(req.Timestamp) {
+			r.RedirectsToLH++
+			return Response{Err: &FollowerReadUnavailableError{
+				RangeID: r.desc.RangeID, ClosedTS: r.closed.closed, ReadTS: req.Timestamp}}
+		}
+		rows, err := r.engine.Scan(req.StartKey, req.EndKey, req.Timestamp, req.MaxRows, r.getOpts(req.Txn, req.Uncertainty))
+		if err != nil {
+			r.RedirectsToLH++
+			return Response{Err: &FollowerReadUnavailableError{
+				RangeID: r.desc.RangeID, ClosedTS: r.closed.closed, ReadTS: req.Timestamp}}
+		}
+		r.FollowerReads++
+		return Response{Scan: &ScanResponse{Rows: rows, ServedBy: r.store.NodeID}}
+	}
+	opts := r.getOpts(req.Txn, req.Uncertainty)
+	for {
+		rows, err := r.engine.Scan(req.StartKey, req.EndKey, req.Timestamp, req.MaxRows, opts)
+		var wie *mvcc.WriteIntentError
+		if errors.As(err, &wie) {
+			if werr := r.waitOnIntent(p, wie.Key, wie.Txn, req.Txn, false); werr != nil {
+				return Response{Err: werr}
+			}
+			continue
+		}
+		if err != nil {
+			return Response{Err: err}
+		}
+		r.tscache.RecordReadSpan(req.StartKey, req.EndKey, req.Timestamp)
+		return Response{Scan: &ScanResponse{Rows: rows, ServedBy: r.store.NodeID}}
+	}
+}
+
+func (r *Replica) evalPut(p *sim.Proc, req *PutRequest) Response {
+	if !r.desc.ContainsKey(req.Key) {
+		return Response{Err: &RangeKeyMismatchError{RequestedKey: req.Key}}
+	}
+	if !r.isLeaseholder() {
+		return Response{Err: r.errNotLeaseholder()}
+	}
+	// Take the unreplicated lock (if transactional) BEFORE the latch:
+	// the lock is the coarse, transaction-lifetime mutex; the latch only
+	// covers evaluation+replication. Acquiring in the other order
+	// deadlocks: a latch holder waiting on the lock blocks the lock
+	// holder's own write.
+	if req.Txn != nil {
+		if err := r.acquireLock(p, req.Key, req.Txn); err != nil {
+			return Response{Err: err}
+		}
+	}
+	r.latches.acquire(p, req.Key)
+	releaseOnReturn := true
+	defer func() {
+		if releaseOnReturn {
+			r.latches.release(req.Key)
+		}
+	}()
+	r.WritesEvaluated++
+
+	ts := req.Timestamp
+	var txnMeta *mvcc.TxnMeta
+	if req.Txn != nil {
+		txnMeta = &req.Txn.Meta
+	}
+	for {
+		if !r.isLeaseholder() {
+			return Response{Err: r.errNotLeaseholder()}
+		}
+		// Writes may not invalidate served reads — except the
+		// transaction's own (self-exemption avoids forcing a refresh on
+		// every read-modify-write).
+		var writer mvcc.TxnID
+		if txnMeta != nil {
+			writer = txnMeta.ID
+		}
+		if tsc, own := r.tscache.MaxRead(req.Key, writer); own {
+			if ts.Less(tsc) {
+				ts = tsc
+			}
+		} else if ts.LessEq(tsc) {
+			ts = tsc.Next()
+		}
+		// …and may not land at or below a closed timestamp. Under the
+		// LEAD policy this is what pushes writes into the future
+		// (paper §6.2.1: "the transaction's timestamp is advanced
+		// immediately past the closed timestamp target").
+		target := r.closed.issue(r.store.Clock.Now())
+		if ts.LessEq(target) {
+			ts = target.Next()
+		}
+		newTs, err := r.checkPut(req.Key, ts, txnMeta)
+		var wie *mvcc.WriteIntentError
+		if errors.As(err, &wie) {
+			// Drop the latch while queued on the lock (as CockroachDB's
+			// lock table does) so the holder's commit-time QueryIntent
+			// and other readers are not blocked behind us.
+			r.latches.release(req.Key)
+			werr := r.waitOnIntent(p, req.Key, wie.Txn, req.Txn, true)
+			r.latches.acquire(p, req.Key)
+			if werr != nil {
+				return Response{Err: werr}
+			}
+			continue
+		}
+		if err != nil {
+			return Response{Err: err}
+		}
+		ts = newTs
+		if req.Commit1PC && txnMeta != nil {
+			return r.evalPut1PC(p, req, ts, target)
+		}
+		// Replicate the write.
+		cmd := Command{Kind: CmdPut, Key: req.Key, Value: req.Value, Ts: ts, Txn: txnMeta, ClosedTS: target}
+		if req.Pipelined {
+			// Write pipelining: reply once the proposal is in flight;
+			// the latch is held until the write applies so later reads
+			// and QueryIntent observe it. The coordinator proves the
+			// write before committing.
+			f, err := r.raft.Propose(cmd)
+			if err != nil {
+				var nl *raft.ErrNotLeader
+				if errors.As(err, &nl) {
+					return Response{Err: r.errNotLeaseholder()}
+				}
+				return Response{Err: err}
+			}
+			releaseOnReturn = false
+			key := append(mvcc.Key(nil), req.Key...)
+			r.store.Sim.Spawn("kv/pipelined-apply", func(ap *sim.Proc) {
+				f.Wait(ap)
+				r.latches.release(key)
+			})
+			return Response{Put: &PutResponse{WriteTimestamp: ts}}
+		}
+		if err := r.propose(p, cmd); err != nil {
+			return Response{Err: err}
+		}
+		return Response{Put: &PutResponse{WriteTimestamp: ts}}
+	}
+}
+
+// evalPut1PC commits a single-write transaction in one consensus round
+// (CockroachDB's one-phase commit): the transaction's reads are refreshed
+// server-side to the commit timestamp, the commit is claimed in the
+// registry, and the value replicates directly as committed. The latch is
+// already held by evalPut.
+func (r *Replica) evalPut1PC(p *sim.Proc, req *PutRequest, ts hlc.Timestamp, target hlc.Timestamp) Response {
+	// Server-side refresh: every read span must live on this range and be
+	// unchanged in (ReadFromTS, ts].
+	if req.ReadFromTS.Less(ts) {
+		for _, span := range req.ReadSpans {
+			if !r.desc.ContainsKey(span[0]) {
+				return Response{Put: &PutResponse{Declined1PC: true}}
+			}
+			end := span[1]
+			if end == nil {
+				if r.engine.HasNewerVersion(span[0], req.ReadFromTS, ts, req.Txn.Meta.ID) {
+					return Response{Put: &PutResponse{Declined1PC: true}}
+				}
+				continue
+			}
+			if !r.desc.ContainsKey(end) && string(end) != string(r.desc.EndKey) {
+				return Response{Put: &PutResponse{Declined1PC: true}}
+			}
+			if r.engine.HasNewerVersionInSpan(span[0], end, req.ReadFromTS, ts, req.Txn.Meta.ID) {
+				return Response{Put: &PutResponse{Declined1PC: true}}
+			}
+		}
+	}
+	if err := r.store.Registry.TryCommit(req.Txn.Meta.ID, ts); err != nil {
+		return Response{Err: err}
+	}
+	cmd := Command{Kind: CmdPut, Key: req.Key, Value: req.Value, Ts: ts, ClosedTS: target}
+	if err := r.propose(p, cmd); err != nil {
+		// The commit record is durable in the registry; the value's
+		// replication failure here is a leadership-change corner the
+		// coordinator surfaces as an error.
+		return Response{Err: err}
+	}
+	return Response{Put: &PutResponse{WriteTimestamp: ts, Committed: true}}
+}
+
+// evalQueryIntent proves a pipelined write: after waiting out in-flight
+// applications on the key, the transaction's intent must be present.
+func (r *Replica) evalQueryIntent(p *sim.Proc, req *QueryIntentRequest) Response {
+	if !r.isLeaseholder() {
+		return Response{Err: r.errNotLeaseholder()}
+	}
+	r.latches.waitFree(p, req.Key)
+	meta, ok := r.engine.GetIntent(req.Key)
+	found := ok && meta.ID == req.TxnID && meta.Epoch == req.Epoch
+	return Response{QueryIntent: &QueryIntentResponse{Found: found}}
+}
+
+// checkPut validates a write without mutating: it surfaces intent conflicts
+// and bumps the timestamp above newer committed versions (write-too-old).
+func (r *Replica) checkPut(key mvcc.Key, ts hlc.Timestamp, txn *mvcc.TxnMeta) (hlc.Timestamp, error) {
+	if meta, ok := r.engine.GetIntent(key); ok {
+		if txn == nil || meta.ID != txn.ID {
+			return hlc.Timestamp{}, &mvcc.WriteIntentError{Key: key, Txn: meta}
+		}
+	}
+	// Probe for write-too-old by a non-mutating read of the newest
+	// version: read at MaxTimestamp with our own txn visibility.
+	_, newest, err := r.engine.Get(key, hlc.MaxTimestamp, mvcc.GetOptions{Txn: txn})
+	if err != nil {
+		return hlc.Timestamp{}, err
+	}
+	if !newest.IsEmpty() && ts.LessEq(newest) {
+		// Tolerable bump: the transaction's coordinator learns the new
+		// timestamp from the response and refreshes at commit.
+		ts = newest.Next()
+	}
+	return ts, nil
+}
+
+// propose pushes cmd through Raft and parks p until it applies locally.
+func (r *Replica) propose(p *sim.Proc, cmd Command) error {
+	f, err := r.raft.Propose(cmd)
+	if err != nil {
+		var nl *raft.ErrNotLeader
+		if errors.As(err, &nl) {
+			return r.errNotLeaseholder()
+		}
+		return err
+	}
+	res := f.Wait(p)
+	return res.Err
+}
+
+func (r *Replica) evalEndTxn(p *sim.Proc, req *EndTxnRequest) Response {
+	if !r.isLeaseholder() {
+		return Response{Err: r.errNotLeaseholder()}
+	}
+	status := mvcc.Aborted
+	switch {
+	case req.Commit && req.Stage:
+		// Parallel commit: stage against concurrent pushes; the
+		// coordinator finalizes after proving its writes.
+		if err := r.store.Registry.TryStage(req.Txn.Meta.ID, req.CommitTS); err != nil {
+			return Response{Err: err}
+		}
+		status = mvcc.Committed
+	case req.Commit:
+		// Claim the commit atomically against concurrent pushes.
+		if err := r.store.Registry.TryCommit(req.Txn.Meta.ID, req.CommitTS); err != nil {
+			return Response{Err: err}
+		}
+		status = mvcc.Committed
+	default:
+		r.store.Registry.Abort(req.Txn.Meta.ID)
+	}
+	// Durably record the decision on the anchor range (costs a consensus
+	// round, as in the real system).
+	cmd := Command{
+		Kind: CmdTxnRecord, Key: req.Txn.Meta.Key, Status: status,
+		CommitTS: req.CommitTS, ClosedTS: r.closed.issue(r.store.Clock.Now()),
+	}
+	if err := r.propose(p, cmd); err != nil {
+		return Response{Err: err}
+	}
+	return Response{EndTxn: &EndTxnResponse{Status: status}}
+}
+
+func (r *Replica) evalResolveIntent(p *sim.Proc, req *ResolveIntentRequest) Response {
+	if !r.isLeaseholder() {
+		return Response{Err: r.errNotLeaseholder()}
+	}
+	// Only propose if the intent is still there (idempotence without a
+	// wasted consensus round).
+	if meta, ok := r.engine.GetIntent(req.Key); !ok || meta.ID != req.TxnID {
+		return Response{Resolve: &ResolveIntentResponse{}}
+	}
+	cmd := Command{
+		Kind: CmdResolveIntent, Key: req.Key, Txn: &mvcc.TxnMeta{ID: req.TxnID},
+		Status: req.Status, CommitTS: req.CommitTS,
+		ClosedTS: r.closed.issue(r.store.Clock.Now()),
+	}
+	if err := r.propose(p, cmd); err != nil {
+		return Response{Err: err}
+	}
+	return Response{Resolve: &ResolveIntentResponse{}}
+}
+
+func (r *Replica) evalRefresh(req *RefreshRequest) Response {
+	if !r.isLeaseholder() {
+		// A follower can verify a refresh authoritatively when its
+		// closed timestamp covers ToTS: no new writes can appear at or
+		// below a closed timestamp, so the local state is complete.
+		// This keeps refreshes of GLOBAL-table reads region-local.
+		if r.closed.closed.Less(req.ToTS) {
+			return Response{Err: &FollowerReadUnavailableError{
+				RangeID: r.desc.RangeID, ClosedTS: r.closed.closed, ReadTS: req.ToTS}}
+		}
+		var ok bool
+		if req.EndKey != nil {
+			ok = !r.engine.HasNewerVersionInSpan(req.Key, req.EndKey, req.FromTS, req.ToTS, req.TxnID)
+		} else {
+			ok = !r.engine.HasNewerVersion(req.Key, req.FromTS, req.ToTS, req.TxnID)
+		}
+		return Response{Refresh: &RefreshResponse{Success: ok}}
+	}
+	var ok bool
+	if req.EndKey != nil {
+		ok = !r.engine.HasNewerVersionInSpan(req.Key, req.EndKey, req.FromTS, req.ToTS, req.TxnID)
+		if ok {
+			r.tscache.RecordReadSpan(req.Key, req.EndKey, req.ToTS)
+		}
+	} else {
+		ok = !r.engine.HasNewerVersion(req.Key, req.FromTS, req.ToTS, req.TxnID)
+		if ok {
+			// The refreshed read is a read at the new timestamp.
+			r.tscache.RecordRead(req.Key, req.ToTS, req.TxnID)
+		}
+	}
+	return Response{Refresh: &RefreshResponse{Success: ok}}
+}
+
+// evalNegotiate serves the bounded-staleness negotiation (paper §5.3.2):
+// the highest timestamp this replica can serve locally without blocking is
+// the minimum of its closed timestamp and (any conflicting intent's
+// timestamp - 1) over the span.
+func (r *Replica) evalNegotiate(req *NegotiateRequest) Response {
+	maxTS := r.closed.closed
+	if r.isLeaseholder() {
+		// The leaseholder can serve up to its clock.
+		maxTS = r.store.Clock.Now()
+	}
+	if its, ok := r.engine.MinIntentTS(req.StartKey, req.EndKey); ok && its.LessEq(maxTS) {
+		maxTS = its.Prev()
+	}
+	return Response{Negot: &NegotiateResponse{MaxTimestamp: maxTS}}
+}
+
+// --- Lock waiting ---
+
+// acquireLock takes (or confirms) the exclusive unreplicated lock on key
+// for the requesting transaction, queueing behind live holders. Finished
+// holders' locks are stolen lazily.
+func (r *Replica) acquireLock(p *sim.Proc, key mvcc.Key, txn *Txn) error {
+	reg := r.store.Registry
+	k := string(key)
+	wait := pushDelay
+	for {
+		holder, ok := r.lockTable[k]
+		if !ok || holder == txn.Meta.ID {
+			r.lockTable[k] = txn.Meta.ID
+			return nil
+		}
+		if st, _ := reg.Status(holder); st != mvcc.Pending {
+			r.lockTable[k] = txn.Meta.ID
+			return nil
+		}
+		reg.BeginWait(txn.Meta.ID, holder)
+		st, _ := reg.WaitFinished(p, holder, wait)
+		if st == mvcc.Pending {
+			st, _ = reg.PushTxn(p, r.store.NodeID, txn.Meta.ID, holder)
+			wait = deadlockPushInterval
+		}
+		reg.EndWait(txn.Meta.ID)
+		if st2, _ := reg.Status(txn.Meta.ID); st2 == mvcc.Aborted {
+			return &TxnAbortedError{TxnID: txn.Meta.ID}
+		}
+	}
+}
+
+// livenessThreshold is how long a reader waits on a lock before treating
+// the holder's coordinator as potentially dead and attempting an abort push.
+const livenessThreshold = 5 * sim.Second
+
+// deadlockPushInterval throttles repeat pushes from blocked writers; the
+// steady-state wait relies on local wake-ups, not push polling.
+const deadlockPushInterval = 1 * sim.Second
+
+// waitOnIntent blocks p until the transaction owning the intent on key
+// finishes, then resolves the intent locally and returns so the caller can
+// re-evaluate. Writers push (and may abort) the holder after pushDelay,
+// which breaks write-write deadlocks; readers wait for the holder to finish
+// (paper §6.2: readers block on the locks of still-running writers), only
+// pushing after a long liveness threshold.
+func (r *Replica) waitOnIntent(p *sim.Proc, key mvcc.Key, holder mvcc.TxnMeta, waiter *Txn, isWrite bool) error {
+	reg := r.store.Registry
+	status, commitTS := reg.Status(holder.ID)
+	// The common case wakes on the registry's commit/abort broadcast at no
+	// network cost. Pushes — which pay a round trip to the holder's
+	// transaction record — run only on the deadlock/liveness cycle:
+	// writers first push after pushDelay and then every
+	// deadlockPushInterval; plain readers only after livenessThreshold.
+	wait := pushDelay
+	if !isWrite || waiter == nil {
+		wait = livenessThreshold
+	}
+	var waiterID mvcc.TxnID
+	if waiter != nil {
+		waiterID = waiter.Meta.ID
+	}
+	for status == mvcc.Pending {
+		reg.BeginWait(waiterID, holder.ID)
+		status, commitTS = reg.WaitFinished(p, holder.ID, wait)
+		if status == mvcc.Pending {
+			status, commitTS = reg.PushTxn(p, r.store.NodeID, waiterID, holder.ID)
+			wait = deadlockPushInterval
+		}
+		reg.EndWait(waiterID)
+		// If our own transaction got aborted while waiting, surface it.
+		if waiter != nil {
+			if st, _ := reg.Status(waiter.Meta.ID); st == mvcc.Aborted {
+				return &TxnAbortedError{TxnID: waiter.Meta.ID}
+			}
+		}
+	}
+	// Holder finished: resolve its intent here so we can proceed.
+	if meta, ok := r.engine.GetIntent(key); ok && meta.ID == holder.ID {
+		cmd := Command{
+			Kind: CmdResolveIntent, Key: key, Txn: &mvcc.TxnMeta{ID: holder.ID},
+			Status: status, CommitTS: commitTS,
+			ClosedTS: r.closed.issue(r.store.Clock.Now()),
+		}
+		if err := r.propose(p, cmd); err != nil {
+			return err
+		}
+	} else {
+		// Someone else resolved it; yield so their apply settles.
+		p.Yield()
+	}
+	return nil
+}
+
+// --- Raft integration ---
+
+// apply executes a committed command on this replica's engine.
+func (r *Replica) apply(e raft.Entry) {
+	cmd, ok := e.Data.(Command)
+	if !ok {
+		return
+	}
+	r.advanceClosed(cmd.ClosedTS)
+	switch cmd.Kind {
+	case CmdPut:
+		// A write proposed before a split but applied after it belongs
+		// to the right-hand child; forward it (same replica set, same
+		// total order via this log).
+		eng := r.engineFor(cmd.Key)
+		if _, err := eng.Put(cmd.Key, cmd.Value, cmd.Ts, cmd.Txn); err != nil {
+			r.applyErrors++
+		}
+	case CmdResolveIntent:
+		if err := r.engineFor(cmd.Key).ResolveIntent(cmd.Key, cmd.Txn.ID, cmd.Status, cmd.CommitTS); err != nil {
+			r.applyErrors++
+		}
+		r.wakeIntentWaiters(cmd.Key)
+	case CmdTxnRecord:
+		// The decision itself lives in the registry; the entry models
+		// the durability round.
+	case CmdDescUpdate:
+		r.setDesc(cmd.Desc.Clone())
+	case CmdLeaseTransfer:
+		r.applyLeaseTransfer(cmd)
+	case CmdSplit:
+		r.applySplit(cmd)
+	}
+}
+
+// applySplit executes a range split on this replica: the right half's data
+// is copied into a freshly created local replica of the new range, and the
+// local descriptor shrinks. Because the split rides the old range's Raft
+// log, every replica performs it at the same log position.
+func (r *Replica) applySplit(cmd Command) {
+	newDesc := cmd.SplitDesc
+	if _, ok := r.store.Replica(newDesc.RangeID); !ok {
+		nr := r.store.CreateReplica(newDesc, r.store.Clock.MaxOffset())
+		r.engine.CopyTo(nr.engine, newDesc.StartKey, newDesc.EndKey)
+		// The new leaseholder assumes everything below the split
+		// timestamp was read.
+		nr.tscache.SetLowWater(cmd.Ts)
+		nr.closed.advance(r.closed.closed)
+		if cmd.ClosedTS.Less(nr.closed.issued) {
+			nr.closed.issued = cmd.ClosedTS
+		}
+		if newDesc.Leaseholder == r.store.NodeID {
+			nr.raft.Campaign()
+		}
+	}
+	r.setDesc(cmd.Desc.Clone())
+}
+
+func (r *Replica) setDesc(desc *RangeDescriptor) {
+	if desc.Generation >= r.desc.Generation {
+		r.desc = desc
+	}
+}
+
+func (r *Replica) applyLeaseTransfer(cmd Command) {
+	if cmd.Desc != nil {
+		r.setDesc(cmd.Desc.Clone())
+	}
+	if r.desc.Leaseholder == r.store.NodeID {
+		// Fresh leaseholder: assume everything was read up to the
+		// transfer timestamp (tscache low-water ratchet), and carry the
+		// closed-timestamp promise floor forward.
+		r.tscache.SetLowWater(cmd.Ts)
+		if r.closed.issued.Less(cmd.ClosedTS) {
+			r.closed.issued = cmd.ClosedTS
+		}
+	}
+}
+
+func (r *Replica) wakeIntentWaiters(key mvcc.Key) {
+	if c, ok := r.intentWaiters[string(key)]; ok {
+		delete(r.intentWaiters, string(key))
+		c.Broadcast()
+	}
+}
+
+// waitForClosed parks p until the replica's closed timestamp reaches ts or
+// patience elapses.
+func (r *Replica) waitForClosed(p *sim.Proc, ts hlc.Timestamp, patience sim.Duration) {
+	deadline := p.Now().Add(patience)
+	expired := false
+	r.store.Sim.Schedule(deadline, func() {
+		if r.closed.closed.Less(ts) {
+			expired = true
+			r.closedAdvanced.Broadcast()
+		}
+	})
+	for r.closed.closed.Less(ts) && !expired {
+		r.closedAdvanced.Wait(p)
+	}
+}
+
+// advanceClosed moves the replica's closed timestamp forward and wakes
+// adaptive waiters.
+func (r *Replica) advanceClosed(ts hlc.Timestamp) {
+	before := r.closed.closed
+	r.closed.advance(ts)
+	if before.Less(r.closed.closed) {
+		r.closedAdvanced.Broadcast()
+	}
+}
+
+// engineFor resolves the engine a key belongs to after splits: normally
+// this replica's own, otherwise the local replica that now owns the key.
+func (r *Replica) engineFor(key mvcc.Key) *mvcc.Engine {
+	if r.desc.ContainsKey(key) {
+		return r.engine
+	}
+	for _, other := range r.store.replicas {
+		if other != r && other.desc.ContainsKey(key) {
+			return other.engine
+		}
+	}
+	return r.engine
+}
+
+// heartbeatPayload generates the closed-timestamp side-transport payload on
+// the leader (paper §5.1.1).
+func (r *Replica) heartbeatPayload() interface{} {
+	if !r.isLeaseholder() {
+		return nil
+	}
+	return r.closed.issue(r.store.Clock.Now())
+}
+
+// onHeartbeat advances the follower's closed timestamp.
+func (r *Replica) onHeartbeat(_ simnet.NodeID, payload interface{}) {
+	if ts, ok := payload.(hlc.Timestamp); ok {
+		r.advanceClosed(ts)
+	}
+}

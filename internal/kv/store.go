@@ -1,0 +1,172 @@
+package kv
+
+import (
+	"fmt"
+
+	"mrdb/internal/hlc"
+	"mrdb/internal/mvcc"
+	"mrdb/internal/raft"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+)
+
+// Store is the per-node container of replicas. It owns the node's HLC
+// clock, dispatches incoming RPCs to replicas, and routes Raft traffic
+// between ranges.
+type Store struct {
+	NodeID   simnet.NodeID
+	Sim      *sim.Simulation
+	Net      *simnet.Network
+	Topo     *simnet.Topology
+	Clock    *hlc.Clock
+	Registry *TxnRegistry
+
+	// CloseLag overrides the default lagging closed-timestamp interval.
+	CloseLag sim.Duration
+
+	replicas map[RangeID]*Replica
+	// engineSeed derives per-replica skiplist seeds deterministically.
+	engineSeed int64
+
+	// GCCollected counts MVCC versions collected by the GC loop.
+	GCCollected int64
+}
+
+// NewStore creates a store and registers its network handler.
+func NewStore(id simnet.NodeID, s *sim.Simulation, net *simnet.Network, topo *simnet.Topology, clock *hlc.Clock, reg *TxnRegistry) *Store {
+	st := &Store{
+		NodeID:     id,
+		Sim:        s,
+		Net:        net,
+		Topo:       topo,
+		Clock:      clock,
+		Registry:   reg,
+		CloseLag:   DefaultCloseLag,
+		replicas:   map[RangeID]*Replica{},
+		engineSeed: int64(id) * 7919,
+	}
+	net.Register(id, st.handleMessage)
+	return st
+}
+
+// Replica returns the local replica of the given range, if any.
+func (s *Store) Replica(id RangeID) (*Replica, bool) {
+	r, ok := s.replicas[id]
+	return r, ok
+}
+
+// Replicas returns the number of replicas on this store.
+func (s *Store) Replicas() int { return len(s.replicas) }
+
+// ApplyErrors sums failed command applications across replicas; tests
+// assert zero.
+func (s *Store) ApplyErrors() int {
+	n := 0
+	for _, r := range s.replicas {
+		n += r.applyErrors
+	}
+	return n
+}
+
+// handleMessage dispatches network traffic: Raft envelopes go straight to
+// the replica's state machine; RPC requests are evaluated in a fresh
+// process because evaluation may block on latches, locks, or replication.
+func (s *Store) handleMessage(m simnet.Message) {
+	switch payload := m.Payload.(type) {
+	case RaftEnvelope:
+		if r, ok := s.replicas[payload.RangeID]; ok {
+			r.raft.Step(payload.Msg.(raft.Message))
+		}
+	case *simnet.RPCRequest:
+		batch, ok := payload.Payload.(BatchRequest)
+		if !ok {
+			payload.Reply(Response{Err: fmt.Errorf("kv: unexpected RPC payload %T", payload.Payload)})
+			return
+		}
+		r, ok := s.replicas[batch.RangeID]
+		if !ok {
+			payload.Reply(Response{Err: &RangeKeyMismatchError{}})
+			return
+		}
+		s.Sim.Spawn(fmt.Sprintf("n%d/r%d/eval", s.NodeID, batch.RangeID), func(p *sim.Proc) {
+			payload.Reply(r.evaluate(p, batch.Req))
+		})
+	}
+}
+
+// raftTransport adapts the network for one range's Raft node.
+type raftTransport struct {
+	store   *Store
+	rangeID RangeID
+}
+
+func (t *raftTransport) Send(to simnet.NodeID, msg raft.Message) {
+	t.store.Net.Send(t.store.NodeID, to, RaftEnvelope{RangeID: t.rangeID, Msg: msg})
+}
+
+// CreateReplica instantiates the local replica of a range. maxOffset sizes
+// the closed-timestamp lead for ClosedTSLead ranges.
+func (s *Store) CreateReplica(desc *RangeDescriptor, maxOffset sim.Duration) *Replica {
+	if _, ok := s.replicas[desc.RangeID]; ok {
+		panic(fmt.Sprintf("kv: replica of r%d already on n%d", desc.RangeID, s.NodeID))
+	}
+	r := &Replica{
+		store:         s,
+		desc:          desc.Clone(),
+		engine:        mvcc.NewEngine(s.engineSeed + int64(desc.RangeID)),
+		tscache:       NewTimestampCache(hlc.Timestamp{}),
+		latches:       newLatchManager(s.Sim),
+		intentWaiters: map[string]*sim.Cond{},
+		lockTable:     map[string]mvcc.TxnID{},
+	}
+	r.closedAdvanced = sim.NewCond(s.Sim)
+	r.closed = closedTracker{policy: desc.Policy, lag: s.CloseLag}
+	if desc.Policy == ClosedTSLead {
+		r.closed.lead = LeadTime(s.Topo, desc.Leaseholder, desc.Voters, desc.NonVoters, s.Clock.MaxOffset())
+	}
+	rcfg := raft.Config{
+		ID:               s.NodeID,
+		Voters:           desc.Voters,
+		Learners:         desc.NonVoters,
+		Sim:              s.Sim,
+		Transport:        &raftTransport{store: s, rangeID: desc.RangeID},
+		Apply:            r.apply,
+		HeartbeatPayload: r.heartbeatPayload,
+		OnHeartbeat:      r.onHeartbeat,
+	}
+	if desc.Policy == ClosedTSLead {
+		// GLOBAL ranges publish closed-timestamp promises on the faster
+		// side-transport cadence the lead target accounts for.
+		rcfg.HeartbeatInterval = SideTransportInterval
+	}
+	r.raft = raft.NewNode(rcfg)
+	s.replicas[desc.RangeID] = r
+	r.raft.Start()
+	return r
+}
+
+// StartGCLoop starts periodic MVCC garbage collection on every replica of
+// this store: committed versions older than ttl are removed (at least the
+// newest version of each key always survives). Stale reads older than the
+// ttl become unservable, exactly as with CockroachDB's gc.ttlseconds.
+// It returns a stop function.
+func (s *Store) StartGCLoop(ttl sim.Duration) (stop func()) {
+	interval := ttl / 2
+	if interval <= 0 {
+		interval = sim.Second
+	}
+	return s.Sim.Ticker(interval, func() {
+		threshold := s.Clock.Now().Add(-ttl)
+		for _, r := range s.replicas {
+			s.GCCollected += int64(r.engine.GC(threshold))
+		}
+	})
+}
+
+// RemoveReplica tears down the local replica of a range.
+func (s *Store) RemoveReplica(id RangeID) {
+	if r, ok := s.replicas[id]; ok {
+		r.raft.Stop()
+		delete(s.replicas, id)
+	}
+}

@@ -1,0 +1,422 @@
+// Package kv implements mrdb's distributed, transactional key-value layer:
+// Ranges replicated with Raft (paper §3.1), leaseholders and leases,
+// timestamp caches, a lock wait-queue, closed timestamps with both the
+// lagging policy (follower reads, §5.1) and the leading policy that powers
+// GLOBAL tables (§6.2.1), follower reads with exact and bounded staleness
+// (§5.3), and the request routing layer (DistSender).
+package kv
+
+import (
+	"bytes"
+	"fmt"
+
+	"mrdb/internal/hlc"
+	"mrdb/internal/mvcc"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+	"mrdb/internal/zones"
+)
+
+// RangeID identifies a Range (one Raft group).
+type RangeID uint64
+
+// ClosedTSPolicy selects how a range's leaseholder closes timestamps.
+type ClosedTSPolicy int8
+
+const (
+	// ClosedTSLag closes timestamps trailing present time (default 3s):
+	// cheap, enables stale follower reads.
+	ClosedTSLag ClosedTSPolicy = iota
+	// ClosedTSLead closes timestamps in the future of present time so
+	// that present-time reads can be served by any replica; writes are
+	// pushed into the future and must commit-wait. This is the GLOBAL
+	// table policy (paper §6.2.1).
+	ClosedTSLead
+)
+
+func (p ClosedTSPolicy) String() string {
+	if p == ClosedTSLead {
+		return "LEAD"
+	}
+	return "LAG"
+}
+
+// RangeDescriptor locates a Range in the keyspace and in the cluster.
+type RangeDescriptor struct {
+	RangeID  RangeID
+	StartKey mvcc.Key
+	EndKey   mvcc.Key // exclusive; nil = +inf
+
+	Voters    []simnet.NodeID
+	NonVoters []simnet.NodeID
+	// Leaseholder serves consistent reads and evaluates writes.
+	Leaseholder simnet.NodeID
+	// Policy is the closed-timestamp policy.
+	Policy ClosedTSPolicy
+	// Generation increments on every descriptor change; stale cache
+	// entries are detected by comparing generations.
+	Generation int64
+}
+
+// ContainsKey reports whether key falls in [StartKey, EndKey).
+func (d *RangeDescriptor) ContainsKey(key mvcc.Key) bool {
+	if bytes.Compare(key, d.StartKey) < 0 {
+		return false
+	}
+	return d.EndKey == nil || bytes.Compare(key, d.EndKey) < 0
+}
+
+// Replicas returns all replica node IDs, voters first.
+func (d *RangeDescriptor) Replicas() []simnet.NodeID {
+	return append(append([]simnet.NodeID{}, d.Voters...), d.NonVoters...)
+}
+
+// HasReplicaOn reports whether the range has any replica on node id.
+func (d *RangeDescriptor) HasReplicaOn(id simnet.NodeID) bool {
+	for _, r := range d.Replicas() {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone deep-copies the descriptor.
+func (d *RangeDescriptor) Clone() *RangeDescriptor {
+	out := *d
+	out.StartKey = append(mvcc.Key(nil), d.StartKey...)
+	out.EndKey = append(mvcc.Key(nil), d.EndKey...)
+	out.Voters = append([]simnet.NodeID(nil), d.Voters...)
+	out.NonVoters = append([]simnet.NodeID(nil), d.NonVoters...)
+	return &out
+}
+
+// Txn is the coordinator-side transaction state that rides on requests.
+type Txn struct {
+	Meta mvcc.TxnMeta
+	// ReadTimestamp is the MVCC snapshot the txn reads at.
+	ReadTimestamp hlc.Timestamp
+	// GlobalUncertaintyLimit is ReadTimestamp + max_clock_offset, fixed
+	// at txn start; values in (ReadTimestamp, Limit] are uncertain.
+	GlobalUncertaintyLimit hlc.Timestamp
+	// Priority breaks push ties; older (smaller) wins by default.
+	Priority int64
+}
+
+// --- Requests ---
+
+// ReadPolicy tells the DistSender where a read may be served.
+type ReadPolicy int8
+
+const (
+	// ReadLeaseholder routes to the leaseholder (fresh reads).
+	ReadLeaseholder ReadPolicy = iota
+	// ReadNearest routes to the closest replica; the replica may bounce
+	// the request to the leaseholder if it cannot serve it locally.
+	ReadNearest
+)
+
+// GetRequest reads a single key.
+type GetRequest struct {
+	Key       mvcc.Key
+	Timestamp hlc.Timestamp
+	Txn       *Txn // nil for non-transactional / stale reads
+	// Uncertainty, when false, disables uncertainty checking entirely
+	// (stale reads, §5.3).
+	Uncertainty bool
+	// FollowerRead marks the request as allowed to be served by a
+	// non-leaseholder replica.
+	FollowerRead bool
+	// CanBumpReadTS permits the server to ratchet the read timestamp
+	// past an uncertain value and retry locally (a server-side
+	// uncertainty refresh). The coordinator sets it when the transaction
+	// has no other reads or writes that a bump would invalidate.
+	CanBumpReadTS bool
+	// ForUpdate acquires an exclusive unreplicated lock on the key after
+	// reading (SELECT FOR UPDATE): later writers and locking readers
+	// queue behind it instead of racing and restarting. The SQL layer
+	// sets it on the reads of UPDATE/DELETE statements.
+	ForUpdate bool
+	// WaitForClosed is the adaptive follower-read policy the paper lists
+	// as future work (§5.3.1, §6.2.1): instead of redirecting to the
+	// leaseholder when the local closed timestamp is slightly behind,
+	// the follower waits up to this long for it to catch up.
+	WaitForClosed sim.Duration
+}
+
+// GetResponse carries the read result.
+type GetResponse struct {
+	Value     mvcc.Value
+	Timestamp hlc.Timestamp // timestamp of the returned version
+	ServedBy  simnet.NodeID
+	// BumpedTS, if non-zero, is the ratcheted read timestamp after a
+	// server-side uncertainty refresh; the coordinator must adopt it and,
+	// if it leads the local clock, commit wait (paper §6.2).
+	BumpedTS hlc.Timestamp
+}
+
+// ScanRequest reads keys in [StartKey, EndKey).
+type ScanRequest struct {
+	StartKey, EndKey mvcc.Key
+	MaxRows          int
+	Timestamp        hlc.Timestamp
+	Txn              *Txn
+	Uncertainty      bool
+	FollowerRead     bool
+}
+
+// ScanResponse carries scan results.
+type ScanResponse struct {
+	Rows     []mvcc.KeyValue
+	ServedBy simnet.NodeID
+}
+
+// PutRequest writes a provisional value (intent) for a transaction, or a
+// committed value when Txn is nil.
+type PutRequest struct {
+	Key       mvcc.Key
+	Value     mvcc.Value // nil deletes
+	Timestamp hlc.Timestamp
+	Txn       *Txn
+	// Pipelined makes the leaseholder reply after evaluation and
+	// proposal, before the write replicates (CockroachDB's write
+	// pipelining / async consensus). The coordinator must prove the
+	// write with a QueryIntentRequest before committing.
+	Pipelined bool
+
+	// Commit1PC asks the leaseholder to commit the transaction together
+	// with this write (one-phase commit): the value is written directly
+	// as committed — no intent ever becomes visible, so contending
+	// operations wait only for the local consensus round, not for the
+	// coordinator's WAN round trips. Only valid when this is the
+	// transaction's sole write. ReadSpans (with ReadFromTS) lets the
+	// leaseholder server-side-refresh the transaction's reads if the
+	// commit timestamp got bumped; if any span has newer writes or lies
+	// outside this range, the server declines and the coordinator falls
+	// back to the two-phase path.
+	Commit1PC  bool
+	ReadSpans  [][2]mvcc.Key
+	ReadFromTS hlc.Timestamp
+}
+
+// QueryIntentRequest verifies at commit time that a pipelined write
+// replicated: it waits for in-flight applications on the key and reports
+// whether the transaction's intent is present.
+type QueryIntentRequest struct {
+	Key   mvcc.Key
+	TxnID mvcc.TxnID
+	Epoch int32
+}
+
+// QueryIntentResponse reports whether the intent was found.
+type QueryIntentResponse struct {
+	Found bool
+}
+
+// PutResponse reports the timestamp the write was actually evaluated at
+// (possibly above the request timestamp after tscache / closed-timestamp /
+// write-too-old bumps).
+type PutResponse struct {
+	WriteTimestamp hlc.Timestamp
+	// Committed reports that a Commit1PC request committed the
+	// transaction at WriteTimestamp.
+	Committed bool
+	// Declined1PC reports that the server could not perform the
+	// one-phase commit; nothing was written and the coordinator must use
+	// the normal path.
+	Declined1PC bool
+}
+
+// EndTxnRequest commits or aborts a transaction: it writes the transaction
+// record on the anchor range through consensus.
+type EndTxnRequest struct {
+	Txn      *Txn
+	Commit   bool
+	CommitTS hlc.Timestamp
+	// Stage performs a parallel commit: the record is written in STAGING
+	// state while the coordinator concurrently proves pipelined writes,
+	// then finalizes via the registry.
+	Stage bool
+}
+
+// EndTxnResponse reports the recorded status.
+type EndTxnResponse struct {
+	Status mvcc.TxnStatus
+}
+
+// ResolveIntentRequest finalizes an intent after its transaction ended.
+type ResolveIntentRequest struct {
+	Key      mvcc.Key
+	TxnID    mvcc.TxnID
+	Status   mvcc.TxnStatus
+	CommitTS hlc.Timestamp
+}
+
+// ResolveIntentResponse is empty; resolution is idempotent.
+type ResolveIntentResponse struct{}
+
+// RefreshRequest verifies that no value was written to Key — or to the span
+// [Key, EndKey) when EndKey is set — in (FromTS, ToTS], allowing a
+// transaction to ratchet its read timestamp without restarting (paper §6.1
+// "uncertainty refresh").
+type RefreshRequest struct {
+	Key          mvcc.Key
+	EndKey       mvcc.Key // optional; span refresh for scans
+	FromTS, ToTS hlc.Timestamp
+	TxnID        mvcc.TxnID
+	// FollowerRead routes the refresh to the nearest replica, which can
+	// verify it when its closed timestamp covers ToTS (GLOBAL tables).
+	FollowerRead bool
+}
+
+// RefreshResponse reports whether the refresh succeeded.
+type RefreshResponse struct {
+	Success bool
+}
+
+// NegotiateRequest implements the bounded-staleness negotiation phase
+// (§5.3.2): it asks a replica for the highest timestamp at which the key
+// span can be served locally without blocking.
+type NegotiateRequest struct {
+	StartKey, EndKey mvcc.Key
+}
+
+// NegotiateResponse returns the local resolved timestamp.
+type NegotiateResponse struct {
+	MaxTimestamp hlc.Timestamp
+}
+
+// --- Errors ---
+
+// NotLeaseholderError redirects the sender to the current leaseholder.
+type NotLeaseholderError struct {
+	RangeID     RangeID
+	Leaseholder simnet.NodeID
+}
+
+func (e *NotLeaseholderError) Error() string {
+	return fmt.Sprintf("r%d: not leaseholder; try n%d", e.RangeID, e.Leaseholder)
+}
+
+// FollowerReadUnavailableError means a follower could not serve a read
+// locally (closed timestamp too low or conflicting intent); the DistSender
+// retries at the leaseholder.
+type FollowerReadUnavailableError struct {
+	RangeID  RangeID
+	ClosedTS hlc.Timestamp
+	ReadTS   hlc.Timestamp
+}
+
+func (e *FollowerReadUnavailableError) Error() string {
+	return fmt.Sprintf("r%d: follower read at %s unavailable (closed %s)", e.RangeID, e.ReadTS, e.ClosedTS)
+}
+
+// RangeKeyMismatchError means the request hit a replica that does not
+// contain the key (stale routing cache).
+type RangeKeyMismatchError struct {
+	RequestedKey mvcc.Key
+}
+
+func (e *RangeKeyMismatchError) Error() string {
+	return fmt.Sprintf("key %q not in range", e.RequestedKey)
+}
+
+// TxnAbortedError means the transaction was aborted (usually pushed by a
+// contending transaction) and must be retried by the client.
+type TxnAbortedError struct {
+	TxnID mvcc.TxnID
+}
+
+func (e *TxnAbortedError) Error() string {
+	return fmt.Sprintf("txn %d aborted", e.TxnID)
+}
+
+// RetryableTxnError means the transaction must restart at a new epoch with
+// a higher timestamp (e.g. failed refresh).
+type RetryableTxnError struct {
+	TxnID  mvcc.TxnID
+	Reason string
+	// MinTimestamp is the timestamp the restarted txn should start at.
+	MinTimestamp hlc.Timestamp
+}
+
+func (e *RetryableTxnError) Error() string {
+	return fmt.Sprintf("txn %d must retry: %s", e.TxnID, e.Reason)
+}
+
+// CommitWaitInfo tells the coordinator how the read timestamp moved and
+// whether a commit wait is due because a future-time value was observed.
+type CommitWaitInfo struct {
+	// Timestamp the transaction's reads were ratcheted to.
+	Timestamp hlc.Timestamp
+}
+
+// Response is the union returned over RPC: exactly one field set.
+type Response struct {
+	Get         *GetResponse
+	Scan        *ScanResponse
+	Put         *PutResponse
+	EndTxn      *EndTxnResponse
+	Resolve     *ResolveIntentResponse
+	Refresh     *RefreshResponse
+	Negot       *NegotiateResponse
+	QueryIntent *QueryIntentResponse
+	Err         error
+}
+
+// BatchRequest is the RPC envelope dispatched to a Replica.
+type BatchRequest struct {
+	RangeID RangeID
+	Req     interface{}
+}
+
+// RaftEnvelope carries a Raft message for one range between stores.
+type RaftEnvelope struct {
+	RangeID RangeID
+	// Msg is a raft.Message; typed as interface{} to avoid an import
+	// cycle in this package's tests.
+	Msg interface{}
+}
+
+// Command is the state-machine payload replicated through Raft and applied
+// on every replica of a range.
+type Command struct {
+	Kind CommandKind
+
+	Key      mvcc.Key
+	Value    mvcc.Value
+	Ts       hlc.Timestamp
+	Txn      *mvcc.TxnMeta
+	Status   mvcc.TxnStatus
+	CommitTS hlc.Timestamp
+
+	// ClosedTS is the closed-timestamp promise carried by this entry
+	// (paper §5.1.1: "serialized into the Range's replication stream").
+	ClosedTS hlc.Timestamp
+
+	// Desc carries a new descriptor for CmdDescUpdate.
+	Desc *RangeDescriptor
+	// SplitDesc is the right-hand descriptor of a CmdSplit.
+	SplitDesc *RangeDescriptor
+}
+
+// CommandKind discriminates Command.
+type CommandKind int8
+
+// Command kinds.
+const (
+	CmdPut CommandKind = iota
+	CmdResolveIntent
+	CmdTxnRecord // commit/abort record on the anchor range
+	CmdDescUpdate
+	CmdLeaseTransfer
+	// CmdSplit divides a range: the left half shrinks to Desc, the right
+	// half becomes the new range SplitDesc with copied data.
+	CmdSplit
+)
+
+// PlacementFromZoneConfig is re-exported glue so higher layers can go from
+// a zone config to a placement without importing zones directly everywhere.
+func PlacementFromZoneConfig(a *zones.Allocator, cfg zones.Config) (zones.Placement, error) {
+	return a.Allocate(cfg)
+}

@@ -1,0 +1,726 @@
+// Package raft implements the consensus substrate that replicates each
+// mrdb Range (paper §3.1): leader election, log replication with quorum
+// commit, configuration changes, leadership transfer, and — central to the
+// paper — learners ("non-voting replicas", §5.2) that receive the log and
+// can serve follower reads but do not vote and therefore never affect write
+// latency.
+//
+// The implementation runs on the deterministic simulator: timers come from
+// sim.Simulation, transport from a caller-provided interface, and all state
+// transitions happen in scheduler context.
+package raft
+
+import (
+	"fmt"
+	"sort"
+
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+)
+
+// Role is a replica's current consensus role.
+type Role int8
+
+// Replica roles.
+const (
+	Follower Role = iota
+	Candidate
+	Leader
+	Learner // receives the log, never votes or campaigns
+)
+
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	case Learner:
+		return "learner"
+	}
+	return "unknown"
+}
+
+// Entry is one log slot.
+type Entry struct {
+	Term  uint64
+	Index uint64
+	Data  interface{}
+	// Conf, if non-nil, is a configuration change applied when the entry
+	// commits.
+	Conf *ConfChange
+}
+
+// ConfChangeType enumerates membership operations.
+type ConfChangeType int8
+
+// Membership operations.
+const (
+	AddVoter ConfChangeType = iota
+	RemoveVoter
+	AddLearner
+	RemoveLearner
+)
+
+// ConfChange alters group membership.
+type ConfChange struct {
+	Type ConfChangeType
+	Node simnet.NodeID
+}
+
+// Message is the union of Raft RPCs; Kind discriminates.
+type Message struct {
+	Kind MsgKind
+	Term uint64
+	From simnet.NodeID
+
+	// RequestVote / response
+	LastLogIndex uint64
+	LastLogTerm  uint64
+	VoteGranted  bool
+
+	// AppendEntries / response
+	PrevLogIndex uint64
+	PrevLogTerm  uint64
+	Entries      []Entry
+	LeaderCommit uint64
+	Success      bool
+	MatchIndex   uint64
+	// Payload carries opaque per-heartbeat data from the leader (mrdb
+	// uses it for closed-timestamp propagation, paper §5.1.1).
+	Payload interface{}
+
+	// TimeoutNow triggers an immediate campaign (leadership transfer).
+}
+
+// MsgKind discriminates Message.
+type MsgKind int8
+
+// Message kinds.
+const (
+	MsgVote MsgKind = iota
+	MsgVoteResp
+	MsgApp
+	MsgAppResp
+	MsgTimeoutNow
+)
+
+// Transport sends a message to a peer; implementations add network latency
+// and drop traffic to failed nodes.
+type Transport interface {
+	Send(to simnet.NodeID, msg Message)
+}
+
+// Config parameterizes a Node.
+type Config struct {
+	ID       simnet.NodeID
+	Voters   []simnet.NodeID
+	Learners []simnet.NodeID
+
+	Sim       *sim.Simulation
+	Transport Transport
+
+	// ElectionTimeout is the base follower patience; each check is
+	// perturbed ±50% for tie-breaking. Default 2s (WAN-appropriate).
+	ElectionTimeout sim.Duration
+	// HeartbeatInterval is the leader's append/heartbeat cadence.
+	// Default 400ms (GLOBAL ranges override it with the faster
+	// closed-timestamp side-transport cadence).
+	HeartbeatInterval sim.Duration
+
+	// Apply is invoked on every replica, in log order, as entries commit.
+	Apply func(e Entry)
+	// OnLeaderChange fires when this node learns of a new leader.
+	OnLeaderChange func(leader simnet.NodeID, term uint64)
+	// HeartbeatPayload, if set on the leader, generates the opaque
+	// payload attached to each outgoing heartbeat.
+	HeartbeatPayload func() interface{}
+	// OnHeartbeat, if set, receives payloads on followers/learners.
+	OnHeartbeat func(from simnet.NodeID, payload interface{})
+}
+
+// ErrNotLeader is returned by Propose on non-leaders.
+type ErrNotLeader struct {
+	Leader simnet.NodeID // 0 if unknown
+}
+
+func (e *ErrNotLeader) Error() string {
+	return fmt.Sprintf("raft: not leader (known leader: n%d)", e.Leader)
+}
+
+// ErrLeadershipLost fails proposals that were in flight when the leader
+// stepped down; the command may or may not eventually commit.
+var ErrLeadershipLost = fmt.Errorf("raft: leadership lost with proposal in flight")
+
+// ProposeResult reports the fate of a proposal.
+type ProposeResult struct {
+	Index uint64
+	Err   error
+}
+
+// Node is one replica's Raft state machine.
+type Node struct {
+	cfg  Config
+	role Role
+
+	term     uint64
+	votedFor simnet.NodeID
+	leader   simnet.NodeID
+
+	log         []Entry // log[0] is a sentinel at index 0
+	commitIndex uint64
+	applied     uint64
+
+	voters   map[simnet.NodeID]bool
+	learners map[simnet.NodeID]bool
+
+	// Leader state.
+	nextIndex  map[simnet.NodeID]uint64
+	matchIndex map[simnet.NodeID]uint64
+	pending    map[uint64]*sim.Future[ProposeResult]
+
+	// Candidate state.
+	votes map[simnet.NodeID]bool
+
+	lastHeard sim.Time
+	stopped   bool
+}
+
+// NewNode constructs a replica. If the node appears in cfg.Learners it
+// starts as a Learner, otherwise as a Follower. Call Start to arm timers.
+func NewNode(cfg Config) *Node {
+	if cfg.ElectionTimeout == 0 {
+		cfg.ElectionTimeout = 2 * sim.Second
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 400 * sim.Millisecond
+	}
+	n := &Node{
+		cfg:        cfg,
+		log:        []Entry{{}},
+		voters:     map[simnet.NodeID]bool{},
+		learners:   map[simnet.NodeID]bool{},
+		nextIndex:  map[simnet.NodeID]uint64{},
+		matchIndex: map[simnet.NodeID]uint64{},
+		pending:    map[uint64]*sim.Future[ProposeResult]{},
+	}
+	for _, v := range cfg.Voters {
+		n.voters[v] = true
+	}
+	for _, l := range cfg.Learners {
+		n.learners[l] = true
+	}
+	if n.learners[cfg.ID] {
+		n.role = Learner
+	}
+	return n
+}
+
+// Start arms the election timer. Leaders are elected normally; tests and
+// the cluster bootstrap may call Campaign for an immediate election.
+func (n *Node) Start() {
+	n.lastHeard = n.cfg.Sim.Now()
+	n.scheduleElectionCheck()
+}
+
+// Stop halts timers and fails pending proposals.
+func (n *Node) Stop() {
+	n.stopped = true
+	n.failPending()
+}
+
+// --- Introspection ---
+
+// ID returns this replica's node ID.
+func (n *Node) ID() simnet.NodeID { return n.cfg.ID }
+
+// Role returns the replica's current role.
+func (n *Node) Role() Role { return n.role }
+
+// Term returns the current term.
+func (n *Node) Term() uint64 { return n.term }
+
+// Leader returns the last known leader (0 if unknown).
+func (n *Node) Leader() simnet.NodeID { return n.leader }
+
+// IsLeader reports whether this replica currently leads.
+func (n *Node) IsLeader() bool { return n.role == Leader }
+
+// CommitIndex returns the highest committed log index.
+func (n *Node) CommitIndex() uint64 { return n.commitIndex }
+
+// LastIndex returns the highest appended log index.
+func (n *Node) LastIndex() uint64 { return n.log[len(n.log)-1].Index }
+
+// Voters returns the current voter set.
+func (n *Node) Voters() []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(n.voters))
+	for v := range n.voters {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Learners returns the current learner set.
+func (n *Node) Learners() []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(n.learners))
+	for l := range n.learners {
+		out = append(out, l)
+	}
+	return out
+}
+
+// IsVoter reports whether id is currently a voter.
+func (n *Node) IsVoter(id simnet.NodeID) bool { return n.voters[id] }
+
+// --- Timers ---
+
+func (n *Node) scheduleElectionCheck() {
+	if n.stopped {
+		return
+	}
+	// Perturb the check interval so that two followers rarely campaign
+	// simultaneously; deterministic via the simulation RNG.
+	d := n.cfg.ElectionTimeout/2 + sim.Duration(n.cfg.Sim.Rand().Int63n(int64(n.cfg.ElectionTimeout)))
+	n.cfg.Sim.After(d, func() {
+		if n.stopped {
+			return
+		}
+		if n.role != Leader && n.role != Learner {
+			if n.cfg.Sim.Now().Sub(n.lastHeard) >= n.cfg.ElectionTimeout {
+				n.Campaign()
+			}
+		}
+		n.scheduleElectionCheck()
+	})
+}
+
+func (n *Node) scheduleHeartbeat() {
+	if n.stopped || n.role != Leader {
+		return
+	}
+	n.broadcastAppend()
+	n.cfg.Sim.After(n.cfg.HeartbeatInterval, func() { n.scheduleHeartbeat() })
+}
+
+// --- Elections ---
+
+// Campaign starts an election for this replica.
+func (n *Node) Campaign() {
+	if n.role == Learner || n.stopped {
+		return
+	}
+	n.term++
+	n.role = Candidate
+	n.votedFor = n.cfg.ID
+	n.leader = 0
+	n.votes = map[simnet.NodeID]bool{n.cfg.ID: true}
+	n.lastHeard = n.cfg.Sim.Now()
+	last := n.log[len(n.log)-1]
+	for _, v := range n.sortedVoters() {
+		if v == n.cfg.ID {
+			continue
+		}
+		n.cfg.Transport.Send(v, Message{
+			Kind: MsgVote, Term: n.term, From: n.cfg.ID,
+			LastLogIndex: last.Index, LastLogTerm: last.Term,
+		})
+	}
+	n.maybeWinElection()
+}
+
+func (n *Node) maybeWinElection() {
+	if n.role != Candidate {
+		return
+	}
+	granted := 0
+	for v := range n.votes {
+		if n.voters[v] && n.votes[v] {
+			granted++
+		}
+	}
+	if granted > len(n.voters)/2 {
+		n.becomeLeader()
+	}
+}
+
+func (n *Node) becomeLeader() {
+	n.role = Leader
+	n.leader = n.cfg.ID
+	last := n.LastIndex()
+	for _, id := range n.peers() {
+		n.nextIndex[id] = last + 1
+		n.matchIndex[id] = 0
+	}
+	n.matchIndex[n.cfg.ID] = last
+	if n.cfg.OnLeaderChange != nil {
+		n.cfg.OnLeaderChange(n.cfg.ID, n.term)
+	}
+	// Commit a no-op entry from the new term so prior-term entries can
+	// commit (Raft §5.4.2).
+	n.appendLocal(Entry{Data: nil})
+	n.scheduleHeartbeat()
+}
+
+func (n *Node) stepDown(term uint64, leader simnet.NodeID) {
+	wasLeader := n.role == Leader
+	if term > n.term {
+		n.term = term
+		n.votedFor = 0
+	}
+	if n.role != Learner {
+		n.role = Follower
+	}
+	if leader != 0 && leader != n.leader {
+		n.leader = leader
+		if n.cfg.OnLeaderChange != nil {
+			n.cfg.OnLeaderChange(leader, n.term)
+		}
+	}
+	if wasLeader {
+		n.failPending()
+	}
+}
+
+func (n *Node) failPending() {
+	idxs := make([]uint64, 0, len(n.pending))
+	for idx := range n.pending {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		f := n.pending[idx]
+		delete(n.pending, idx)
+		f.Set(ProposeResult{Index: idx, Err: ErrLeadershipLost})
+	}
+}
+
+// SetHeartbeatInterval retunes the leader's append/heartbeat cadence (used
+// when a range's closed-timestamp policy changes); it takes effect on the
+// next tick.
+func (n *Node) SetHeartbeatInterval(d sim.Duration) {
+	if d > 0 {
+		n.cfg.HeartbeatInterval = d
+	}
+}
+
+// TransferLeadership asks target to campaign immediately. The current
+// leader keeps serving until the target wins its election.
+func (n *Node) TransferLeadership(target simnet.NodeID) {
+	if n.role != Leader || !n.voters[target] || target == n.cfg.ID {
+		return
+	}
+	// Bring the target fully up to date first, then tell it to campaign.
+	n.sendAppend(target)
+	n.cfg.Transport.Send(target, Message{Kind: MsgTimeoutNow, Term: n.term, From: n.cfg.ID})
+}
+
+// --- Log replication ---
+
+// peers returns all other replicas in ascending node order. Deterministic
+// iteration matters: message send order consumes network-jitter randomness,
+// so map-order iteration would make runs irreproducible.
+func (n *Node) peers() []simnet.NodeID {
+	seen := map[simnet.NodeID]bool{}
+	var out []simnet.NodeID
+	add := func(id simnet.NodeID) {
+		if id != n.cfg.ID && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for v := range n.voters {
+		add(v)
+	}
+	for l := range n.learners {
+		add(l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedVoters returns the voter set in ascending node order.
+func (n *Node) sortedVoters() []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(n.voters))
+	for v := range n.voters {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (n *Node) appendLocal(e Entry) uint64 {
+	e.Term = n.term
+	e.Index = n.LastIndex() + 1
+	n.log = append(n.log, e)
+	n.matchIndex[n.cfg.ID] = e.Index
+	n.maybeCommit()
+	return e.Index
+}
+
+// Propose replicates data, returning a future resolved once the entry
+// commits and applies on this leader (or fails on leadership loss).
+func (n *Node) Propose(data interface{}) (*sim.Future[ProposeResult], error) {
+	if n.role != Leader {
+		return nil, &ErrNotLeader{Leader: n.leader}
+	}
+	idx := n.appendLocal(Entry{Data: data})
+	f := sim.NewFuture[ProposeResult](n.cfg.Sim)
+	n.pending[idx] = f
+	n.broadcastAppend()
+	return f, nil
+}
+
+// ProposeConfChange replicates a membership change.
+func (n *Node) ProposeConfChange(cc ConfChange) (*sim.Future[ProposeResult], error) {
+	if n.role != Leader {
+		return nil, &ErrNotLeader{Leader: n.leader}
+	}
+	idx := n.appendLocal(Entry{Conf: &cc})
+	f := sim.NewFuture[ProposeResult](n.cfg.Sim)
+	n.pending[idx] = f
+	n.broadcastAppend()
+	return f, nil
+}
+
+func (n *Node) broadcastAppend() {
+	for _, id := range n.peers() {
+		n.sendAppend(id)
+	}
+}
+
+// maxBatch bounds entries per AppendEntries message.
+const maxBatch = 256
+
+func (n *Node) sendAppend(to simnet.NodeID) {
+	next := n.nextIndex[to]
+	if next == 0 {
+		next = 1
+		n.nextIndex[to] = 1
+	}
+	prev := n.log[next-1]
+	var entries []Entry
+	for i := next; i <= n.LastIndex() && len(entries) < maxBatch; i++ {
+		entries = append(entries, n.log[i])
+	}
+	msg := Message{
+		Kind: MsgApp, Term: n.term, From: n.cfg.ID,
+		PrevLogIndex: prev.Index, PrevLogTerm: prev.Term,
+		Entries: entries, LeaderCommit: n.commitIndex,
+	}
+	if n.cfg.HeartbeatPayload != nil {
+		msg.Payload = n.cfg.HeartbeatPayload()
+	}
+	n.cfg.Transport.Send(to, msg)
+}
+
+func (n *Node) maybeCommit() {
+	if n.role != Leader {
+		return
+	}
+	for idx := n.LastIndex(); idx > n.commitIndex; idx-- {
+		if n.log[idx].Term != n.term {
+			break // only commit entries from the current term by counting
+		}
+		count := 0
+		for v := range n.voters {
+			if n.matchIndex[v] >= idx {
+				count++
+			}
+		}
+		if count > len(n.voters)/2 {
+			n.commitIndex = idx
+			n.applyCommitted()
+			break
+		}
+	}
+}
+
+func (n *Node) applyCommitted() {
+	for n.applied < n.commitIndex {
+		n.applied++
+		e := n.log[n.applied]
+		if e.Conf != nil {
+			n.applyConfChange(*e.Conf)
+		}
+		if n.cfg.Apply != nil && (e.Data != nil || e.Conf != nil) {
+			n.cfg.Apply(e)
+		}
+		if f, ok := n.pending[e.Index]; ok {
+			delete(n.pending, e.Index)
+			f.Set(ProposeResult{Index: e.Index})
+		}
+	}
+}
+
+func (n *Node) applyConfChange(cc ConfChange) {
+	switch cc.Type {
+	case AddVoter:
+		delete(n.learners, cc.Node)
+		n.voters[cc.Node] = true
+	case RemoveVoter:
+		delete(n.voters, cc.Node)
+	case AddLearner:
+		if !n.voters[cc.Node] {
+			n.learners[cc.Node] = true
+		}
+	case RemoveLearner:
+		delete(n.learners, cc.Node)
+	}
+	if cc.Node == n.cfg.ID {
+		switch cc.Type {
+		case AddVoter:
+			if n.role == Learner {
+				n.role = Follower
+			}
+		case AddLearner, RemoveVoter:
+			if n.role == Leader {
+				n.failPending()
+			}
+			n.role = Learner
+		}
+	}
+	if n.role == Leader {
+		if _, ok := n.nextIndex[cc.Node]; !ok {
+			n.nextIndex[cc.Node] = 1
+			n.matchIndex[cc.Node] = 0
+		}
+		n.maybeCommit()
+	}
+}
+
+// --- Message handling ---
+
+// Step processes an incoming message. It must be called in scheduler
+// context (the kv layer invokes it from network handlers).
+func (n *Node) Step(msg Message) {
+	if n.stopped {
+		return
+	}
+	if msg.Term > n.term {
+		n.stepDown(msg.Term, 0)
+	}
+	switch msg.Kind {
+	case MsgVote:
+		n.handleVote(msg)
+	case MsgVoteResp:
+		n.handleVoteResp(msg)
+	case MsgApp:
+		n.handleApp(msg)
+	case MsgAppResp:
+		n.handleAppResp(msg)
+	case MsgTimeoutNow:
+		if msg.Term >= n.term && n.role != Learner {
+			n.Campaign()
+		}
+	}
+}
+
+func (n *Node) handleVote(msg Message) {
+	granted := false
+	if msg.Term >= n.term && (n.votedFor == 0 || n.votedFor == msg.From) && n.role != Leader {
+		last := n.log[len(n.log)-1]
+		upToDate := msg.LastLogTerm > last.Term ||
+			(msg.LastLogTerm == last.Term && msg.LastLogIndex >= last.Index)
+		if upToDate {
+			granted = true
+			n.votedFor = msg.From
+			n.lastHeard = n.cfg.Sim.Now()
+		}
+	}
+	n.cfg.Transport.Send(msg.From, Message{
+		Kind: MsgVoteResp, Term: n.term, From: n.cfg.ID, VoteGranted: granted,
+	})
+}
+
+func (n *Node) handleVoteResp(msg Message) {
+	if n.role != Candidate || msg.Term != n.term {
+		return
+	}
+	n.votes[msg.From] = msg.VoteGranted
+	n.maybeWinElection()
+}
+
+func (n *Node) handleApp(msg Message) {
+	if msg.Term < n.term {
+		n.cfg.Transport.Send(msg.From, Message{
+			Kind: MsgAppResp, Term: n.term, From: n.cfg.ID, Success: false,
+		})
+		return
+	}
+	n.lastHeard = n.cfg.Sim.Now()
+	if n.role == Candidate {
+		n.role = Follower
+	}
+	if n.leader != msg.From {
+		n.leader = msg.From
+		if n.cfg.OnLeaderChange != nil {
+			n.cfg.OnLeaderChange(msg.From, msg.Term)
+		}
+	}
+	// Log matching.
+	if msg.PrevLogIndex > n.LastIndex() || n.log[msg.PrevLogIndex].Term != msg.PrevLogTerm {
+		n.cfg.Transport.Send(msg.From, Message{
+			Kind: MsgAppResp, Term: n.term, From: n.cfg.ID, Success: false,
+			MatchIndex: min64(msg.PrevLogIndex-1, n.LastIndex()),
+		})
+		return
+	}
+	// Append, truncating conflicts.
+	for _, e := range msg.Entries {
+		if e.Index <= n.LastIndex() {
+			if n.log[e.Index].Term != e.Term {
+				n.log = n.log[:e.Index]
+				n.log = append(n.log, e)
+			}
+		} else {
+			n.log = append(n.log, e)
+		}
+	}
+	if msg.LeaderCommit > n.commitIndex {
+		n.commitIndex = min64(msg.LeaderCommit, n.LastIndex())
+		n.applyCommitted()
+	}
+	if n.cfg.OnHeartbeat != nil && msg.Payload != nil {
+		n.cfg.OnHeartbeat(msg.From, msg.Payload)
+	}
+	n.cfg.Transport.Send(msg.From, Message{
+		Kind: MsgAppResp, Term: n.term, From: n.cfg.ID, Success: true,
+		MatchIndex: n.LastIndex(),
+	})
+}
+
+func (n *Node) handleAppResp(msg Message) {
+	if n.role != Leader || msg.Term != n.term {
+		return
+	}
+	if msg.Success {
+		if msg.MatchIndex > n.matchIndex[msg.From] {
+			n.matchIndex[msg.From] = msg.MatchIndex
+		}
+		n.nextIndex[msg.From] = msg.MatchIndex + 1
+		n.maybeCommit()
+		// Keep streaming if the peer is behind.
+		if n.nextIndex[msg.From] <= n.LastIndex() {
+			n.sendAppend(msg.From)
+		}
+	} else {
+		// Back off nextIndex and retry.
+		ni := n.nextIndex[msg.From]
+		if msg.MatchIndex+1 < ni {
+			n.nextIndex[msg.From] = msg.MatchIndex + 1
+		} else if ni > 1 {
+			n.nextIndex[msg.From] = ni - 1
+		}
+		n.sendAppend(msg.From)
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

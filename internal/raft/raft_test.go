@@ -1,0 +1,380 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+)
+
+// harness wires a Raft group over a simulated network.
+type harness struct {
+	s     *sim.Simulation
+	net   *simnet.Network
+	nodes map[simnet.NodeID]*Node
+	// applied records Data values applied per node, in order.
+	applied map[simnet.NodeID][]interface{}
+}
+
+type harnessTransport struct {
+	h    *harness
+	from simnet.NodeID
+}
+
+func (t *harnessTransport) Send(to simnet.NodeID, msg Message) {
+	t.h.net.Send(t.from, to, msg)
+}
+
+// newHarness builds a group with the given voters and learners, one node
+// per zone across up to three regions.
+func newHarness(t *testing.T, seed int64, voters, learners []simnet.NodeID) *harness {
+	t.Helper()
+	s := sim.New(seed)
+	topo := simnet.NewTable1Topology()
+	topo.Jitter = 0.02
+	regions := []simnet.Region{simnet.USEast1, simnet.EuropeW2, simnet.AsiaNE1}
+	all := append(append([]simnet.NodeID{}, voters...), learners...)
+	for i, id := range all {
+		r := regions[i%len(regions)]
+		topo.AddNode(id, simnet.Locality{Region: r, Zone: simnet.Zone(fmt.Sprintf("%s-%d", r, i))})
+	}
+	h := &harness{
+		s:       s,
+		net:     simnet.NewNetwork(s, topo),
+		nodes:   map[simnet.NodeID]*Node{},
+		applied: map[simnet.NodeID][]interface{}{},
+	}
+	for _, id := range all {
+		id := id
+		n := NewNode(Config{
+			ID:        id,
+			Voters:    voters,
+			Learners:  learners,
+			Sim:       s,
+			Transport: &harnessTransport{h: h, from: id},
+			Apply: func(e Entry) {
+				if e.Data != nil {
+					h.applied[id] = append(h.applied[id], e.Data)
+				}
+			},
+		})
+		h.nodes[id] = n
+		h.net.Register(id, func(m simnet.Message) {
+			n.Step(m.Payload.(Message))
+		})
+		n.Start()
+	}
+	return h
+}
+
+func (h *harness) leader() *Node {
+	for _, n := range h.nodes {
+		if n.IsLeader() && !h.net.NodeDown(n.ID()) {
+			return n
+		}
+	}
+	return nil
+}
+
+func (h *harness) waitForLeader(t *testing.T, within sim.Duration) *Node {
+	t.Helper()
+	deadline := h.s.Now().Add(within)
+	for h.s.Now() < deadline {
+		h.s.RunFor(100 * sim.Millisecond)
+		if l := h.leader(); l != nil {
+			return l
+		}
+	}
+	t.Fatalf("no leader within %v", within)
+	return nil
+}
+
+func TestElectLeader(t *testing.T) {
+	h := newHarness(t, 1, []simnet.NodeID{1, 2, 3}, nil)
+	l := h.waitForLeader(t, 10*sim.Second)
+	if l == nil {
+		t.Fatal("no leader")
+	}
+	// All voters agree on the leader after propagation.
+	h.s.RunFor(2 * sim.Second)
+	for id, n := range h.nodes {
+		if n.Leader() != l.ID() {
+			t.Errorf("node %d thinks leader is %d, want %d", id, n.Leader(), l.ID())
+		}
+	}
+}
+
+func TestExplicitCampaign(t *testing.T) {
+	h := newHarness(t, 2, []simnet.NodeID{1, 2, 3}, nil)
+	h.nodes[2].Campaign()
+	h.s.RunFor(2 * sim.Second)
+	if !h.nodes[2].IsLeader() {
+		t.Fatal("explicit campaign did not win")
+	}
+}
+
+func TestProposeCommitApply(t *testing.T) {
+	h := newHarness(t, 3, []simnet.NodeID{1, 2, 3}, nil)
+	h.nodes[1].Campaign()
+	h.s.RunFor(2 * sim.Second)
+	l := h.nodes[1]
+	var idx uint64
+	h.s.Spawn("proposer", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			f, err := l.Propose(fmt.Sprintf("cmd-%d", i))
+			if err != nil {
+				t.Errorf("propose: %v", err)
+				return
+			}
+			res := f.Wait(p)
+			if res.Err != nil {
+				t.Errorf("commit: %v", res.Err)
+			}
+			idx = res.Index
+		}
+	})
+	h.s.RunFor(10 * sim.Second)
+	if idx == 0 {
+		t.Fatal("nothing committed")
+	}
+	for id, n := range h.nodes {
+		got := h.applied[id]
+		if len(got) != 5 {
+			t.Fatalf("node %d applied %d entries: %v", id, len(got), got)
+		}
+		for i, v := range got {
+			if v.(string) != fmt.Sprintf("cmd-%d", i) {
+				t.Fatalf("node %d applied out of order: %v", id, got)
+			}
+		}
+		_ = n
+	}
+}
+
+func TestProposeOnFollowerFails(t *testing.T) {
+	h := newHarness(t, 4, []simnet.NodeID{1, 2, 3}, nil)
+	h.nodes[1].Campaign()
+	h.s.RunFor(2 * sim.Second)
+	_, err := h.nodes[2].Propose("x")
+	if _, ok := err.(*ErrNotLeader); !ok {
+		t.Fatalf("expected ErrNotLeader, got %v", err)
+	}
+}
+
+func TestLearnerReplicatesButNeverVotes(t *testing.T) {
+	h := newHarness(t, 5, []simnet.NodeID{1, 2, 3}, []simnet.NodeID{4, 5})
+	h.nodes[1].Campaign()
+	h.s.RunFor(2 * sim.Second)
+	h.s.Spawn("proposer", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			f, err := h.nodes[1].Propose(i)
+			if err != nil {
+				t.Errorf("propose: %v", err)
+				return
+			}
+			f.Wait(p)
+		}
+	})
+	h.s.RunFor(5 * sim.Second)
+	// Learners applied everything.
+	for _, id := range []simnet.NodeID{4, 5} {
+		if len(h.applied[id]) != 3 {
+			t.Fatalf("learner %d applied %d entries", id, len(h.applied[id]))
+		}
+		if h.nodes[id].Role() != Learner {
+			t.Fatalf("learner %d has role %v", id, h.nodes[id].Role())
+		}
+	}
+}
+
+func TestLearnersDoNotAffectQuorum(t *testing.T) {
+	// 3 voters + 2 learners; crash both learners: commits proceed.
+	h := newHarness(t, 6, []simnet.NodeID{1, 2, 3}, []simnet.NodeID{4, 5})
+	h.nodes[1].Campaign()
+	h.s.RunFor(2 * sim.Second)
+	h.net.CrashNode(4)
+	h.net.CrashNode(5)
+	committed := false
+	h.s.Spawn("proposer", func(p *sim.Proc) {
+		f, err := h.nodes[1].Propose("survives")
+		if err != nil {
+			t.Errorf("propose: %v", err)
+			return
+		}
+		if res := f.Wait(p); res.Err == nil {
+			committed = true
+		}
+	})
+	h.s.RunFor(5 * sim.Second)
+	if !committed {
+		t.Fatal("commit blocked on crashed learners")
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	h := newHarness(t, 7, []simnet.NodeID{1, 2, 3}, nil)
+	h.nodes[1].Campaign()
+	h.s.RunFor(2 * sim.Second)
+	if !h.nodes[1].IsLeader() {
+		t.Fatal("setup: node 1 not leader")
+	}
+	h.net.CrashNode(1)
+	l := h.waitForLeader(t, 30*sim.Second)
+	if l.ID() == 1 {
+		t.Fatal("crashed node still leader")
+	}
+	// The new leader can commit.
+	ok := false
+	h.s.Spawn("proposer", func(p *sim.Proc) {
+		f, err := l.Propose("after-failover")
+		if err != nil {
+			t.Errorf("propose: %v", err)
+			return
+		}
+		if res := f.Wait(p); res.Err == nil {
+			ok = true
+		}
+	})
+	h.s.RunFor(5 * sim.Second)
+	if !ok {
+		t.Fatal("new leader cannot commit")
+	}
+}
+
+func TestNoQuorumNoCommit(t *testing.T) {
+	h := newHarness(t, 8, []simnet.NodeID{1, 2, 3}, nil)
+	h.nodes[1].Campaign()
+	h.s.RunFor(2 * sim.Second)
+	h.net.CrashNode(2)
+	h.net.CrashNode(3)
+	committed := false
+	h.s.Spawn("proposer", func(p *sim.Proc) {
+		f, err := h.nodes[1].Propose("doomed")
+		if err != nil {
+			return
+		}
+		if res, ok := f.WaitTimeout(p, 20*sim.Second); ok && res.Err == nil {
+			committed = true
+		}
+	})
+	h.s.RunFor(30 * sim.Second)
+	if committed {
+		t.Fatal("committed without quorum")
+	}
+}
+
+func TestLeadershipTransfer(t *testing.T) {
+	h := newHarness(t, 9, []simnet.NodeID{1, 2, 3}, nil)
+	h.nodes[1].Campaign()
+	h.s.RunFor(2 * sim.Second)
+	h.nodes[1].TransferLeadership(3)
+	h.s.RunFor(3 * sim.Second)
+	if !h.nodes[3].IsLeader() {
+		t.Fatalf("transfer failed; roles: %v %v %v",
+			h.nodes[1].Role(), h.nodes[2].Role(), h.nodes[3].Role())
+	}
+}
+
+func TestConfChangeAddLearnerThenPromote(t *testing.T) {
+	h := newHarness(t, 10, []simnet.NodeID{1, 2, 3}, []simnet.NodeID{4})
+	h.nodes[1].Campaign()
+	h.s.RunFor(2 * sim.Second)
+	// Promote learner 4 to voter.
+	h.s.Spawn("reconfig", func(p *sim.Proc) {
+		f, err := h.nodes[1].ProposeConfChange(ConfChange{Type: AddVoter, Node: 4})
+		if err != nil {
+			t.Errorf("conf change: %v", err)
+			return
+		}
+		f.Wait(p)
+	})
+	h.s.RunFor(5 * sim.Second)
+	if !h.nodes[1].IsVoter(4) {
+		t.Fatal("leader does not see node 4 as voter")
+	}
+	if h.nodes[4].Role() == Learner {
+		t.Fatal("node 4 still a learner after promotion")
+	}
+	// Quorum is now 3 of 4; crash two voters, leaving 1 and 4: no commit.
+	h.net.CrashNode(2)
+	h.net.CrashNode(3)
+	committed := false
+	h.s.Spawn("proposer", func(p *sim.Proc) {
+		f, err := h.nodes[1].Propose("needs-3-of-4")
+		if err != nil {
+			return
+		}
+		if res, ok := f.WaitTimeout(p, 10*sim.Second); ok && res.Err == nil {
+			committed = true
+		}
+	})
+	h.s.RunFor(15 * sim.Second)
+	if committed {
+		t.Fatal("committed with only 2 of 4 voters reachable")
+	}
+}
+
+func TestHeartbeatPayloadDelivery(t *testing.T) {
+	s := sim.New(11)
+	topo := simnet.NewTable1Topology()
+	topo.Jitter = 0
+	topo.AddNode(1, simnet.Locality{Region: simnet.USEast1, Zone: "a"})
+	topo.AddNode(2, simnet.Locality{Region: simnet.EuropeW2, Zone: "b"})
+	topo.AddNode(3, simnet.Locality{Region: simnet.AsiaNE1, Zone: "c"})
+	net := simnet.NewNetwork(s, topo)
+	h := &harness{s: s, net: net, nodes: map[simnet.NodeID]*Node{}, applied: map[simnet.NodeID][]interface{}{}}
+	seq := 0
+	received := map[simnet.NodeID]int{}
+	for _, id := range []simnet.NodeID{1, 2, 3} {
+		id := id
+		cfg := Config{
+			ID: id, Voters: []simnet.NodeID{1, 2, 3}, Sim: s,
+			Transport: &harnessTransport{h: h, from: id},
+			OnHeartbeat: func(from simnet.NodeID, payload interface{}) {
+				if v, ok := payload.(int); ok && v > received[id] {
+					received[id] = v
+				}
+			},
+		}
+		if id == 1 {
+			cfg.HeartbeatPayload = func() interface{} { seq++; return seq }
+		}
+		n := NewNode(cfg)
+		h.nodes[id] = n
+		net.Register(id, func(m simnet.Message) { n.Step(m.Payload.(Message)) })
+		n.Start()
+	}
+	h.nodes[1].Campaign()
+	s.RunFor(5 * sim.Second)
+	if received[2] == 0 || received[3] == 0 {
+		t.Fatalf("followers missed heartbeat payloads: %v", received)
+	}
+}
+
+func TestDeterministicReplication(t *testing.T) {
+	run := func() []interface{} {
+		h := newHarness(t, 42, []simnet.NodeID{1, 2, 3}, []simnet.NodeID{4})
+		h.nodes[1].Campaign()
+		h.s.RunFor(2 * sim.Second)
+		h.s.Spawn("proposer", func(p *sim.Proc) {
+			for i := 0; i < 10; i++ {
+				p.Sleep(sim.Duration(p.Rand().Intn(100)) * sim.Millisecond)
+				if f, err := h.nodes[1].Propose(i); err == nil {
+					f.Wait(p)
+				}
+			}
+		})
+		h.s.RunFor(20 * sim.Second)
+		return h.applied[4]
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,486 @@
+// Package sim implements a deterministic discrete-event simulator with
+// cooperative green-thread processes.
+//
+// All components of mrdb — nodes, Raft groups, transaction coordinators and
+// workload clients — run as Procs on a single Simulation. Virtual time only
+// advances when every live process is parked on a timer or a wait queue, so a
+// run is fully deterministic for a given seed: the same events fire in the
+// same order and produce the same latencies. This is what lets the benchmark
+// harness reproduce the paper's WAN-scale latency distributions in
+// milliseconds of real time.
+//
+// Concurrency model: exactly one goroutine (either the scheduler or a single
+// process) executes at any moment. Control is handed off through per-process
+// channels. Shared state touched only from Procs therefore needs no locking.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration mirrors time.Duration but measures virtual time.
+type Duration = time.Duration
+
+// Common durations re-exported for callers that build latencies.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String renders the time as a duration since simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+type event struct {
+	at  Time
+	seq int64 // tie-break for determinism
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulation owns the virtual clock and the event queue.
+type Simulation struct {
+	now     Time
+	queue   eventHeap
+	seq     int64
+	rng     *rand.Rand
+	yield   chan struct{} // signalled when the running proc parks or exits
+	procs   int           // live (not yet finished) processes
+	stopped bool
+	// stepHook, if set, is invoked before each event executes. Used by
+	// tests to observe scheduling.
+	stepHook func(at Time)
+}
+
+// New returns a Simulation whose randomness is derived from seed.
+func New(seed int64) *Simulation {
+	return &Simulation{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source. It must only be
+// used from scheduler callbacks or running Procs.
+func (s *Simulation) Rand() *rand.Rand { return s.rng }
+
+// Schedule runs fn at virtual time at (or now, if at is in the past).
+func (s *Simulation) Schedule(at Time, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// After runs fn d after the current virtual time.
+func (s *Simulation) After(d Duration, fn func()) { s.Schedule(s.now.Add(d), fn) }
+
+// Stop halts the simulation: Run returns after the current event completes
+// and pending events are discarded.
+func (s *Simulation) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the final virtual time.
+func (s *Simulation) Run() Time {
+	for !s.stopped && len(s.queue) > 0 {
+		s.step()
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+func (s *Simulation) RunUntil(t Time) {
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= t {
+		s.step()
+	}
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (s *Simulation) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+func (s *Simulation) step() {
+	e := heap.Pop(&s.queue).(*event)
+	if e.at > s.now {
+		s.now = e.at
+	}
+	if s.stepHook != nil {
+		s.stepHook(s.now)
+	}
+	e.fn()
+}
+
+// Proc is a cooperative green thread. A Proc's function runs on its own
+// goroutine, but only ever concurrently with nothing else: it holds the
+// simulation's execution token between calls to blocking primitives.
+type Proc struct {
+	sim  *Simulation
+	name string
+	wake chan struct{}
+	done bool
+}
+
+// Sim returns the simulation the process runs on.
+func (p *Proc) Sim() *Simulation { return p.sim }
+
+// Name returns the process's debug name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Rand returns the simulation's deterministic random source.
+func (p *Proc) Rand() *rand.Rand { return p.sim.rng }
+
+// Spawn starts fn as a new process at the current virtual time. It may be
+// called from scheduler callbacks or from other Procs.
+func (s *Simulation) Spawn(name string, fn func(p *Proc)) {
+	s.SpawnAt(s.now, name, fn)
+}
+
+// SpawnAt starts fn as a new process at time at.
+func (s *Simulation) SpawnAt(at Time, name string, fn func(p *Proc)) {
+	p := &Proc{sim: s, name: name, wake: make(chan struct{})}
+	s.procs++
+	s.Schedule(at, func() {
+		go func() {
+			defer func() {
+				p.done = true
+				s.procs--
+				s.yield <- struct{}{}
+			}()
+			fn(p)
+		}()
+		<-s.yield // wait for the proc to park or finish
+	})
+}
+
+// park suspends the calling process until something calls p.resume via a
+// scheduled event. The scheduler regains control.
+func (p *Proc) park() {
+	p.sim.yield <- struct{}{}
+	<-p.wake
+}
+
+// resume schedules the process to continue at time at. It must only be
+// invoked from scheduler context (inside a Schedule callback).
+func (p *Proc) resumeNow() {
+	p.wake <- struct{}{}
+	<-p.sim.yield
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		// Even a zero-length sleep yields, putting the proc behind
+		// already-queued events at the current instant.
+		d = 0
+	}
+	p.sim.After(d, func() { p.resumeNow() })
+	p.park()
+}
+
+// SleepUntil suspends the process until virtual time t.
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.sim.now {
+		p.Sleep(0)
+		return
+	}
+	p.Sleep(t.Sub(p.sim.now))
+}
+
+// Yield lets any other work scheduled at the current instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Future is a single-assignment value that processes can wait on.
+type Future[T any] struct {
+	sim     *Simulation
+	set     bool
+	val     T
+	waiters []*Proc
+}
+
+// NewFuture returns an empty future bound to s.
+func NewFuture[T any](s *Simulation) *Future[T] {
+	return &Future[T]{sim: s}
+}
+
+// Set fulfills the future and wakes all waiters. Calling Set twice panics:
+// a future is a one-shot rendezvous.
+func (f *Future[T]) Set(v T) {
+	if f.set {
+		panic("sim: Future set twice")
+	}
+	f.set = true
+	f.val = v
+	waiters := f.waiters
+	f.waiters = nil
+	for _, w := range waiters {
+		w := w
+		f.sim.Schedule(f.sim.now, func() { w.resumeNow() })
+	}
+}
+
+// Done reports whether the future has been fulfilled.
+func (f *Future[T]) Done() bool { return f.set }
+
+// Wait parks p until the future is set and returns its value.
+func (f *Future[T]) Wait(p *Proc) T {
+	for !f.set {
+		f.waiters = append(f.waiters, p)
+		p.park()
+	}
+	return f.val
+}
+
+// WaitTimeout waits for the future for at most d. It returns the value and
+// true if the future was set in time.
+func (f *Future[T]) WaitTimeout(p *Proc, d Duration) (T, bool) {
+	if f.set {
+		return f.val, true
+	}
+	deadline := p.sim.now.Add(d)
+	expired := false
+	p.sim.Schedule(deadline, func() {
+		if !f.set {
+			expired = true
+			// Remove p from waiters and wake it.
+			for i, w := range f.waiters {
+				if w == p {
+					f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+					break
+				}
+			}
+			p.resumeNow()
+		}
+	})
+	for !f.set && !expired {
+		f.waiters = append(f.waiters, p)
+		p.park()
+	}
+	if f.set {
+		return f.val, true
+	}
+	var zero T
+	return zero, false
+}
+
+// Mailbox is an unbounded FIFO queue connecting processes, akin to a
+// buffered channel with no capacity limit.
+type Mailbox[T any] struct {
+	sim     *Simulation
+	queue   []T
+	waiters []*Proc
+	closed  bool
+}
+
+// NewMailbox returns an empty mailbox bound to s.
+func NewMailbox[T any](s *Simulation) *Mailbox[T] {
+	return &Mailbox[T]{sim: s}
+}
+
+// Send enqueues v and wakes one waiting receiver, if any. Send never blocks.
+// It may be called from scheduler callbacks or Procs.
+func (m *Mailbox[T]) Send(v T) {
+	if m.closed {
+		panic("sim: send on closed Mailbox")
+	}
+	m.queue = append(m.queue, v)
+	m.wakeOne()
+}
+
+func (m *Mailbox[T]) wakeOne() {
+	if len(m.waiters) == 0 {
+		return
+	}
+	w := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	m.sim.Schedule(m.sim.now, func() { w.resumeNow() })
+}
+
+// Close marks the mailbox closed; waiting and future receivers get ok=false
+// once the queue drains.
+func (m *Mailbox[T]) Close() {
+	m.closed = true
+	waiters := m.waiters
+	m.waiters = nil
+	for _, w := range waiters {
+		w := w
+		m.sim.Schedule(m.sim.now, func() { w.resumeNow() })
+	}
+}
+
+// Len returns the number of queued items.
+func (m *Mailbox[T]) Len() int { return len(m.queue) }
+
+// Recv dequeues the next item, parking p until one is available. ok is false
+// if the mailbox is closed and drained.
+func (m *Mailbox[T]) Recv(p *Proc) (T, bool) {
+	for len(m.queue) == 0 {
+		if m.closed {
+			var zero T
+			return zero, false
+		}
+		m.waiters = append(m.waiters, p)
+		p.park()
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	// If items remain and receivers wait, propagate the wake-up.
+	if len(m.queue) > 0 {
+		m.wakeOne()
+	}
+	return v, true
+}
+
+// WaitGroup tracks a set of processes and lets another process wait for all
+// of them to finish, mirroring sync.WaitGroup in virtual time.
+type WaitGroup struct {
+	sim     *Simulation
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a WaitGroup bound to s.
+func NewWaitGroup(s *Simulation) *WaitGroup { return &WaitGroup{sim: s} }
+
+// Add increments the counter by n.
+func (wg *WaitGroup) Add(n int) { wg.count += n }
+
+// Done decrements the counter, waking waiters when it reaches zero.
+func (wg *WaitGroup) Done() {
+	wg.count--
+	if wg.count < 0 {
+		panic("sim: WaitGroup counter negative")
+	}
+	if wg.count == 0 {
+		waiters := wg.waiters
+		wg.waiters = nil
+		for _, w := range waiters {
+			w := w
+			wg.sim.Schedule(wg.sim.now, func() { w.resumeNow() })
+		}
+	}
+}
+
+// Wait parks p until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.count > 0 {
+		wg.waiters = append(wg.waiters, p)
+		p.park()
+	}
+}
+
+// Cond is a waiting-room: processes park on it and are woken explicitly.
+// Unlike sync.Cond there is no associated lock; the simulation's cooperative
+// scheduling makes one unnecessary.
+type Cond struct {
+	sim     *Simulation
+	waiters []*Proc
+}
+
+// NewCond returns a Cond bound to s.
+func NewCond(s *Simulation) *Cond { return &Cond{sim: s} }
+
+// Wait parks p until Broadcast or a Signal reaches it. Callers must re-check
+// their predicate in a loop.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Broadcast wakes all waiting processes.
+func (c *Cond) Broadcast() {
+	waiters := c.waiters
+	c.waiters = nil
+	for _, w := range waiters {
+		w := w
+		c.sim.Schedule(c.sim.now, func() { w.resumeNow() })
+	}
+}
+
+// Signal wakes one waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.sim.Schedule(c.sim.now, func() { w.resumeNow() })
+}
+
+// Ticker invokes fn every interval until the returned stop function is
+// called. The first tick fires one interval from now.
+func (s *Simulation) Ticker(interval Duration, fn func()) (stop func()) {
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if stopped {
+			return
+		}
+		s.After(interval, tick)
+	}
+	s.After(interval, tick)
+	return func() { stopped = true }
+}
+
+// SortedKeys returns map keys in sorted order; a convenience for
+// deterministic iteration inside simulations.
+func SortedKeys[M ~map[K]V, K ~string, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Trace formats a debug line prefixed with virtual time; it exists so that
+// ad-hoc debugging output is consistent across packages.
+func (s *Simulation) Trace(format string, args ...interface{}) string {
+	return fmt.Sprintf("[%12s] ", Duration(s.now)) + fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,387 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(30, func() { got = append(got, 3) })
+	s.Schedule(10, func() { got = append(got, 1) })
+	s.Schedule(20, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("final time = %v, want 30", s.Now())
+	}
+}
+
+func TestScheduleSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	s := New(1)
+	var wake Time
+	s.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(100 * Millisecond)
+		wake = p.Now()
+	})
+	s.Run()
+	if wake != Time(100*Millisecond) {
+		t.Fatalf("woke at %v, want 100ms", wake)
+	}
+}
+
+func TestProcSleepUntilPast(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.Spawn("p", func(p *Proc) {
+		p.Sleep(10)
+		p.SleepUntil(5) // already past; should not rewind time
+		if p.Now() < 10 {
+			t.Errorf("time went backwards: %v", p.Now())
+		}
+		ran = true
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("proc did not complete")
+	}
+}
+
+func TestManyProcsInterleave(t *testing.T) {
+	s := New(1)
+	const n = 50
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		s.Spawn("worker", func(p *Proc) {
+			for j := 0; j < 20; j++ {
+				p.Sleep(Duration(i+1) * Millisecond)
+				counts[i]++
+			}
+		})
+	}
+	s.Run()
+	for i, c := range counts {
+		if c != 20 {
+			t.Fatalf("proc %d ran %d iterations, want 20", i, c)
+		}
+	}
+}
+
+func TestFutureSetBeforeWait(t *testing.T) {
+	s := New(1)
+	f := NewFuture[int](s)
+	f.Set(42)
+	var got int
+	s.Spawn("w", func(p *Proc) { got = f.Wait(p) })
+	s.Run()
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+}
+
+func TestFutureSetAfterWait(t *testing.T) {
+	s := New(1)
+	f := NewFuture[string](s)
+	var got string
+	var at Time
+	s.Spawn("w", func(p *Proc) {
+		got = f.Wait(p)
+		at = p.Now()
+	})
+	s.Spawn("setter", func(p *Proc) {
+		p.Sleep(7 * Millisecond)
+		f.Set("done")
+	})
+	s.Run()
+	if got != "done" || at != Time(7*Millisecond) {
+		t.Fatalf("got %q at %v", got, at)
+	}
+}
+
+func TestFutureMultipleWaiters(t *testing.T) {
+	s := New(1)
+	f := NewFuture[int](s)
+	total := 0
+	for i := 0; i < 5; i++ {
+		s.Spawn("w", func(p *Proc) { total += f.Wait(p) })
+	}
+	s.Spawn("setter", func(p *Proc) {
+		p.Sleep(1)
+		f.Set(10)
+	})
+	s.Run()
+	if total != 50 {
+		t.Fatalf("total = %d, want 50", total)
+	}
+}
+
+func TestFutureWaitTimeoutExpires(t *testing.T) {
+	s := New(1)
+	f := NewFuture[int](s)
+	var ok bool
+	var at Time
+	s.Spawn("w", func(p *Proc) {
+		_, ok = f.WaitTimeout(p, 50*Millisecond)
+		at = p.Now()
+	})
+	s.Run()
+	if ok {
+		t.Fatal("wait unexpectedly succeeded")
+	}
+	if at != Time(50*Millisecond) {
+		t.Fatalf("timed out at %v, want 50ms", at)
+	}
+}
+
+func TestFutureWaitTimeoutFulfilled(t *testing.T) {
+	s := New(1)
+	f := NewFuture[int](s)
+	var got int
+	var ok bool
+	s.Spawn("w", func(p *Proc) { got, ok = f.WaitTimeout(p, 50*Millisecond) })
+	s.Spawn("setter", func(p *Proc) {
+		p.Sleep(10 * Millisecond)
+		f.Set(9)
+	})
+	s.Run()
+	if !ok || got != 9 {
+		t.Fatalf("got %d ok=%v", got, ok)
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	s := New(1)
+	m := NewMailbox[int](s)
+	var got []int
+	s.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			v, ok := m.Recv(p)
+			if !ok {
+				t.Errorf("unexpected close")
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	s.Spawn("send", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(Millisecond)
+			m.Send(i)
+		}
+	})
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestMailboxClose(t *testing.T) {
+	s := New(1)
+	m := NewMailbox[int](s)
+	var closedSeen bool
+	s.Spawn("recv", func(p *Proc) {
+		for {
+			_, ok := m.Recv(p)
+			if !ok {
+				closedSeen = true
+				return
+			}
+		}
+	})
+	s.Spawn("send", func(p *Proc) {
+		m.Send(1)
+		m.Send(2)
+		p.Sleep(1)
+		m.Close()
+	})
+	s.Run()
+	if !closedSeen {
+		t.Fatal("receiver did not observe close")
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	s := New(1)
+	wg := NewWaitGroup(s)
+	var doneAt Time
+	const n = 8
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		s.Spawn("w", func(p *Proc) {
+			p.Sleep(Duration(i+1) * Millisecond)
+			wg.Done()
+		})
+	}
+	s.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	s.Run()
+	if doneAt != Time(n*Millisecond) {
+		t.Fatalf("waiter released at %v, want %v", doneAt, Time(n*Millisecond))
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	s := New(1)
+	c := NewCond(s)
+	ready := false
+	woken := 0
+	for i := 0; i < 3; i++ {
+		s.Spawn("w", func(p *Proc) {
+			for !ready {
+				c.Wait(p)
+			}
+			woken++
+		})
+	}
+	s.Spawn("b", func(p *Proc) {
+		p.Sleep(Millisecond)
+		ready = true
+		c.Broadcast()
+	})
+	s.Run()
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	var stop func()
+	stop = s.Ticker(10*Millisecond, func() {
+		ticks++
+		if ticks == 5 {
+			stop()
+		}
+	})
+	s.Run()
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	if s.Now() != Time(50*Millisecond) {
+		t.Fatalf("final time %v, want 50ms", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.Schedule(Time(10), func() { fired++ })
+	s.Schedule(Time(30), func() { fired++ })
+	s.RunUntil(Time(20))
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("now = %v, want 20", s.Now())
+	}
+	s.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.Schedule(1, func() { fired++; s.Stop() })
+	s.Schedule(2, func() { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d after Stop, want 1", fired)
+	}
+}
+
+// TestDeterminism runs the same randomized workload twice and requires
+// identical traces: the foundation of reproducible experiments.
+func TestDeterminism(t *testing.T) {
+	runOnce := func(seed int64) []Time {
+		s := New(seed)
+		var trace []Time
+		m := NewMailbox[int](s)
+		for i := 0; i < 10; i++ {
+			s.Spawn("producer", func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					p.Sleep(Duration(p.Rand().Intn(1000)) * Microsecond)
+					m.Send(j)
+				}
+			})
+		}
+		s.Spawn("consumer", func(p *Proc) {
+			for i := 0; i < 100; i++ {
+				m.Recv(p)
+				trace = append(trace, p.Now())
+			}
+		})
+		s.Run()
+		return trace
+	}
+	a := runOnce(42)
+	b := runOnce(42)
+	if len(a) != len(b) || len(a) != 100 {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := runOnce(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces; RNG not wired through")
+	}
+}
+
+// Property: time never goes backwards across an arbitrary schedule of sleeps.
+func TestQuickTimeMonotonic(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(7)
+		ok := true
+		var last Time
+		s.Spawn("p", func(p *Proc) {
+			for _, d := range delays {
+				p.Sleep(Duration(d) * Microsecond)
+				if p.Now() < last {
+					ok = false
+				}
+				last = p.Now()
+			}
+		})
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

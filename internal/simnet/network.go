@@ -1,0 +1,206 @@
+package simnet
+
+import (
+	"fmt"
+
+	"mrdb/internal/sim"
+)
+
+// Message is a network payload addressed to a node.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Payload interface{}
+}
+
+// Handler consumes messages delivered to a node. Handlers run in scheduler
+// context and must not block; long work should be spawned as a Proc.
+type Handler func(msg Message)
+
+// Network delivers messages between nodes with topology-derived latency,
+// deterministic jitter, and injectable failures.
+type Network struct {
+	Sim  *sim.Simulation
+	Topo *Topology
+
+	handlers map[NodeID]Handler
+	// downNodes refuse to send or receive anything.
+	downNodes map[NodeID]bool
+	// partitioned pairs drop messages in both directions.
+	partitioned map[[2]NodeID]bool
+	// downRegions drop all traffic in or out of a region.
+	downRegions map[Region]bool
+
+	// Stats
+	MessagesSent    int64
+	MessagesDropped int64
+	BytesEstimate   int64
+}
+
+// NewNetwork returns a network over the given simulation and topology.
+func NewNetwork(s *sim.Simulation, topo *Topology) *Network {
+	return &Network{
+		Sim:         s,
+		Topo:        topo,
+		handlers:    map[NodeID]Handler{},
+		downNodes:   map[NodeID]bool{},
+		partitioned: map[[2]NodeID]bool{},
+		downRegions: map[Region]bool{},
+	}
+}
+
+// Register installs the message handler for a node.
+func (n *Network) Register(id NodeID, h Handler) { n.handlers[id] = h }
+
+// Unregister removes a node's handler.
+func (n *Network) Unregister(id NodeID) { delete(n.handlers, id) }
+
+// CrashNode makes a node unreachable until RestartNode.
+func (n *Network) CrashNode(id NodeID) { n.downNodes[id] = true }
+
+// RestartNode brings a crashed node back.
+func (n *Network) RestartNode(id NodeID) { delete(n.downNodes, id) }
+
+// NodeDown reports whether the node is crashed.
+func (n *Network) NodeDown(id NodeID) bool { return n.downNodes[id] }
+
+// FailRegion drops all traffic to and from every node in the region,
+// simulating a whole-region outage (paper §2.2 REGION survivability).
+func (n *Network) FailRegion(r Region) { n.downRegions[r] = true }
+
+// RecoverRegion ends a region outage.
+func (n *Network) RecoverRegion(r Region) { delete(n.downRegions, r) }
+
+// Partition blocks traffic between two specific nodes in both directions.
+func (n *Network) Partition(a, b NodeID) {
+	n.partitioned[[2]NodeID{a, b}] = true
+	n.partitioned[[2]NodeID{b, a}] = true
+}
+
+// Heal removes a pairwise partition.
+func (n *Network) Heal(a, b NodeID) {
+	delete(n.partitioned, [2]NodeID{a, b})
+	delete(n.partitioned, [2]NodeID{b, a})
+}
+
+func (n *Network) blocked(from, to NodeID) bool {
+	if n.downNodes[from] || n.downNodes[to] {
+		return true
+	}
+	if n.partitioned[[2]NodeID{from, to}] {
+		return true
+	}
+	if len(n.downRegions) > 0 {
+		if lf, ok := n.Topo.LocalityOf(from); ok && n.downRegions[lf.Region] {
+			return true
+		}
+		if lt, ok := n.Topo.LocalityOf(to); ok && n.downRegions[lt.Region] {
+			return true
+		}
+	}
+	return false
+}
+
+// delay computes the one-way latency for a message, with jitter.
+func (n *Network) delay(from, to NodeID) sim.Duration {
+	base := n.Topo.OneWay(from, to)
+	if n.Topo.Jitter > 0 {
+		// Uniform in [1-j, 1+j]; deterministic via the sim RNG.
+		f := 1 + n.Topo.Jitter*(2*n.Sim.Rand().Float64()-1)
+		base = sim.Duration(float64(base) * f)
+	}
+	if base < 10*sim.Microsecond {
+		base = 10 * sim.Microsecond
+	}
+	return base
+}
+
+// Send delivers payload to the destination node's handler after the
+// topology-derived one-way delay. Messages to crashed or partitioned nodes
+// are silently dropped, as on a real network.
+func (n *Network) Send(from, to NodeID, payload interface{}) {
+	n.MessagesSent++
+	if n.blocked(from, to) {
+		n.MessagesDropped++
+		return
+	}
+	d := n.delay(from, to)
+	n.Sim.After(d, func() {
+		// Re-check at delivery time: the destination may have crashed
+		// while the message was in flight.
+		if n.blocked(from, to) {
+			n.MessagesDropped++
+			return
+		}
+		h, ok := n.handlers[to]
+		if !ok {
+			n.MessagesDropped++
+			return
+		}
+		h(Message{From: from, To: to, Payload: payload})
+	})
+}
+
+// RPCRequest wraps a payload with a reply future so callers can block on the
+// response in virtual time.
+type RPCRequest struct {
+	From    NodeID
+	Payload interface{}
+	reply   *sim.Future[interface{}]
+	net     *Network
+	to      NodeID
+}
+
+// Reply sends the response back to the caller with network latency.
+func (r *RPCRequest) Reply(resp interface{}) {
+	if r.net.blocked(r.to, r.From) {
+		r.net.MessagesDropped++
+		return
+	}
+	d := r.net.delay(r.to, r.From)
+	r.net.Sim.After(d, func() {
+		if r.net.blocked(r.to, r.From) || r.reply.Done() {
+			return
+		}
+		r.reply.Set(resp)
+	})
+}
+
+// ErrRPC represents an RPC transport failure (timeout / unreachable).
+type ErrRPC struct{ Reason string }
+
+func (e *ErrRPC) Error() string { return "rpc: " + e.Reason }
+
+// SendRPC issues a request to the destination node and parks p until a reply
+// arrives or the timeout expires. The destination handler receives an
+// *RPCRequest payload and must call Reply.
+func (n *Network) SendRPC(p *sim.Proc, from, to NodeID, payload interface{}, timeout sim.Duration) (interface{}, error) {
+	reply := sim.NewFuture[interface{}](n.Sim)
+	req := &RPCRequest{From: from, Payload: payload, reply: reply, net: n, to: to}
+	n.MessagesSent++
+	if n.blocked(from, to) {
+		n.MessagesDropped++
+		return nil, &ErrRPC{Reason: fmt.Sprintf("node %d unreachable from %d", to, from)}
+	}
+	d := n.delay(from, to)
+	n.Sim.After(d, func() {
+		if n.blocked(from, to) {
+			n.MessagesDropped++
+			return
+		}
+		h, ok := n.handlers[to]
+		if !ok {
+			n.MessagesDropped++
+			return
+		}
+		h(Message{From: from, To: to, Payload: req})
+	})
+	if timeout <= 0 {
+		timeout = 10 * sim.Second
+	}
+	v, ok := reply.WaitTimeout(p, timeout)
+	if !ok {
+		return nil, &ErrRPC{Reason: fmt.Sprintf("timeout after %s calling node %d", timeout, to)}
+	}
+	return v, nil
+}

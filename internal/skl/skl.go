@@ -1,0 +1,151 @@
+// Package skl implements a deterministic skiplist: the ordered map
+// underlying mrdb's MVCC storage engine.
+//
+// The list is keyed by []byte with bytes.Compare ordering and stores an
+// arbitrary value per key. Tower heights come from a seeded RNG so that,
+// combined with the deterministic simulator, entire cluster runs are
+// bit-for-bit reproducible.
+package skl
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+const maxHeight = 20 // supports ~2^20 entries at p=0.5
+
+type node struct {
+	key   []byte
+	value interface{}
+	next  [maxHeight]*node
+	level int
+}
+
+// List is a skiplist from []byte keys to interface{} values. The zero value
+// is not usable; call New.
+type List struct {
+	head   *node
+	height int
+	length int
+	rng    *rand.Rand
+}
+
+// New returns an empty list whose tower heights derive from seed.
+func New(seed int64) *List {
+	return &List{
+		head:   &node{level: maxHeight},
+		height: 1,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return l.length }
+
+func (l *List) randomHeight() int {
+	h := 1
+	for h < maxHeight && l.rng.Intn(2) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGE locates the first node with key >= key. prev, if non-nil, is filled
+// with the rightmost node before the target at every level.
+func (l *List) findGE(key []byte, prev *[maxHeight]*node) *node {
+	x := l.head
+	for i := l.height - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		if prev != nil {
+			prev[i] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Set inserts or replaces the value for key. It returns the previous value
+// and whether one existed.
+func (l *List) Set(key []byte, value interface{}) (prev interface{}, replaced bool) {
+	var before [maxHeight]*node
+	for i := l.height; i < maxHeight; i++ {
+		before[i] = l.head
+	}
+	n := l.findGE(key, &before)
+	if n != nil && bytes.Equal(n.key, key) {
+		old := n.value
+		n.value = value
+		return old, true
+	}
+	h := l.randomHeight()
+	if h > l.height {
+		l.height = h
+	}
+	nn := &node{key: append([]byte(nil), key...), value: value, level: h}
+	for i := 0; i < h; i++ {
+		nn.next[i] = before[i].next[i]
+		before[i].next[i] = nn
+	}
+	l.length++
+	return nil, false
+}
+
+// Get returns the value for key.
+func (l *List) Get(key []byte) (interface{}, bool) {
+	n := l.findGE(key, nil)
+	if n != nil && bytes.Equal(n.key, key) {
+		return n.value, true
+	}
+	return nil, false
+}
+
+// Delete removes key, returning its value and whether it was present.
+func (l *List) Delete(key []byte) (interface{}, bool) {
+	var before [maxHeight]*node
+	for i := l.height; i < maxHeight; i++ {
+		before[i] = l.head
+	}
+	n := l.findGE(key, &before)
+	if n == nil || !bytes.Equal(n.key, key) {
+		return nil, false
+	}
+	for i := 0; i < n.level; i++ {
+		if before[i].next[i] == n {
+			before[i].next[i] = n.next[i]
+		}
+	}
+	l.length--
+	return n.value, true
+}
+
+// Iterator walks list entries in key order.
+type Iterator struct {
+	list *List
+	cur  *node
+}
+
+// NewIterator returns an unpositioned iterator; call SeekGE or First.
+func (l *List) NewIterator() *Iterator { return &Iterator{list: l} }
+
+// First positions at the smallest key.
+func (it *Iterator) First() { it.cur = it.list.head.next[0] }
+
+// SeekGE positions at the first key >= key.
+func (it *Iterator) SeekGE(key []byte) { it.cur = it.list.findGE(key, nil) }
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool { return it.cur != nil }
+
+// Next advances to the following entry.
+func (it *Iterator) Next() { it.cur = it.cur.next[0] }
+
+// Key returns the current key. The returned slice must not be modified.
+func (it *Iterator) Key() []byte { return it.cur.key }
+
+// Value returns the current value.
+func (it *Iterator) Value() interface{} { return it.cur.value }
+
+// SetValue replaces the value at the iterator's position, avoiding a second
+// search when read-modify-write is needed.
+func (it *Iterator) SetValue(v interface{}) { it.cur.value = v }

@@ -1,0 +1,255 @@
+package skl
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGet(t *testing.T) {
+	l := New(1)
+	if _, ok := l.Get([]byte("a")); ok {
+		t.Fatal("empty list returned a value")
+	}
+	if _, replaced := l.Set([]byte("a"), 1); replaced {
+		t.Fatal("fresh insert reported replace")
+	}
+	v, ok := l.Get([]byte("a"))
+	if !ok || v.(int) != 1 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	prev, replaced := l.Set([]byte("a"), 2)
+	if !replaced || prev.(int) != 1 {
+		t.Fatalf("replace = %v, %v", prev, replaced)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	l := New(1)
+	for i := 0; i < 100; i++ {
+		l.Set([]byte(fmt.Sprintf("k%03d", i)), i)
+	}
+	v, ok := l.Delete([]byte("k050"))
+	if !ok || v.(int) != 50 {
+		t.Fatalf("Delete = %v, %v", v, ok)
+	}
+	if _, ok := l.Get([]byte("k050")); ok {
+		t.Fatal("deleted key still present")
+	}
+	if _, ok := l.Delete([]byte("k050")); ok {
+		t.Fatal("double delete succeeded")
+	}
+	if l.Len() != 99 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	// Remaining keys intact and ordered.
+	it := l.NewIterator()
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		n++
+	}
+	if n != 99 {
+		t.Fatalf("iterated %d entries", n)
+	}
+}
+
+func TestIterationOrder(t *testing.T) {
+	l := New(2)
+	keys := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for i, k := range keys {
+		l.Set([]byte(k), i)
+	}
+	var got []string
+	it := l.NewIterator()
+	for it.First(); it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	l := New(3)
+	for _, k := range []string{"b", "d", "f"} {
+		l.Set([]byte(k), k)
+	}
+	cases := []struct{ seek, want string }{
+		{"a", "b"}, {"b", "b"}, {"c", "d"}, {"f", "f"},
+	}
+	it := l.NewIterator()
+	for _, c := range cases {
+		it.SeekGE([]byte(c.seek))
+		if !it.Valid() || string(it.Key()) != c.want {
+			t.Fatalf("SeekGE(%q) landed on %q", c.seek, it.Key())
+		}
+	}
+	it.SeekGE([]byte("g"))
+	if it.Valid() {
+		t.Fatal("SeekGE past end should be invalid")
+	}
+}
+
+func TestSetValueViaIterator(t *testing.T) {
+	l := New(4)
+	l.Set([]byte("x"), 1)
+	it := l.NewIterator()
+	it.SeekGE([]byte("x"))
+	it.SetValue(2)
+	v, _ := l.Get([]byte("x"))
+	if v.(int) != 2 {
+		t.Fatalf("SetValue not visible: %v", v)
+	}
+}
+
+func TestKeyCopied(t *testing.T) {
+	l := New(5)
+	k := []byte("mutate")
+	l.Set(k, 1)
+	k[0] = 'X'
+	if _, ok := l.Get([]byte("mutate")); !ok {
+		t.Fatal("list retained caller's mutable key slice")
+	}
+}
+
+func TestDeterministicStructure(t *testing.T) {
+	build := func() []int {
+		l := New(99)
+		for i := 0; i < 1000; i++ {
+			l.Set([]byte(fmt.Sprintf("%06d", i*7%1000)), i)
+		}
+		var heights []int
+		it := l.NewIterator()
+		for it.First(); it.Valid(); it.Next() {
+			heights = append(heights, it.cur.level)
+		}
+		return heights
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different towers")
+		}
+	}
+}
+
+// Property: the skiplist behaves exactly like a map + sorted keys under a
+// random op sequence.
+func TestQuickModelCheck(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint8
+		Val  int
+	}
+	f := func(seed int64, ops []op) bool {
+		l := New(seed)
+		model := map[string]int{}
+		for _, o := range ops {
+			k := []byte{o.Key}
+			switch o.Kind % 3 {
+			case 0:
+				l.Set(k, o.Val)
+				model[string(k)] = o.Val
+			case 1:
+				v, ok := l.Get(k)
+				mv, mok := model[string(k)]
+				if ok != mok || (ok && v.(int) != mv) {
+					return false
+				}
+			case 2:
+				_, ok := l.Delete(k)
+				_, mok := model[string(k)]
+				if ok != mok {
+					return false
+				}
+				delete(model, string(k))
+			}
+		}
+		if l.Len() != len(model) {
+			return false
+		}
+		// Full ordered scan must match the sorted model.
+		var want []string
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		it := l.NewIterator()
+		i := 0
+		for it.First(); it.Valid(); it.Next() {
+			if i >= len(want) || string(it.Key()) != want[i] {
+				return false
+			}
+			if it.Value().(int) != model[want[i]] {
+				return false
+			}
+			i++
+		}
+		return i == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeScaleOrdered(t *testing.T) {
+	l := New(7)
+	rng := rand.New(rand.NewSource(11))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		k := make([]byte, 8)
+		rng.Read(k)
+		l.Set(k, i)
+	}
+	it := l.NewIterator()
+	var prev []byte
+	count := 0
+	for it.First(); it.Valid(); it.Next() {
+		if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+			t.Fatal("keys out of order")
+		}
+		prev = append(prev[:0], it.Key()...)
+		count++
+	}
+	if count != l.Len() {
+		t.Fatalf("scan saw %d, Len %d", count, l.Len())
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	l := New(1)
+	keys := make([][]byte, 100000)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("%016d", i*2654435761%100000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Set(keys[i%len(keys)], i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	l := New(1)
+	keys := make([][]byte, 100000)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("%016d", i))
+		l.Set(keys[i], i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Get(keys[i%len(keys)])
+	}
+}

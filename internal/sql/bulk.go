@@ -1,0 +1,93 @@
+package sql
+
+import (
+	"fmt"
+
+	"mrdb/internal/hlc"
+	"mrdb/internal/mvcc"
+)
+
+// BulkLoadRow writes a row directly into the engines of every replica of
+// the affected ranges at the given timestamp, bypassing transactions and
+// consensus — the moral equivalent of IMPORT. It must only be used during
+// benchmark/test setup, before measurement and before any replica
+// relocation (replicas added later replay the Raft log, which does not
+// contain bulk-loaded data).
+func (s *Session) BulkLoadRow(t *Table, colVals map[string]Datum, ts hlc.Timestamp) error {
+	vals := map[ColumnID]Datum{}
+	for name, v := range colVals {
+		c, ok := t.Column(name)
+		if !ok {
+			return fmt.Errorf("sql: unknown column %q", name)
+		}
+		vals[c.ID] = v
+	}
+	// Computed columns.
+	for _, c := range t.Columns {
+		if c.Computed != nil {
+			v, err := s.evalExpr(c.Computed, &evalCtx{session: s, row: t.namedVals(vals)})
+			if err != nil {
+				return err
+			}
+			vals[c.ID] = v
+		}
+	}
+	region, err := rowRegion(t, vals)
+	if err != nil {
+		return err
+	}
+	primary := t.Primary()
+	var pkTuple []Datum
+	pkMap := map[ColumnID]Datum{}
+	for _, cid := range primary.Cols {
+		pkTuple = append(pkTuple, vals[cid])
+		pkMap[cid] = vals[cid]
+	}
+	pkVal := EncodeRow(pkMap)
+	for _, idx := range t.Indexes {
+		idxRegion := region
+		if idx.PinnedRegion != "" && !t.IsPartitioned() {
+			idxRegion = ""
+		}
+		var tuple []Datum
+		for _, cid := range idx.Cols {
+			tuple = append(tuple, vals[cid])
+		}
+		key := EncodeIndexKey(t, idx, idxRegion, tuple)
+		if !idx.Unique {
+			key = append(key, EncodeTupleSuffix(pkTuple)...)
+		}
+		var val mvcc.Value
+		if idx.ID == t.Primary().ID || len(idx.Storing) > 0 {
+			val = EncodeRow(vals)
+		} else {
+			val = pkVal
+		}
+		if err := s.bulkPut(key, val, ts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bulkPut applies one KV pair to all replicas of its range.
+func (s *Session) bulkPut(key mvcc.Key, val mvcc.Value, ts hlc.Timestamp) error {
+	desc, err := s.Cluster.Catalog.Lookup(key)
+	if err != nil {
+		return err
+	}
+	for _, id := range desc.Replicas() {
+		st, ok := s.Cluster.Stores[id]
+		if !ok {
+			return fmt.Errorf("sql: no store on node %d", id)
+		}
+		r, ok := st.Replica(desc.RangeID)
+		if !ok {
+			return fmt.Errorf("sql: replica of r%d missing on n%d", desc.RangeID, id)
+		}
+		if _, err := r.EngineForBulkLoad().Put(key, val, ts, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+package sql
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mrdb/internal/mvcc"
+)
+
+// Key/value encoding. Keys use an order-preserving tuple encoding (the same
+// idea as CockroachDB's key encoding): the byte comparison of two encoded
+// keys matches the tuple comparison of their values. Row values use a
+// compact self-describing column encoding.
+
+// Datum is a SQL value: nil, string, int64, float64 or bool. Regions,
+// UUIDs and timestamps are represented as strings / int64s at this layer;
+// column types (see catalog.go) give them SQL-level meaning.
+type Datum interface{}
+
+// Type tags for value encoding.
+const (
+	tagNull byte = iota
+	tagString
+	tagInt
+	tagFloat
+	tagBool
+)
+
+// Key-encoding markers. Each encoded datum starts with a marker so that
+// different types order deterministically (null first, then bools, ints,
+// floats, strings).
+const (
+	kmNull   byte = 0x01
+	kmFalse  byte = 0x02
+	kmTrue   byte = 0x03
+	kmInt    byte = 0x04
+	kmFloat  byte = 0x05
+	kmString byte = 0x06
+)
+
+// EncodeKeyDatum appends the order-preserving encoding of d to buf.
+func EncodeKeyDatum(buf []byte, d Datum) []byte {
+	switch v := d.(type) {
+	case nil:
+		return append(buf, kmNull)
+	case bool:
+		if v {
+			return append(buf, kmTrue)
+		}
+		return append(buf, kmFalse)
+	case int64:
+		buf = append(buf, kmInt)
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v)^(1<<63))
+		return append(buf, b[:]...)
+	case int:
+		return EncodeKeyDatum(buf, int64(v))
+	case float64:
+		buf = append(buf, kmFloat)
+		bits := math.Float64bits(v)
+		if math.Signbit(v) {
+			bits = ^bits
+		} else {
+			bits ^= 1 << 63
+		}
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], bits)
+		return append(buf, b[:]...)
+	case string:
+		buf = append(buf, kmString)
+		// Escape 0x00 as 0x00 0xFF; terminate with 0x00 0x01 so that
+		// prefixes order before extensions.
+		for i := 0; i < len(v); i++ {
+			if v[i] == 0x00 {
+				buf = append(buf, 0x00, 0xFF)
+			} else {
+				buf = append(buf, v[i])
+			}
+		}
+		return append(buf, 0x00, 0x01)
+	default:
+		panic(fmt.Sprintf("sql: cannot key-encode %T", d))
+	}
+}
+
+// DecodeKeyDatum decodes one datum from key, returning it and the rest.
+func DecodeKeyDatum(key []byte) (Datum, []byte, error) {
+	if len(key) == 0 {
+		return nil, nil, fmt.Errorf("sql: empty key")
+	}
+	switch key[0] {
+	case kmNull:
+		return nil, key[1:], nil
+	case kmFalse:
+		return false, key[1:], nil
+	case kmTrue:
+		return true, key[1:], nil
+	case kmInt:
+		if len(key) < 9 {
+			return nil, nil, fmt.Errorf("sql: truncated int key")
+		}
+		v := binary.BigEndian.Uint64(key[1:9]) ^ (1 << 63)
+		return int64(v), key[9:], nil
+	case kmFloat:
+		if len(key) < 9 {
+			return nil, nil, fmt.Errorf("sql: truncated float key")
+		}
+		bits := binary.BigEndian.Uint64(key[1:9])
+		if bits&(1<<63) != 0 {
+			bits ^= 1 << 63
+		} else {
+			bits = ^bits
+		}
+		return math.Float64frombits(bits), key[9:], nil
+	case kmString:
+		var out []byte
+		i := 1
+		for {
+			if i >= len(key) {
+				return nil, nil, fmt.Errorf("sql: unterminated string key")
+			}
+			if key[i] == 0x00 {
+				if i+1 >= len(key) {
+					return nil, nil, fmt.Errorf("sql: truncated string escape")
+				}
+				switch key[i+1] {
+				case 0x01:
+					return string(out), key[i+2:], nil
+				case 0xFF:
+					out = append(out, 0x00)
+					i += 2
+				default:
+					return nil, nil, fmt.Errorf("sql: bad string escape")
+				}
+			} else {
+				out = append(out, key[i])
+				i++
+			}
+		}
+	default:
+		return nil, nil, fmt.Errorf("sql: unknown key marker 0x%02x", key[0])
+	}
+}
+
+// EncodeRow encodes column values (by column ID) as a row value.
+func EncodeRow(vals map[ColumnID]Datum) mvcc.Value {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(vals)))
+	// Deterministic order: ascending column ID.
+	ids := make([]ColumnID, 0, len(vals))
+	for id := range vals {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(id))
+		switch v := vals[id].(type) {
+		case nil:
+			buf = append(buf, tagNull)
+		case string:
+			buf = append(buf, tagString)
+			buf = binary.AppendUvarint(buf, uint64(len(v)))
+			buf = append(buf, v...)
+		case int64:
+			buf = append(buf, tagInt)
+			buf = binary.AppendVarint(buf, v)
+		case int:
+			buf = append(buf, tagInt)
+			buf = binary.AppendVarint(buf, int64(v))
+		case float64:
+			buf = append(buf, tagFloat)
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+			buf = append(buf, b[:]...)
+		case bool:
+			buf = append(buf, tagBool)
+			if v {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		default:
+			panic(fmt.Sprintf("sql: cannot encode %T", vals[id]))
+		}
+	}
+	return mvcc.Value(buf)
+}
+
+// DecodeRow decodes a row value back into column values.
+func DecodeRow(val mvcc.Value) (map[ColumnID]Datum, error) {
+	out := map[ColumnID]Datum{}
+	buf := []byte(val)
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("sql: bad row header")
+	}
+	buf = buf[sz:]
+	for i := uint64(0); i < n; i++ {
+		id, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return nil, fmt.Errorf("sql: bad column id")
+		}
+		buf = buf[sz:]
+		if len(buf) == 0 {
+			return nil, fmt.Errorf("sql: truncated column")
+		}
+		tag := buf[0]
+		buf = buf[1:]
+		switch tag {
+		case tagNull:
+			out[ColumnID(id)] = nil
+		case tagString:
+			l, sz := binary.Uvarint(buf)
+			if sz <= 0 || uint64(len(buf)-sz) < l {
+				return nil, fmt.Errorf("sql: truncated string")
+			}
+			out[ColumnID(id)] = string(buf[sz : sz+int(l)])
+			buf = buf[sz+int(l):]
+		case tagInt:
+			v, sz := binary.Varint(buf)
+			if sz <= 0 {
+				return nil, fmt.Errorf("sql: bad int")
+			}
+			out[ColumnID(id)] = v
+			buf = buf[sz:]
+		case tagFloat:
+			if len(buf) < 8 {
+				return nil, fmt.Errorf("sql: truncated float")
+			}
+			out[ColumnID(id)] = math.Float64frombits(binary.BigEndian.Uint64(buf[:8]))
+			buf = buf[8:]
+		case tagBool:
+			if len(buf) < 1 {
+				return nil, fmt.Errorf("sql: truncated bool")
+			}
+			out[ColumnID(id)] = buf[0] == 1
+			buf = buf[1:]
+		default:
+			return nil, fmt.Errorf("sql: unknown tag %d", tag)
+		}
+	}
+	return out, nil
+}
+
+// DatumsEqual compares two datums for SQL equality (ints and floats
+// compare numerically).
+func DatumsEqual(a, b Datum) bool {
+	if ai, ok := a.(int); ok {
+		a = int64(ai)
+	}
+	if bi, ok := b.(int); ok {
+		b = int64(bi)
+	}
+	if af, ok := a.(int64); ok {
+		if bf, ok := b.(float64); ok {
+			return float64(af) == bf
+		}
+	}
+	if af, ok := a.(float64); ok {
+		if bi, ok := b.(int64); ok {
+			return af == float64(bi)
+		}
+	}
+	return a == b
+}
+
+// FormatDatum renders a datum for result output.
+func FormatDatum(d Datum) string {
+	switch v := d.(type) {
+	case nil:
+		return "NULL"
+	case string:
+		return v
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}

@@ -1,0 +1,472 @@
+package sql
+
+import (
+	"fmt"
+
+	"mrdb/internal/core"
+	"mrdb/internal/kv"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+	"mrdb/internal/txn"
+)
+
+// DDL execution. Schema changes here are applied synchronously; the
+// paper's zero-downtime online schema changes ([60] §5.4) are replaced by
+// atomic catalog swaps under the simulator's cooperative scheduler, noted
+// in DESIGN.md.
+
+func (s *Session) execCreateDatabase(st *CreateDatabase) (*Result, error) {
+	if st.PrimaryRegion == "" {
+		return nil, fmt.Errorf("sql: CREATE DATABASE requires PRIMARY REGION in a multi-region cluster")
+	}
+	primary := simnet.Region(st.PrimaryRegion)
+	clusterRegions := map[simnet.Region]bool{}
+	for _, r := range s.Cluster.Topo.Regions() {
+		clusterRegions[r] = true
+	}
+	if !clusterRegions[primary] {
+		return nil, fmt.Errorf("sql: region %q has no nodes in this cluster", primary)
+	}
+	var others []simnet.Region
+	for _, r := range st.Regions {
+		rr := simnet.Region(r)
+		if !clusterRegions[rr] {
+			return nil, fmt.Errorf("sql: region %q has no nodes in this cluster", rr)
+		}
+		others = append(others, rr)
+	}
+	db := core.NewDatabase(st.Name, primary, others...)
+	if err := s.Catalog.CreateDatabase(db); err != nil {
+		return nil, err
+	}
+	s.Database = st.Name
+	return &Result{}, nil
+}
+
+func (s *Session) execAlterDatabase(p *sim.Proc, st *AlterDatabase) (*Result, error) {
+	db, ok := s.Catalog.Database(st.Name)
+	if !ok {
+		return nil, fmt.Errorf("sql: database %q does not exist", st.Name)
+	}
+	switch {
+	case st.AddRegion != "":
+		return s.execAddRegion(p, db, simnet.Region(st.AddRegion))
+	case st.DropRegion != "":
+		return s.execDropRegion(p, db, simnet.Region(st.DropRegion))
+	case st.Survive != nil:
+		if err := db.SetSurvivalGoal(*st.Survive); err != nil {
+			return nil, err
+		}
+		return &Result{}, s.reconfigureAllTables(p, db)
+	case st.Placement != nil:
+		if err := db.SetPlacement(*st.Placement); err != nil {
+			return nil, err
+		}
+		return &Result{}, s.reconfigureAllTables(p, db)
+	case st.SetPrimary != "":
+		r := simnet.Region(st.SetPrimary)
+		if !db.HasRegion(r) {
+			if err := db.AddRegion(r); err != nil {
+				return nil, err
+			}
+		}
+		db.PrimaryRegion = r
+		return &Result{}, s.reconfigureAllTables(p, db)
+	}
+	return nil, fmt.Errorf("sql: empty ALTER DATABASE")
+}
+
+// execAddRegion implements ALTER DATABASE ... ADD REGION: extend the enum,
+// create new partitions for REGIONAL BY ROW tables, and rebalance every
+// range so the new region gets its replica (§2.4.1, §3.3).
+func (s *Session) execAddRegion(p *sim.Proc, db *core.Database, region simnet.Region) (*Result, error) {
+	found := false
+	for _, r := range s.Cluster.Topo.Regions() {
+		if r == region {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("sql: region %q has no nodes in this cluster", region)
+	}
+	if err := db.AddRegion(region); err != nil {
+		return nil, err
+	}
+	// New partitions for REGIONAL BY ROW tables.
+	for _, t := range s.Catalog.Tables(db.Name) {
+		if t.Locality != core.RegionalByRow {
+			continue
+		}
+		tp, err := db.PlacementForTable(core.RegionalByRow, "")
+		if err != nil {
+			return nil, err
+		}
+		alloc := s.Cluster.Allocator()
+		for _, idx := range t.Indexes {
+			if err := s.createRangeForSpan(t, idx.ID, region, tp.Home[region], tp.Policy, alloc); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Result{}, s.reconfigureAllTables(p, db)
+}
+
+// execDropRegion implements ALTER DATABASE ... DROP REGION with READ ONLY
+// validation (§2.4.1).
+func (s *Session) execDropRegion(p *sim.Proc, db *core.Database, region simnet.Region) (*Result, error) {
+	validator := func(r simnet.Region) (bool, error) {
+		// Because crdb_region prefixes every partition, validation scans
+		// only the dropped region's partitions (paper footnote 2).
+		for _, t := range s.Catalog.Tables(db.Name) {
+			if t.Locality != core.RegionalByRow {
+				continue
+			}
+			start, end := IndexSpan(t, t.Primary().ID, r)
+			var rows int
+			err := s.Coord.Run(p, func(tx *txn.Txn) error {
+				kvs, err := tx.Scan(p, start, end, 1)
+				if err != nil {
+					return err
+				}
+				rows = len(kvs)
+				return nil
+			})
+			if err != nil {
+				return false, err
+			}
+			if rows > 0 {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	if err := db.DropRegion(region, validator); err != nil {
+		return nil, err
+	}
+	// Remove the dropped region's partitions.
+	for _, t := range s.Catalog.Tables(db.Name) {
+		if t.Locality != core.RegionalByRow {
+			continue
+		}
+		for _, idx := range t.Indexes {
+			start, _ := IndexSpan(t, idx.ID, region)
+			desc, err := s.Cluster.Catalog.Lookup(start)
+			if err != nil {
+				continue
+			}
+			for _, id := range desc.Replicas() {
+				s.Cluster.Stores[id].RemoveReplica(desc.RangeID)
+			}
+			s.Cluster.Catalog.Remove(desc.RangeID)
+		}
+	}
+	return &Result{}, s.reconfigureAllTables(p, db)
+}
+
+// reconfigureAllTables recomputes zone configs for every range of the
+// database and relocates replicas accordingly (survivability, placement or
+// region-set changes).
+func (s *Session) reconfigureAllTables(p *sim.Proc, db *core.Database) error {
+	alloc := s.Cluster.Allocator()
+	for _, t := range s.Catalog.Tables(db.Name) {
+		tp, err := db.PlacementForTable(t.Locality, t.HomeRegion)
+		if err != nil {
+			return err
+		}
+		for _, idx := range t.Indexes {
+			for _, region := range partitionsOf(t, db) {
+				home := region
+				if home == "" {
+					if t.DuplicateIndexes && idx.PinnedRegion != "" {
+						home = idx.PinnedRegion
+					} else if t.Locality == core.Global || t.HomeRegion == "" {
+						home = db.PrimaryRegion
+					} else {
+						home = t.HomeRegion
+					}
+				}
+				var cfg = tp.Home[home]
+				if t.DuplicateIndexes && idx.PinnedRegion != "" {
+					c, err := db.ZoneConfigForHome(idx.PinnedRegion, false)
+					if err != nil {
+						return err
+					}
+					cfg = c
+				}
+				if cfg.NumReplicas == 0 {
+					c, err := db.ZoneConfigForHome(home, t.Locality == core.Global)
+					if err != nil {
+						return err
+					}
+					cfg = c
+				}
+				start, _ := IndexSpan(t, idx.ID, region)
+				desc, err := s.Cluster.Catalog.Lookup(start)
+				if err != nil {
+					return err
+				}
+				placement, err := alloc.Allocate(cfg)
+				if err != nil {
+					return err
+				}
+				if err := s.Cluster.Admin.Relocate(p, desc.RangeID, placement, tp.Policy); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func typeFromName(name string) (ColType, error) {
+	switch name {
+	case "string", "text", "varchar":
+		return TString, nil
+	case "int", "int8", "bigint", "integer":
+		return TInt, nil
+	case "float", "float8", "double":
+		return TFloat, nil
+	case "bool", "boolean":
+		return TBool, nil
+	case "uuid":
+		return TUUID, nil
+	case "timestamp", "timestamptz":
+		return TTimestamp, nil
+	case "crdb_internal_region":
+		return TRegion, nil
+	}
+	return 0, fmt.Errorf("sql: unknown type %q", name)
+}
+
+func (s *Session) execCreateTable(p *sim.Proc, st *CreateTable) (*Result, error) {
+	db, err := s.database()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: st.Name, DB: db.Name, Locality: core.RegionalByTable}
+	if st.Locality != nil {
+		t.Locality = st.Locality.Kind
+		if st.Locality.Region != "" {
+			t.HomeRegion = simnet.Region(st.Locality.Region)
+			if !db.HasRegion(t.HomeRegion) {
+				return nil, fmt.Errorf("sql: region %q not in database %q", t.HomeRegion, db.Name)
+			}
+		}
+	}
+	t.DuplicateIndexes = st.DuplicateIndexes
+	if t.DuplicateIndexes && t.Locality != core.RegionalByTable {
+		return nil, fmt.Errorf("sql: WITH DUPLICATE INDEXES applies to REGIONAL BY TABLE tables")
+	}
+
+	var pkCols []string
+	var uniqueCols [][]string
+	for _, cd := range st.Columns {
+		typ, err := typeFromName(cd.Type)
+		if err != nil {
+			return nil, err
+		}
+		col := &Column{
+			Name: cd.Name, Type: typ, NotNull: cd.NotNull || cd.PrimaryKey,
+			Hidden: cd.NotVisible, Default: cd.Default, Computed: cd.Computed,
+			OnUpdateRehome: cd.OnUpdateRehome,
+		}
+		t.AddColumn(col)
+		if cd.PrimaryKey {
+			pkCols = append(pkCols, cd.Name)
+		}
+		if cd.Unique {
+			uniqueCols = append(uniqueCols, []string{cd.Name})
+		}
+	}
+	if len(st.PrimaryKey) > 0 {
+		if len(pkCols) > 0 {
+			return nil, fmt.Errorf("sql: duplicate PRIMARY KEY specification")
+		}
+		pkCols = st.PrimaryKey
+	}
+	if len(pkCols) == 0 {
+		return nil, fmt.Errorf("sql: table %q requires a primary key", st.Name)
+	}
+	uniqueCols = append(uniqueCols, st.Uniques...)
+
+	// REGIONAL BY ROW: ensure the partitioning column exists (§2.3.2);
+	// users may declare crdb_region themselves (computed partitioning).
+	if t.Locality == core.RegionalByRow {
+		if col, ok := t.Column(RegionColumnName); ok {
+			if col.Type != TRegion {
+				return nil, fmt.Errorf("sql: %s must have type crdb_internal_region", RegionColumnName)
+			}
+			t.RegionColumn = col.ID
+		} else {
+			col := t.AddColumn(&Column{
+				Name: RegionColumnName, Type: TRegion, NotNull: true, Hidden: true,
+				Default: &FuncCall{Name: "gateway_region"},
+			})
+			t.RegionColumn = col.ID
+		}
+	}
+
+	resolveCols := func(names []string) ([]ColumnID, error) {
+		var ids []ColumnID
+		for _, n := range names {
+			c, ok := t.Column(n)
+			if !ok {
+				return nil, fmt.Errorf("sql: unknown column %q", n)
+			}
+			ids = append(ids, c.ID)
+		}
+		return ids, nil
+	}
+
+	pkIDs, err := resolveCols(pkCols)
+	if err != nil {
+		return nil, err
+	}
+	t.AddIndex(&Index{Name: "primary", Unique: true, Cols: pkIDs})
+	for _, uc := range uniqueCols {
+		ids, err := resolveCols(uc)
+		if err != nil {
+			return nil, err
+		}
+		t.AddIndex(&Index{Name: fmt.Sprintf("%s_%s_key", t.Name, uc[0]), Unique: true, Cols: ids})
+	}
+	// Duplicate-indexes baseline (§7.3.1): one covering index per
+	// non-primary region, leaseholder pinned there; the primary index
+	// serves the primary region.
+	if t.DuplicateIndexes {
+		var allCols []ColumnID
+		for _, c := range t.Columns {
+			allCols = append(allCols, c.ID)
+		}
+		t.Indexes[0].PinnedRegion = db.PrimaryRegion
+		for _, r := range db.Regions() {
+			if r == db.PrimaryRegion {
+				continue
+			}
+			t.AddIndex(&Index{
+				Name: fmt.Sprintf("%s_dup_%s", t.Name, r), Unique: true,
+				Cols: pkIDs, Storing: allCols, PinnedRegion: r,
+			})
+		}
+	}
+
+	if err := s.Catalog.CreateTable(t); err != nil {
+		return nil, err
+	}
+	for _, idx := range t.Indexes {
+		if err := s.createIndexRanges(t, db, idx); err != nil {
+			return nil, err
+		}
+	}
+	if p != nil {
+		if err := s.waitTableReady(p, t, db); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{}, nil
+}
+
+func (s *Session) execCreateIndex(p *sim.Proc, st *CreateIndex) (*Result, error) {
+	t, db, err := s.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	var ids []ColumnID
+	for _, n := range st.Cols {
+		c, ok := t.Column(n)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown column %q", n)
+		}
+		ids = append(ids, c.ID)
+	}
+	idx := t.AddIndex(&Index{Name: st.Name, Unique: st.Unique, Cols: ids})
+	if err := s.createIndexRanges(t, db, idx); err != nil {
+		return nil, err
+	}
+	// Backfill from the primary index.
+	if err := s.backfillIndex(p, t, db, idx); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+// execAlterTableLocality implements ALTER TABLE ... SET LOCALITY. Changing
+// to or from REGIONAL BY ROW rebuilds every index under a new index ID with
+// the partitioning prefix added or removed, then swaps (§2.4.2); other
+// changes only move replicas.
+func (s *Session) execAlterTableLocality(p *sim.Proc, st *AlterTableLocality) (*Result, error) {
+	t, db, err := s.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	newLoc := st.Locality.Kind
+	newHome := simnet.Region(st.Locality.Region)
+	if newHome != "" && !db.HasRegion(newHome) {
+		return nil, fmt.Errorf("sql: region %q not in database %q", newHome, db.Name)
+	}
+	if t.DuplicateIndexes {
+		return nil, fmt.Errorf("sql: cannot change locality of a duplicate-indexes table")
+	}
+	repartition := (t.Locality == core.RegionalByRow) != (newLoc == core.RegionalByRow)
+	if !repartition {
+		// Metadata + zone-config change only (§2.4.2).
+		t.Locality = newLoc
+		t.HomeRegion = newHome
+		return &Result{}, s.reconfigureAllTables(p, db)
+	}
+
+	// Index swap: build new indexes with/without the region prefix.
+	oldIndexes := t.Indexes
+	oldPartitioned := t.IsPartitioned()
+	oldLoc := t.Locality
+
+	// Adding the partition column when converting to RBR.
+	t.Locality = newLoc
+	t.HomeRegion = newHome
+	if newLoc == core.RegionalByRow && t.RegionColumn == 0 {
+		col := t.AddColumn(&Column{
+			Name: RegionColumnName, Type: TRegion, NotNull: true, Hidden: true,
+			Default: &FuncCall{Name: "gateway_region"},
+		})
+		t.RegionColumn = col.ID
+	}
+
+	var newIndexes []*Index
+	for _, old := range oldIndexes {
+		ni := t.AddIndex(&Index{Name: old.Name, Unique: old.Unique, Cols: old.Cols, Storing: old.Storing})
+		newIndexes = append(newIndexes, ni)
+		if err := s.createIndexRanges(t, db, ni); err != nil {
+			return nil, err
+		}
+	}
+	if p != nil {
+		if err := s.waitTableReady(p, t, db); err != nil {
+			return nil, err
+		}
+	}
+	// Backfill rows from the old primary index into the new indexes.
+	if err := s.backfillLocalityChange(p, t, db, oldIndexes[0], oldPartitioned, newIndexes); err != nil {
+		return nil, err
+	}
+	// Swap: the new indexes replace the old; drop old ranges.
+	t.Indexes = newIndexes
+	for _, old := range oldIndexes {
+		regions := []simnet.Region{""}
+		if oldPartitioned {
+			regions = db.Regions()
+		}
+		_ = oldLoc
+		for _, region := range regions {
+			start, _ := IndexSpan(t, old.ID, region)
+			if desc, err := s.Cluster.Catalog.Lookup(start); err == nil {
+				for _, id := range desc.Replicas() {
+					s.Cluster.Stores[id].RemoveReplica(desc.RangeID)
+				}
+				s.Cluster.Catalog.Remove(desc.RangeID)
+			}
+		}
+	}
+	return &Result{}, nil
+}
+
+var _ = kv.RangeID(0)

@@ -1,0 +1,111 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"mrdb/internal/sim"
+)
+
+// TestSQLExplainAndShowRanges covers the introspection statements.
+func TestSQLExplainAndShowRanges(t *testing.T) {
+	h := newSQLHarness(101)
+	h.run(t, func(p *sim.Proc) {
+		s := h.setupMovr(t, p)
+		res, err := s.Exec(p, `EXPLAIN SELECT name FROM users WHERE email = 'a@b.c'`)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		flat := ""
+		for _, row := range res.Rows {
+			flat += FormatDatum(row[0]) + "=" + FormatDatum(row[1]) + ";"
+		}
+		for _, want := range []string{
+			"index=users_email_key", "locality optimized search=true",
+			"locality=REGIONAL BY ROW", "region pinned=false",
+		} {
+			if !strings.Contains(flat, want) {
+				t.Errorf("EXPLAIN missing %q in %q", want, flat)
+			}
+		}
+		// A region-pinned plan.
+		res, err = s.Exec(p, `EXPLAIN SELECT name FROM users WHERE id = 1 AND crdb_region = 'us-east1'`)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		flat = ""
+		for _, row := range res.Rows {
+			flat += FormatDatum(row[0]) + "=" + FormatDatum(row[1]) + ";"
+		}
+		if !strings.Contains(flat, "region pinned=true") {
+			t.Errorf("pinned EXPLAIN: %q", flat)
+		}
+
+		res, err = s.Exec(p, `SHOW RANGES FROM TABLE users`)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// users: 2 indexes x 3 partitions.
+		if len(res.Rows) != 6 {
+			t.Errorf("SHOW RANGES rows = %d, want 6", len(res.Rows))
+		}
+		res, err = s.Exec(p, `SHOW RANGES FROM TABLE promo_codes`)
+		if err != nil || len(res.Rows) != 1 {
+			t.Errorf("GLOBAL table ranges: %v %v", res, err)
+			return
+		}
+		if res.Rows[0][5] != "LEAD" {
+			t.Errorf("GLOBAL range policy = %v", res.Rows[0][5])
+		}
+	})
+}
+
+// TestSQLDropAndTruncate covers table teardown.
+func TestSQLDropAndTruncate(t *testing.T) {
+	h := newSQLHarness(102)
+	h.run(t, func(p *sim.Proc) {
+		s := h.setupMovr(t, p)
+		for i := 1; i <= 4; i++ {
+			if _, err := s.Exec(p, `INSERT INTO users (id, email, name) VALUES (`+itoa(i)+`, 'u`+itoa(i)+`@x.com', 'u')`); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		res, err := s.Exec(p, `TRUNCATE TABLE users`)
+		if err != nil || res.RowsAffected != 4 {
+			t.Errorf("truncate: %v %v", res, err)
+			return
+		}
+		res, _ = s.Exec(p, `SELECT id FROM users`)
+		if len(res.Rows) != 0 {
+			t.Errorf("rows after truncate: %v", res.Rows)
+		}
+		// Schema survives truncate.
+		if _, err := s.Exec(p, `INSERT INTO users (id, email, name) VALUES (9, 'z@x.com', 'z')`); err != nil {
+			t.Errorf("insert after truncate: %v", err)
+		}
+		// Secondary index entries were removed too (unique can be reused).
+		if _, err := s.Exec(p, `INSERT INTO users (id, email, name) VALUES (10, 'u1@x.com', 'reuse')`); err != nil {
+			t.Errorf("unique value not freed by truncate: %v", err)
+		}
+
+		rangesBefore := h.c.Catalog.Len()
+		if _, err := s.Exec(p, `DROP TABLE users`); err != nil {
+			t.Error(err)
+			return
+		}
+		if h.c.Catalog.Len() >= rangesBefore {
+			t.Error("DROP TABLE did not remove ranges")
+		}
+		if _, err := s.Exec(p, `SELECT id FROM users`); err == nil {
+			t.Error("dropped table still queryable")
+		}
+	})
+}
+
+func itoa(i int) string {
+	return string(rune('0' + i))
+}

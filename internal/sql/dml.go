@@ -1,0 +1,743 @@
+package sql
+
+import (
+	"fmt"
+
+	"mrdb/internal/core"
+	"mrdb/internal/mvcc"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+	"mrdb/internal/txn"
+)
+
+// --- SELECT ---
+
+func (s *Session) execSelect(p *sim.Proc, tx *txn.Txn, st *Select) (*Result, error) {
+	t, db, err := s.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := s.planRead(t, db, st.Where, st.Limit)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := s.fetchRows(p, &txnFetcher{tx: tx}, plan)
+	if err != nil {
+		return nil, err
+	}
+	rows, err = s.filterRows(t, rows, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	return s.project(t, rows, st.Columns, st.Limit)
+}
+
+// execStaleSelect serves SELECT ... AS OF SYSTEM TIME (paper §5.3): exact
+// staleness uses the given timestamp directly; bounded staleness negotiates
+// the highest locally servable timestamp before reading.
+func (s *Session) execStaleSelect(p *sim.Proc, st *Select) (*Result, error) {
+	t, db, err := s.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := s.planRead(t, db, st.Where, st.Limit)
+	if err != nil {
+		return nil, err
+	}
+	var ts = s.Coord.Store.Clock.Now()
+	switch {
+	case st.AsOf.Exact != nil:
+		ts, err = s.resolveAsOfTimestamp(st.AsOf.Exact)
+		if err != nil {
+			return nil, err
+		}
+	case st.AsOf.MinTimestamp != nil, st.AsOf.MaxStaleness != nil:
+		var minTS = ts
+		if st.AsOf.MinTimestamp != nil {
+			minTS, err = s.resolveAsOfTimestamp(st.AsOf.MinTimestamp)
+		} else {
+			v, verr := s.evalExpr(st.AsOf.MaxStaleness, nil)
+			if verr != nil {
+				return nil, verr
+			}
+			str, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("sql: with_max_staleness requires an interval string")
+			}
+			d, derr := parseDuration(str)
+			if derr != nil {
+				return nil, derr
+			}
+			minTS = s.Coord.MaxStalenessToMinTS(d)
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Negotiate over the spans the plan will touch (§5.3.2).
+		var spans [][2]mvcc.Key
+		for _, region := range plan.regions {
+			start, end := IndexSpan(t, plan.index.ID, region)
+			spans = append(spans, [2]mvcc.Key{start, end})
+		}
+		negotiated, err := s.Coord.Sender.NegotiateBoundedStaleness(p, spans)
+		if err != nil {
+			return nil, err
+		}
+		now := s.Coord.Store.Clock.Now()
+		if negotiated.IsEmpty() || now.Less(negotiated) {
+			negotiated = now
+		}
+		if negotiated.Less(minTS) {
+			// Fall back to the leaseholder at the bound.
+			negotiated = minTS
+		}
+		ts = negotiated
+	}
+	rows, err := s.fetchRows(p, &staleFetcher{co: s.Coord, ts: ts}, plan)
+	if err != nil {
+		return nil, err
+	}
+	rows, err = s.filterRows(t, rows, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	return s.project(t, rows, st.Columns, st.Limit)
+}
+
+// project builds the result set: named columns, or all visible columns for
+// SELECT * (hidden columns like crdb_region stay hidden, §2.3.2).
+func (s *Session) project(t *Table, rows []tableRow, cols []string, limit int) (*Result, error) {
+	var outCols []*Column
+	if cols == nil {
+		outCols = t.VisibleColumns()
+	} else {
+		for _, name := range cols {
+			c, ok := t.Column(name)
+			if !ok {
+				return nil, fmt.Errorf("sql: unknown column %q", name)
+			}
+			outCols = append(outCols, c)
+		}
+	}
+	res := &Result{}
+	for _, c := range outCols {
+		res.Columns = append(res.Columns, c.Name)
+	}
+	for _, row := range rows {
+		var out []Datum
+		for _, c := range outCols {
+			out = append(out, row.vals[c.ID])
+		}
+		res.Rows = append(res.Rows, out)
+		if limit > 0 && len(res.Rows) >= limit {
+			break
+		}
+	}
+	res.RowsAffected = len(res.Rows)
+	return res, nil
+}
+
+// --- INSERT ---
+
+func (s *Session) execInsert(p *sim.Proc, tx *txn.Txn, st *Insert) (*Result, error) {
+	t, db, err := s.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols := st.Columns
+	if cols == nil {
+		for _, c := range t.VisibleColumns() {
+			cols = append(cols, c.Name)
+		}
+	}
+	inserted := 0
+	for _, rowExprs := range st.Rows {
+		if len(rowExprs) != len(cols) {
+			return nil, fmt.Errorf("sql: %d values for %d columns", len(rowExprs), len(cols))
+		}
+		vals, fromDefault, err := s.buildRowValues(t, db, cols, rowExprs)
+		if err != nil {
+			return nil, err
+		}
+		if st.Upsert {
+			if err := s.upsertRow(p, tx, t, db, vals); err != nil {
+				return nil, err
+			}
+		} else if err := s.insertRow(p, tx, t, db, vals, fromDefault); err != nil {
+			return nil, err
+		}
+		inserted++
+	}
+	return &Result{RowsAffected: inserted}, nil
+}
+
+// buildRowValues evaluates provided expressions, fills defaults, computes
+// computed columns and validates constraints. fromDefault records columns
+// whose value came from a gen_random_uuid() default (uniqueness checks for
+// them are elided, §4.1).
+func (s *Session) buildRowValues(t *Table, db *core.Database, cols []string, exprs []Expr) (map[ColumnID]Datum, map[ColumnID]bool, error) {
+	vals := map[ColumnID]Datum{}
+	provided := map[ColumnID]bool{}
+	for i, name := range cols {
+		c, ok := t.Column(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("sql: unknown column %q", name)
+		}
+		v, err := s.evalExpr(exprs[i], nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		vals[c.ID] = v
+		provided[c.ID] = true
+	}
+	fromDefault := map[ColumnID]bool{}
+	for _, c := range t.Columns {
+		if provided[c.ID] || c.Computed != nil {
+			continue
+		}
+		if c.Default != nil {
+			v, err := s.evalExpr(c.Default, &evalCtx{session: s, row: t.namedVals(vals)})
+			if err != nil {
+				return nil, nil, err
+			}
+			vals[c.ID] = v
+			if fc, ok := c.Default.(*FuncCall); ok && fc.Name == "gen_random_uuid" {
+				fromDefault[c.ID] = true
+			}
+		}
+	}
+	// Computed columns evaluate last, over the full row.
+	for _, c := range t.Columns {
+		if c.Computed != nil {
+			v, err := s.evalExpr(c.Computed, &evalCtx{session: s, row: t.namedVals(vals)})
+			if err != nil {
+				return nil, nil, err
+			}
+			vals[c.ID] = v
+		}
+	}
+	for _, c := range t.Columns {
+		if c.NotNull && vals[c.ID] == nil {
+			return nil, nil, fmt.Errorf("sql: null value in column %q", c.Name)
+		}
+	}
+	// Region writability: a READ ONLY region value (mid DROP REGION,
+	// §2.4.1) rejects writes.
+	if t.IsPartitioned() {
+		r, err := rowRegion(t, vals)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !db.CanWriteRegion(r) {
+			return nil, nil, fmt.Errorf("sql: region %q is not writable", r)
+		}
+	}
+	return vals, fromDefault, nil
+}
+
+// rowRegion extracts the partition region of a row.
+func rowRegion(t *Table, vals map[ColumnID]Datum) (simnet.Region, error) {
+	if !t.IsPartitioned() {
+		return "", nil
+	}
+	v := vals[t.RegionColumn]
+	r, ok := v.(string)
+	if !ok || r == "" {
+		return "", fmt.Errorf("sql: row has no region value")
+	}
+	return simnet.Region(r), nil
+}
+
+// upsertRow blindly overwrites a row: no uniqueness checks, no existence
+// read. It requires every index key to be a function of the primary key so
+// stale index entries cannot arise, and an unpartitioned table (a blind
+// write cannot know which partition an existing row lives in).
+func (s *Session) upsertRow(p *sim.Proc, tx *txn.Txn, t *Table, db *core.Database, vals map[ColumnID]Datum) error {
+	if t.IsPartitioned() {
+		return fmt.Errorf("sql: UPSERT is not supported on REGIONAL BY ROW tables")
+	}
+	pkSet := map[ColumnID]bool{}
+	for _, cid := range t.Primary().Cols {
+		pkSet[cid] = true
+	}
+	for _, idx := range t.Indexes {
+		for _, cid := range idx.Cols {
+			if !pkSet[cid] {
+				return fmt.Errorf("sql: UPSERT requires index %q keys to derive from the primary key", idx.Name)
+			}
+		}
+	}
+	return s.writeRow(p, tx, t, "", vals)
+}
+
+func (s *Session) insertRow(p *sim.Proc, tx *txn.Txn, t *Table, db *core.Database, vals map[ColumnID]Datum, fromDefault map[ColumnID]bool) error {
+	region, err := rowRegion(t, vals)
+	if err != nil {
+		return err
+	}
+	// Uniqueness checks (paper §4.1) for every unique index.
+	for _, idx := range t.Indexes {
+		if !idx.Unique {
+			continue
+		}
+		if err := s.uniquenessCheck(p, tx, t, db, idx, region, vals, fromDefault, nil); err != nil {
+			return err
+		}
+	}
+	return s.writeRow(p, tx, t, region, vals)
+}
+
+// uniquenessCheck verifies no other row has the same values for a unique
+// index. The local partition is always checked (the write itself needs it);
+// remote partitions are probed in parallel unless the check can be elided:
+// the value came from gen_random_uuid() (§4.1 case 1), the region column is
+// part of the index (§4.1 case 2), or the region is computed from the
+// indexed columns (§4.1 case 3). excludePK skips a row with the same
+// primary key (for UPDATEs rewriting themselves).
+func (s *Session) uniquenessCheck(p *sim.Proc, tx *txn.Txn, t *Table, db *core.Database, idx *Index, region simnet.Region, vals map[ColumnID]Datum, fromDefault map[ColumnID]bool, excludePK []Datum) error {
+	var tuple []Datum
+	for _, cid := range idx.Cols {
+		tuple = append(tuple, vals[cid])
+	}
+	checkRegions := []simnet.Region{region}
+	if t.IsPartitioned() && s.UniquenessChecks {
+		elide := false
+		// §4.1 (1): generated UUIDs never collide; skip remote checks.
+		if len(idx.Cols) == 1 && fromDefault[idx.Cols[0]] {
+			elide = true
+		}
+		// §4.1 (2): the region column is part of the unique constraint.
+		for _, cid := range idx.Cols {
+			if cid == t.RegionColumn {
+				elide = true
+			}
+		}
+		// §4.1 (3): the region is computed from the unique columns, so
+		// per-partition uniqueness implies global uniqueness.
+		if regionCol, ok := t.ColumnByID(t.RegionColumn); ok && regionCol.Computed != nil {
+			deps := exprColumnDeps(regionCol.Computed)
+			idxNames := map[string]bool{}
+			for _, cid := range idx.Cols {
+				c, _ := t.ColumnByID(cid)
+				idxNames[c.Name] = true
+			}
+			covered := true
+			for _, d := range deps {
+				if !idxNames[d] {
+					covered = false
+				}
+			}
+			if covered && len(deps) > 0 {
+				elide = true
+			}
+		}
+		if !elide {
+			for _, r := range db.Regions() {
+				if r != region {
+					checkRegions = append(checkRegions, r)
+				}
+			}
+		}
+	}
+	// Probe all partitions in parallel: absence must hold everywhere, so
+	// unlike LOS there is no early exit (the latency is the max RTT).
+	type res struct {
+		val mvcc.Value
+		err error
+	}
+	slots := make([]res, len(checkRegions))
+	wg := sim.NewWaitGroup(p.Sim())
+	for i, r := range checkRegions {
+		i, r := i, r
+		wg.Add(1)
+		p.Sim().Spawn("sql/unique-check", func(wp *sim.Proc) {
+			defer wg.Done()
+			key := EncodeIndexKey(t, idx, r, tuple)
+			v, err := tx.Get(wp, key)
+			slots[i] = res{val: v, err: err}
+		})
+	}
+	wg.Wait(p)
+	for i, r := range slots {
+		if r.err != nil {
+			return r.err
+		}
+		if r.val == nil {
+			continue
+		}
+		// Same-row exemption for UPDATE.
+		if excludePK != nil {
+			existing, err := DecodeRow(r.val)
+			if err == nil {
+				same := true
+				for j, cid := range t.Primary().Cols {
+					if !DatumsEqual(existing[cid], excludePK[j]) {
+						same = false
+						break
+					}
+				}
+				if same {
+					continue
+				}
+			}
+		}
+		return fmt.Errorf("sql: duplicate key value violates unique constraint %q (region %s)", idx.Name, checkRegions[i])
+	}
+	return nil
+}
+
+// writeRow writes the primary row and every index entry, in parallel.
+func (s *Session) writeRow(p *sim.Proc, tx *txn.Txn, t *Table, region simnet.Region, vals map[ColumnID]Datum) error {
+	var kvs []mvcc.KeyValue
+	primary := t.Primary()
+	var pkTuple []Datum
+	for _, cid := range primary.Cols {
+		pkTuple = append(pkTuple, vals[cid])
+	}
+	pkMap := map[ColumnID]Datum{}
+	for _, cid := range primary.Cols {
+		pkMap[cid] = vals[cid]
+	}
+	pkVal := EncodeRow(pkMap)
+	for _, idx := range t.Indexes {
+		idxRegion := region
+		if idx.PinnedRegion != "" && !t.IsPartitioned() {
+			idxRegion = "" // duplicate indexes are unpartitioned
+		}
+		var tuple []Datum
+		for _, cid := range idx.Cols {
+			tuple = append(tuple, vals[cid])
+		}
+		key := EncodeIndexKey(t, idx, idxRegion, tuple)
+		if !idx.Unique {
+			key = append(key, EncodeTupleSuffix(pkTuple)...)
+		}
+		var val mvcc.Value
+		switch {
+		case idx.ID == t.Primary().ID || len(idx.Storing) > 0:
+			val = EncodeRow(vals)
+		default:
+			val = pkVal
+		}
+		kvs = append(kvs, mvcc.KeyValue{Key: key, Value: val})
+	}
+	return tx.PutParallel(p, kvs)
+}
+
+// deleteRow removes the primary row and index entries.
+func (s *Session) deleteRow(p *sim.Proc, tx *txn.Txn, t *Table, region simnet.Region, vals map[ColumnID]Datum) error {
+	var kvs []mvcc.KeyValue
+	primary := t.Primary()
+	var pkTuple []Datum
+	for _, cid := range primary.Cols {
+		pkTuple = append(pkTuple, vals[cid])
+	}
+	for _, idx := range t.Indexes {
+		idxRegion := region
+		if idx.PinnedRegion != "" && !t.IsPartitioned() {
+			idxRegion = ""
+		}
+		var tuple []Datum
+		for _, cid := range idx.Cols {
+			tuple = append(tuple, vals[cid])
+		}
+		key := EncodeIndexKey(t, idx, idxRegion, tuple)
+		if !idx.Unique {
+			key = append(key, EncodeTupleSuffix(pkTuple)...)
+		}
+		kvs = append(kvs, mvcc.KeyValue{Key: key, Value: nil})
+	}
+	return tx.PutParallel(p, kvs)
+}
+
+// --- UPDATE ---
+
+func (s *Session) execUpdate(p *sim.Proc, tx *txn.Txn, st *Update) (*Result, error) {
+	t, db, err := s.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := s.planRead(t, db, st.Where, 0)
+	if err != nil {
+		return nil, err
+	}
+	// UPDATE reads lock their rows (implicit SELECT FOR UPDATE) so
+	// read-modify-write transactions queue rather than restart.
+	rows, err := s.fetchRows(p, &txnFetcher{tx: tx, forUpdate: plan.lookups != nil}, plan)
+	if err != nil {
+		return nil, err
+	}
+	rows, err = s.filterRows(t, rows, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	pkSet := map[ColumnID]bool{}
+	for _, cid := range t.Primary().Cols {
+		pkSet[cid] = true
+	}
+	updated := 0
+	for _, row := range rows {
+		newVals := map[ColumnID]Datum{}
+		for k, v := range row.vals {
+			newVals[k] = v
+		}
+		changed := map[ColumnID]bool{}
+		for _, a := range st.Set {
+			c, ok := t.Column(a.Col)
+			if !ok {
+				return nil, fmt.Errorf("sql: unknown column %q", a.Col)
+			}
+			if pkSet[c.ID] {
+				return nil, fmt.Errorf("sql: updating primary key column %q is not supported", a.Col)
+			}
+			v, err := s.evalExpr(a.Val, &evalCtx{session: s, row: t.namedVals(row.vals)})
+			if err != nil {
+				return nil, err
+			}
+			newVals[c.ID] = v
+			changed[c.ID] = true
+		}
+		// Automatic rehoming (§2.3.2): the row moves to the gateway's
+		// region when enabled (via setting or ON UPDATE rehome_row()).
+		if t.IsPartitioned() {
+			regionCol, _ := t.ColumnByID(t.RegionColumn)
+			rehome := s.AutoRehoming || regionCol.OnUpdateRehome
+			if rehome && regionCol.Computed == nil && !changed[t.RegionColumn] {
+				gw := string(s.Region())
+				if db.CanWriteRegion(simnet.Region(gw)) && newVals[t.RegionColumn] != gw {
+					newVals[t.RegionColumn] = gw
+					changed[t.RegionColumn] = true
+				}
+			}
+		}
+		// Recompute computed columns over the new row.
+		for _, c := range t.Columns {
+			if c.Computed != nil {
+				v, err := s.evalExpr(c.Computed, &evalCtx{session: s, row: t.namedVals(newVals)})
+				if err != nil {
+					return nil, err
+				}
+				if !DatumsEqual(v, newVals[c.ID]) {
+					newVals[c.ID] = v
+					changed[c.ID] = true
+				}
+			}
+		}
+		newRegion, err := rowRegion(t, newVals)
+		if err != nil {
+			return nil, err
+		}
+		if t.IsPartitioned() && !db.CanWriteRegion(newRegion) {
+			return nil, fmt.Errorf("sql: region %q is not writable", newRegion)
+		}
+		// Uniqueness checks for changed unique columns.
+		var pkTuple []Datum
+		for _, cid := range t.Primary().Cols {
+			pkTuple = append(pkTuple, newVals[cid])
+		}
+		for _, idx := range t.Indexes {
+			if !idx.Unique || idx.ID == t.Primary().ID {
+				continue
+			}
+			touched := false
+			for _, cid := range idx.Cols {
+				if changed[cid] {
+					touched = true
+				}
+			}
+			if touched {
+				if err := s.uniquenessCheck(p, tx, t, db, idx, newRegion, newVals, nil, pkTuple); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if newRegion != row.region && t.IsPartitioned() {
+			// Cross-partition move (rehoming): delete + reinsert.
+			if err := s.deleteRow(p, tx, t, row.region, row.vals); err != nil {
+				return nil, err
+			}
+			if err := s.writeRow(p, tx, t, newRegion, newVals); err != nil {
+				return nil, err
+			}
+		} else {
+			// Rewrite the row; refresh index entries whose keys changed.
+			if err := s.updateIndexEntries(p, tx, t, row.region, row.vals, newVals, changed); err != nil {
+				return nil, err
+			}
+		}
+		updated++
+	}
+	return &Result{RowsAffected: updated}, nil
+}
+
+func (s *Session) updateIndexEntries(p *sim.Proc, tx *txn.Txn, t *Table, region simnet.Region, oldVals, newVals map[ColumnID]Datum, changed map[ColumnID]bool) error {
+	var kvs []mvcc.KeyValue
+	primary := t.Primary()
+	var pkTuple []Datum
+	for _, cid := range primary.Cols {
+		pkTuple = append(pkTuple, newVals[cid])
+	}
+	pkMap := map[ColumnID]Datum{}
+	for _, cid := range primary.Cols {
+		pkMap[cid] = newVals[cid]
+	}
+	pkVal := EncodeRow(pkMap)
+	for _, idx := range t.Indexes {
+		idxRegion := region
+		if idx.PinnedRegion != "" && !t.IsPartitioned() {
+			idxRegion = ""
+		}
+		keyChanged := false
+		for _, cid := range idx.Cols {
+			if changed[cid] {
+				keyChanged = true
+			}
+		}
+		newTuple := make([]Datum, 0, len(idx.Cols))
+		for _, cid := range idx.Cols {
+			newTuple = append(newTuple, newVals[cid])
+		}
+		newKey := EncodeIndexKey(t, idx, idxRegion, newTuple)
+		if !idx.Unique {
+			newKey = append(newKey, EncodeTupleSuffix(pkTuple)...)
+		}
+		if keyChanged {
+			oldTuple := make([]Datum, 0, len(idx.Cols))
+			for _, cid := range idx.Cols {
+				oldTuple = append(oldTuple, oldVals[cid])
+			}
+			oldKey := EncodeIndexKey(t, idx, idxRegion, oldTuple)
+			if !idx.Unique {
+				oldKey = append(oldKey, EncodeTupleSuffix(pkTuple)...)
+			}
+			kvs = append(kvs, mvcc.KeyValue{Key: oldKey, Value: nil})
+		}
+		needsRewrite := keyChanged || idx.ID == t.Primary().ID || len(idx.Storing) > 0
+		if needsRewrite {
+			var val mvcc.Value
+			if idx.ID == t.Primary().ID || len(idx.Storing) > 0 {
+				val = EncodeRow(newVals)
+			} else {
+				val = pkVal
+			}
+			kvs = append(kvs, mvcc.KeyValue{Key: newKey, Value: val})
+		}
+	}
+	return tx.PutParallel(p, kvs)
+}
+
+// --- DELETE ---
+
+func (s *Session) execDelete(p *sim.Proc, tx *txn.Txn, st *Delete) (*Result, error) {
+	t, db, err := s.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := s.planRead(t, db, st.Where, 0)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := s.fetchRows(p, &txnFetcher{tx: tx, forUpdate: plan.lookups != nil}, plan)
+	if err != nil {
+		return nil, err
+	}
+	rows, err = s.filterRows(t, rows, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		if err := s.deleteRow(p, tx, t, row.region, row.vals); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{RowsAffected: len(rows)}, nil
+}
+
+// --- Backfills ---
+
+// backfillIndex populates a newly created secondary index from the primary
+// index.
+func (s *Session) backfillIndex(p *sim.Proc, t *Table, db *core.Database, idx *Index) error {
+	return s.Coord.Run(p, func(tx *txn.Txn) error {
+		for _, region := range partitionsOf(t, db) {
+			start, end := IndexSpan(t, t.Primary().ID, region)
+			kvs, err := tx.Scan(p, start, end, 0)
+			if err != nil {
+				return err
+			}
+			for _, kvp := range kvs {
+				vals, err := DecodeRow(kvp.Value)
+				if err != nil {
+					return err
+				}
+				var tuple []Datum
+				for _, cid := range idx.Cols {
+					tuple = append(tuple, vals[cid])
+				}
+				key := EncodeIndexKey(t, idx, region, tuple)
+				var pkTuple []Datum
+				pkMap := map[ColumnID]Datum{}
+				for _, cid := range t.Primary().Cols {
+					pkTuple = append(pkTuple, vals[cid])
+					pkMap[cid] = vals[cid]
+				}
+				if !idx.Unique {
+					key = append(key, EncodeTupleSuffix(pkTuple)...)
+				}
+				if err := tx.Put(p, key, EncodeRow(pkMap)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// backfillLocalityChange copies all rows from the old primary index into
+// the new index set during an ALTER ... SET LOCALITY repartition (§2.4.2).
+// Rows gaining a crdb_region column during conversion to REGIONAL BY ROW
+// adopt the column's default at the ALTER's gateway.
+func (s *Session) backfillLocalityChange(p *sim.Proc, t *Table, db *core.Database, oldPrimary *Index, oldPartitioned bool, newIndexes []*Index) error {
+	oldRegions := []simnet.Region{""}
+	if oldPartitioned {
+		oldRegions = db.Regions()
+	}
+	return s.Coord.Run(p, func(tx *txn.Txn) error {
+		for _, oldRegion := range oldRegions {
+			start, end := IndexSpan(t, oldPrimary.ID, oldRegion)
+			kvs, err := tx.Scan(p, start, end, 0)
+			if err != nil {
+				return err
+			}
+			for _, kvp := range kvs {
+				vals, err := DecodeRow(kvp.Value)
+				if err != nil {
+					return err
+				}
+				if t.IsPartitioned() {
+					if _, ok := vals[t.RegionColumn].(string); !ok {
+						col, _ := t.ColumnByID(t.RegionColumn)
+						v, err := s.evalExpr(col.Default, &evalCtx{session: s, row: t.namedVals(vals)})
+						if err != nil {
+							return err
+						}
+						vals[t.RegionColumn] = v
+					}
+				}
+				region, err := rowRegion(t, vals)
+				if err != nil {
+					return err
+				}
+				// Write through the new index set only.
+				saved := t.Indexes
+				t.Indexes = newIndexes
+				err = s.writeRow(p, tx, t, region, vals)
+				t.Indexes = saved
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,660 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mrdb/internal/cluster"
+	"mrdb/internal/core"
+	"mrdb/internal/hlc"
+	"mrdb/internal/kv"
+	"mrdb/internal/mvcc"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+	"mrdb/internal/txn"
+	"mrdb/internal/zones"
+)
+
+// Session executes SQL against a cluster from one gateway node. Sessions
+// share the cluster-wide Catalog; each is bound to a gateway whose region
+// determines gateway_region() and locality-optimized search order.
+type Session struct {
+	Cluster *cluster.Cluster
+	Catalog *Catalog
+	Gateway simnet.NodeID
+	Coord   *txn.Coordinator
+
+	// Database is the current database.
+	Database string
+
+	// Session settings (SET <name> = on|off).
+	LocalityOptimizedSearch bool // enable_locality_optimized_search
+	AutoRehoming            bool // enable_auto_rehoming (§2.3.2, off by default)
+	UniquenessChecks        bool // enable_uniqueness_checks
+	DisableOnePC            bool // disable one-phase commits (ablations)
+
+	// explicit transaction, when the caller manages one.
+	activeTxn *txn.Txn
+}
+
+// NewSession opens a session at the given gateway node.
+func NewSession(c *cluster.Cluster, catalog *Catalog, gateway simnet.NodeID) *Session {
+	return &Session{
+		Cluster:                 c,
+		Catalog:                 catalog,
+		Gateway:                 gateway,
+		Coord:                   txn.NewCoordinator(c.Stores[gateway], c.Senders[gateway]),
+		LocalityOptimizedSearch: true,
+		UniquenessChecks:        true,
+	}
+}
+
+// Region returns the gateway's region.
+func (s *Session) Region() simnet.Region {
+	loc, _ := s.Cluster.Topo.LocalityOf(s.Gateway)
+	return loc.Region
+}
+
+// Result is the outcome of a statement.
+type Result struct {
+	Columns      []string
+	Rows         [][]Datum
+	RowsAffected int
+}
+
+// Exec parses and executes one statement. DML runs in its own transaction
+// with automatic retries unless the session has an explicit transaction.
+func (s *Session) Exec(p *sim.Proc, sqlText string) (*Result, error) {
+	stmt, err := Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(p, stmt)
+}
+
+// MustExec is Exec that panics on error; for tests and examples.
+func (s *Session) MustExec(p *sim.Proc, sqlText string) *Result {
+	res, err := s.Exec(p, sqlText)
+	if err != nil {
+		panic(fmt.Sprintf("sql: %v", err))
+	}
+	return res
+}
+
+// ExecStmt executes a parsed statement.
+func (s *Session) ExecStmt(p *sim.Proc, stmt Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *CreateDatabase:
+		return s.execCreateDatabase(st)
+	case *AlterDatabase:
+		return s.execAlterDatabase(p, st)
+	case *CreateTable:
+		return s.execCreateTable(p, st)
+	case *CreateIndex:
+		return s.execCreateIndex(p, st)
+	case *AlterTableLocality:
+		return s.execAlterTableLocality(p, st)
+	case *SetVar:
+		return s.execSetVar(st)
+	case *ShowRegions:
+		return s.execShowRegions(st)
+	case *ShowRanges:
+		return s.execShowRanges(st)
+	case *DropTable:
+		return s.execDropTable(st)
+	case *Truncate:
+		return s.execTruncate(p, st)
+	case *Explain:
+		return s.execExplain(st)
+	case *Insert, *Update, *Delete, *Select:
+		return s.execDML(p, stmt)
+	}
+	return nil, fmt.Errorf("sql: unhandled statement %T", stmt)
+}
+
+// BeginTxn starts an explicit transaction; subsequent Exec calls run inside
+// it until CommitTxn or RollbackTxn.
+func (s *Session) BeginTxn() *txn.Txn {
+	s.activeTxn = s.Coord.Begin(0)
+	return s.activeTxn
+}
+
+// CommitTxn commits the explicit transaction.
+func (s *Session) CommitTxn(p *sim.Proc) error {
+	if s.activeTxn == nil {
+		return fmt.Errorf("sql: no transaction in progress")
+	}
+	t := s.activeTxn
+	s.activeTxn = nil
+	return t.Commit(p)
+}
+
+// RollbackTxn aborts the explicit transaction.
+func (s *Session) RollbackTxn(p *sim.Proc) {
+	if s.activeTxn != nil {
+		s.activeTxn.Abort(p)
+		s.activeTxn = nil
+	}
+}
+
+// RunTxn executes fn inside a retrying transaction; statements issued via
+// ExecTxn within fn share it.
+func (s *Session) RunTxn(p *sim.Proc, fn func(tx *txn.Txn) error) error {
+	return s.Coord.Run(p, fn)
+}
+
+func (s *Session) execDML(p *sim.Proc, stmt Statement) (*Result, error) {
+	if sel, ok := stmt.(*Select); ok && sel.AsOf != nil {
+		// Stale reads run outside transactions (§5.3).
+		return s.execStaleSelect(p, sel)
+	}
+	if s.activeTxn != nil {
+		return s.execDMLInTxn(p, s.activeTxn, stmt)
+	}
+	var res *Result
+	err := s.Coord.Run(p, func(tx *txn.Txn) error {
+		// Auto-commit statements are one-phase-commit eligible: a sole
+		// write is buffered and committed in a single consensus round at
+		// its leaseholder, so no intent ever blocks other transactions.
+		tx.AllowOnePC = !s.DisableOnePC
+		var err error
+		res, err = s.execDMLInTxn(p, tx, stmt)
+		return err
+	})
+	return res, err
+}
+
+// ExecTxn executes a DML statement inside the given transaction.
+func (s *Session) ExecTxn(p *sim.Proc, tx *txn.Txn, sqlText string) (*Result, error) {
+	stmt, err := Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	if sel, ok := stmt.(*Select); ok && sel.AsOf != nil {
+		return nil, fmt.Errorf("sql: AS OF SYSTEM TIME not allowed in a read-write transaction")
+	}
+	return s.execDMLInTxn(p, tx, stmt)
+}
+
+func (s *Session) execDMLInTxn(p *sim.Proc, tx *txn.Txn, stmt Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *Insert:
+		return s.execInsert(p, tx, st)
+	case *Select:
+		return s.execSelect(p, tx, st)
+	case *Update:
+		return s.execUpdate(p, tx, st)
+	case *Delete:
+		return s.execDelete(p, tx, st)
+	}
+	return nil, fmt.Errorf("sql: %T is not DML", stmt)
+}
+
+func (s *Session) execSetVar(st *SetVar) (*Result, error) {
+	on := st.Value == "on" || st.Value == "true" || st.Value == "1"
+	switch st.Name {
+	case "enable_locality_optimized_search":
+		s.LocalityOptimizedSearch = on
+	case "enable_auto_rehoming":
+		s.AutoRehoming = on
+	case "enable_uniqueness_checks":
+		s.UniquenessChecks = on
+	case "database":
+		s.Database = st.Value
+	default:
+		return nil, fmt.Errorf("sql: unknown setting %q", st.Name)
+	}
+	return &Result{}, nil
+}
+
+func (s *Session) execShowRegions(st *ShowRegions) (*Result, error) {
+	res := &Result{Columns: []string{"region", "state"}}
+	name := st.Database
+	if name == "" {
+		// Cluster regions: the union of node regions (§2.1).
+		for _, r := range s.Cluster.Topo.Regions() {
+			res.Rows = append(res.Rows, []Datum{string(r), "PUBLIC"})
+		}
+		return res, nil
+	}
+	db, ok := s.Catalog.Database(name)
+	if !ok {
+		return nil, fmt.Errorf("sql: database %q does not exist", name)
+	}
+	for _, r := range db.Regions() {
+		state, _ := db.RegionState(r)
+		str := "PUBLIC"
+		if state == core.RegionReadOnly {
+			str = "READ ONLY"
+		}
+		res.Rows = append(res.Rows, []Datum{string(r), str})
+	}
+	return res, nil
+}
+
+// execDropTable removes a table: its ranges are torn down and the catalog
+// entry deleted.
+func (s *Session) execDropTable(st *DropTable) (*Result, error) {
+	t, db, err := s.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	for _, idx := range t.Indexes {
+		for _, region := range partitionsOf(t, db) {
+			start, _ := IndexSpan(t, idx.ID, region)
+			desc, err := s.Cluster.Catalog.Lookup(start)
+			if err != nil {
+				continue
+			}
+			for _, id := range desc.Replicas() {
+				s.Cluster.Stores[id].RemoveReplica(desc.RangeID)
+			}
+			s.Cluster.Catalog.Remove(desc.RangeID)
+		}
+	}
+	s.Catalog.DropTable(db.Name, t.Name)
+	return &Result{}, nil
+}
+
+// execTruncate deletes every row of a table transactionally.
+func (s *Session) execTruncate(p *sim.Proc, st *Truncate) (*Result, error) {
+	t, db, err := s.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	deleted := 0
+	err = s.Coord.Run(p, func(tx *txn.Txn) error {
+		deleted = 0
+		for _, region := range partitionsOf(t, db) {
+			start, end := IndexSpan(t, t.Primary().ID, region)
+			rows, err := tx.Scan(p, start, end, 0)
+			if err != nil {
+				return err
+			}
+			for _, kvp := range rows {
+				vals, err := DecodeRow(kvp.Value)
+				if err != nil {
+					return err
+				}
+				if err := s.deleteRow(p, tx, t, region, vals); err != nil {
+					return err
+				}
+				deleted++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: deleted}, nil
+}
+
+// execShowRanges lists the range descriptors backing a table: one row per
+// (index, partition) with lease placement and closed-timestamp policy.
+func (s *Session) execShowRanges(st *ShowRanges) (*Result, error) {
+	t, db, err := s.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: []string{"index", "partition", "range_id", "leaseholder", "lease_region", "policy", "voters", "non_voters"}}
+	for _, idx := range t.Indexes {
+		for _, region := range partitionsOf(t, db) {
+			start, _ := IndexSpan(t, idx.ID, region)
+			desc, err := s.Cluster.Catalog.Lookup(start)
+			if err != nil {
+				continue
+			}
+			loc, _ := s.Cluster.Topo.LocalityOf(desc.Leaseholder)
+			part := string(region)
+			if part == "" {
+				part = "-"
+			}
+			res.Rows = append(res.Rows, []Datum{
+				idx.Name, part, int64(desc.RangeID), int64(desc.Leaseholder),
+				string(loc.Region), desc.Policy.String(),
+				fmt.Sprintf("%v", desc.Voters), fmt.Sprintf("%v", desc.NonVoters),
+			})
+		}
+	}
+	res.RowsAffected = len(res.Rows)
+	return res, nil
+}
+
+// execExplain renders the read plan: chosen index, candidate partitions,
+// and whether locality optimized search applies (§4.2).
+func (s *Session) execExplain(st *Explain) (*Result, error) {
+	t, db, err := s.table(st.Stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := s.planRead(t, db, st.Stmt.Where, st.Stmt.Limit)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: []string{"field", "value"}}
+	add := func(f, v string) { res.Rows = append(res.Rows, []Datum{f, v}) }
+	if plan.lookups != nil {
+		add("plan", fmt.Sprintf("point lookup (%d keys)", len(plan.lookups)))
+	} else {
+		add("plan", "scan")
+	}
+	add("table", t.Name)
+	add("index", plan.index.Name)
+	add("locality", t.Locality.String())
+	add("partitions", fmt.Sprintf("%v", plan.regions))
+	add("region pinned", fmt.Sprintf("%v", plan.regionPinned))
+	add("locality optimized search", fmt.Sprintf("%v", plan.los))
+	if st.Stmt.AsOf != nil {
+		add("as of system time", "stale read (nearest replica)")
+	}
+	res.RowsAffected = len(res.Rows)
+	return res, nil
+}
+
+// --- Expression evaluation ---
+
+// evalCtx supplies runtime context for expression evaluation.
+type evalCtx struct {
+	session *Session
+	row     map[string]Datum // current row values by column name
+}
+
+func (s *Session) evalExpr(e Expr, ctx *evalCtx) (Datum, error) {
+	switch ex := e.(type) {
+	case *Lit:
+		return ex.Val, nil
+	case *ColRef:
+		if ctx == nil || ctx.row == nil {
+			return nil, fmt.Errorf("sql: column %q not available here", ex.Name)
+		}
+		v, ok := ctx.row[ex.Name]
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown column %q", ex.Name)
+		}
+		return v, nil
+	case *FuncCall:
+		return s.evalFunc(ex, ctx)
+	case *BinaryExpr:
+		l, err := s.evalExpr(ex.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.evalExpr(ex.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		switch ex.Op {
+		case "=":
+			return DatumsEqual(l, r), nil
+		case "+", "-":
+			if lf, lok := toFloat(l); lok {
+				if rf, rok := toFloat(r); rok {
+					// Mixed or float arithmetic yields float; pure int
+					// stays int.
+					_, li := l.(int64)
+					_, ri := r.(int64)
+					if li && ri {
+						if ex.Op == "+" {
+							return l.(int64) + r.(int64), nil
+						}
+						return l.(int64) - r.(int64), nil
+					}
+					if ex.Op == "+" {
+						return lf + rf, nil
+					}
+					return lf - rf, nil
+				}
+			}
+			return nil, fmt.Errorf("sql: %s requires numbers", ex.Op)
+		}
+		return nil, fmt.Errorf("sql: unsupported operator %q", ex.Op)
+	case *CaseExpr:
+		for _, w := range ex.Whens {
+			v, err := s.evalExpr(w.Cond, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := v.(bool); ok && b {
+				return s.evalExpr(w.Then, ctx)
+			}
+		}
+		if ex.Else != nil {
+			return s.evalExpr(ex.Else, ctx)
+		}
+		return nil, nil
+	}
+	return nil, fmt.Errorf("sql: cannot evaluate %T", e)
+}
+
+func toFloat(d Datum) (float64, bool) {
+	switch v := d.(type) {
+	case int64:
+		return float64(v), true
+	case int:
+		return float64(v), true
+	case float64:
+		return v, true
+	}
+	return 0, false
+}
+
+func toInt(d Datum) (int64, bool) {
+	switch v := d.(type) {
+	case int64:
+		return v, true
+	case int:
+		return int64(v), true
+	}
+	return 0, false
+}
+
+func (s *Session) evalFunc(fc *FuncCall, ctx *evalCtx) (Datum, error) {
+	switch fc.Name {
+	case "gateway_region":
+		// §2.3.2: the region the request originated in.
+		return string(s.Region()), nil
+	case "gen_random_uuid":
+		// Deterministic UUIDs from the simulation RNG.
+		rng := s.Cluster.Sim.Rand()
+		return fmt.Sprintf("%08x-%04x-%04x-%04x-%012x",
+			rng.Uint32(), rng.Uint32()&0xffff, rng.Uint32()&0xffff,
+			rng.Uint32()&0xffff, rng.Int63()&0xffffffffffff), nil
+	case "now":
+		return int64(s.Coord.Store.Clock.PhysicalNow()), nil
+	case "rehome_row":
+		return string(s.Region()), nil
+	case "region_from_prefix":
+		// Extracts the region from a "region/rest" composite key: the
+		// application encodes data placement in its primary keys, as
+		// TPC-C does with warehouse IDs.
+		if len(fc.Args) != 1 {
+			return nil, fmt.Errorf("sql: region_from_prefix takes one argument")
+		}
+		v, err := s.evalExpr(fc.Args[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		str, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("sql: region_from_prefix requires a string")
+		}
+		if i := strings.IndexByte(str, '/'); i >= 0 {
+			return str[:i], nil
+		}
+		return nil, fmt.Errorf("sql: key %q has no region prefix", str)
+	case "region_from_city", "region_from_warehouse":
+		// Helper used in examples/benchmarks: computed-column functions
+		// are modeled by CASE in real schemas; these evaluate their
+		// argument via a registered mapping.
+		if len(fc.Args) != 1 {
+			return nil, fmt.Errorf("sql: %s takes one argument", fc.Name)
+		}
+		v, err := s.evalExpr(fc.Args[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		return s.mapToRegion(v)
+	}
+	return nil, fmt.Errorf("sql: unknown function %q", fc.Name)
+}
+
+// mapToRegion deterministically maps a value onto the current database's
+// regions; the stand-in for user-written CASE mappings in benchmarks.
+func (s *Session) mapToRegion(v Datum) (Datum, error) {
+	db, ok := s.Catalog.Database(s.Database)
+	if !ok {
+		return nil, fmt.Errorf("sql: no current database")
+	}
+	regions := db.Regions()
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("sql: database has no regions")
+	}
+	var h uint64
+	switch x := v.(type) {
+	case int64:
+		h = uint64(x)
+	case string:
+		for i := 0; i < len(x); i++ {
+			h = h*131 + uint64(x[i])
+		}
+	default:
+		return nil, fmt.Errorf("sql: cannot map %T to a region", v)
+	}
+	return string(regions[h%uint64(len(regions))]), nil
+}
+
+// parseDuration parses interval strings like '30s', '-4.8s', '500ms'.
+func parseDuration(s string) (sim.Duration, error) {
+	return time.ParseDuration(strings.TrimSpace(s))
+}
+
+// resolveAsOfTimestamp converts an AS OF SYSTEM TIME argument to a
+// timestamp at the gateway clock.
+func (s *Session) resolveAsOfTimestamp(e Expr) (hlc.Timestamp, error) {
+	v, err := s.evalExpr(e, nil)
+	if err != nil {
+		return hlc.Timestamp{}, err
+	}
+	now := s.Coord.Store.Clock.Now()
+	switch x := v.(type) {
+	case string:
+		d, err := parseDuration(x)
+		if err != nil {
+			return hlc.Timestamp{}, fmt.Errorf("sql: bad AS OF SYSTEM TIME %q", x)
+		}
+		return now.Add(d), nil
+	case int64:
+		return hlc.Timestamp{WallTime: x}, nil
+	}
+	return hlc.Timestamp{}, fmt.Errorf("sql: bad AS OF SYSTEM TIME value %T", v)
+}
+
+// --- helpers shared by DDL and DML ---
+
+func (s *Session) database() (*core.Database, error) {
+	db, ok := s.Catalog.Database(s.Database)
+	if !ok {
+		return nil, fmt.Errorf("sql: no current database (SET database = ...)")
+	}
+	return db, nil
+}
+
+func (s *Session) table(name string) (*Table, *core.Database, error) {
+	db, err := s.database()
+	if err != nil {
+		return nil, nil, err
+	}
+	t, ok := s.Catalog.Table(db.Name, name)
+	if !ok {
+		return nil, nil, fmt.Errorf("sql: table %q does not exist", name)
+	}
+	return t, db, nil
+}
+
+// partitionsOf returns the key partitions of an index: the database regions
+// for REGIONAL BY ROW tables, or the single empty partition otherwise.
+func partitionsOf(t *Table, db *core.Database) []simnet.Region {
+	if t.IsPartitioned() {
+		return db.Regions()
+	}
+	return []simnet.Region{""}
+}
+
+// createIndexRanges creates the ranges backing one index of a table,
+// honoring the table's locality.
+func (s *Session) createIndexRanges(t *Table, db *core.Database, idx *Index) error {
+	alloc := s.Cluster.Allocator()
+	switch {
+	case t.DuplicateIndexes && idx.PinnedRegion != "":
+		cfg, err := db.ZoneConfigForHome(idx.PinnedRegion, false)
+		if err != nil {
+			return err
+		}
+		return s.createRangeForSpan(t, idx.ID, "", cfg, kv.ClosedTSLag, alloc)
+	case t.Locality == core.Global:
+		tp, err := db.PlacementForTable(core.Global, "")
+		if err != nil {
+			return err
+		}
+		cfg := tp.Home[db.PrimaryRegion]
+		return s.createRangeForSpan(t, idx.ID, "", cfg, tp.Policy, alloc)
+	case t.Locality == core.RegionalByRow:
+		tp, err := db.PlacementForTable(core.RegionalByRow, "")
+		if err != nil {
+			return err
+		}
+		for _, region := range db.Regions() {
+			if err := s.createRangeForSpan(t, idx.ID, region, tp.Home[region], tp.Policy, alloc); err != nil {
+				return err
+			}
+		}
+		return nil
+	default: // REGIONAL BY TABLE
+		tp, err := db.PlacementForTable(core.RegionalByTable, t.HomeRegion)
+		if err != nil {
+			return err
+		}
+		home := t.HomeRegion
+		if home == "" {
+			home = db.PrimaryRegion
+		}
+		return s.createRangeForSpan(t, idx.ID, "", tp.Home[home], tp.Policy, alloc)
+	}
+}
+
+func (s *Session) createRangeForSpan(t *Table, idx IndexID, region simnet.Region, cfg zones.Config, policy kv.ClosedTSPolicy, alloc *zones.Allocator) error {
+	placement, err := alloc.Allocate(cfg)
+	if err != nil {
+		return err
+	}
+	start, end := IndexSpan(t, idx, region)
+	_, err = s.Cluster.Admin.CreateRange(start, end, placement, policy)
+	return err
+}
+
+// waitTableReady blocks until all of a table's ranges serve.
+func (s *Session) waitTableReady(p *sim.Proc, t *Table, db *core.Database) error {
+	for _, idx := range t.Indexes {
+		for _, region := range partitionsOf(t, db) {
+			start, _ := IndexSpan(t, idx.ID, region)
+			desc, err := s.Cluster.Catalog.Lookup(start)
+			if err != nil {
+				return err
+			}
+			if err := s.Cluster.Admin.WaitReady(p, desc.RangeID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+var _ = mvcc.Key(nil)
+
+// ExecStmtTxn executes a parsed DML statement inside the given transaction;
+// the workload drivers use it to avoid re-parsing hot statements.
+func (s *Session) ExecStmtTxn(p *sim.Proc, tx *txn.Txn, stmt Statement) (*Result, error) {
+	return s.execDMLInTxn(p, tx, stmt)
+}

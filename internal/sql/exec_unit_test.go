@@ -1,0 +1,157 @@
+package sql
+
+import (
+	"testing"
+
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+)
+
+func TestEvalExprArithmeticAndCase(t *testing.T) {
+	h := newPlanHarness(t)
+	s := h.session
+	cases := []struct {
+		e    Expr
+		row  map[string]Datum
+		want Datum
+	}{
+		{&BinaryExpr{Op: "+", L: &Lit{Val: int64(2)}, R: &Lit{Val: int64(3)}}, nil, int64(5)},
+		{&BinaryExpr{Op: "-", L: &Lit{Val: int64(2)}, R: &Lit{Val: int64(3)}}, nil, int64(-1)},
+		{&BinaryExpr{Op: "+", L: &Lit{Val: 1.5}, R: &Lit{Val: int64(2)}}, nil, 3.5},
+		{&BinaryExpr{Op: "=", L: &Lit{Val: int64(3)}, R: &Lit{Val: 3.0}}, nil, true},
+		{
+			&BinaryExpr{Op: "+", L: &ColRef{Name: "n"}, R: &Lit{Val: int64(1)}},
+			map[string]Datum{"n": int64(9)}, int64(10),
+		},
+		{
+			&CaseExpr{
+				Whens: []CaseWhen{{
+					Cond: &BinaryExpr{Op: "=", L: &ColRef{Name: "state"}, R: &Lit{Val: "CA"}},
+					Then: &Lit{Val: "west"},
+				}},
+				Else: &Lit{Val: "east"},
+			},
+			map[string]Datum{"state": "CA"}, "west",
+		},
+		{
+			&CaseExpr{
+				Whens: []CaseWhen{{
+					Cond: &BinaryExpr{Op: "=", L: &ColRef{Name: "state"}, R: &Lit{Val: "CA"}},
+					Then: &Lit{Val: "west"},
+				}},
+				Else: &Lit{Val: "east"},
+			},
+			map[string]Datum{"state": "NY"}, "east",
+		},
+	}
+	for i, c := range cases {
+		var ctx *evalCtx
+		if c.row != nil {
+			ctx = &evalCtx{session: s, row: c.row}
+		}
+		got, err := s.evalExpr(c.e, ctx)
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if !DatumsEqual(got, c.want) {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+	// Errors.
+	if _, err := s.evalExpr(&BinaryExpr{Op: "+", L: &Lit{Val: "x"}, R: &Lit{Val: int64(1)}}, nil); err == nil {
+		t.Error("string arithmetic succeeded")
+	}
+	if _, err := s.evalExpr(&ColRef{Name: "missing"}, nil); err == nil {
+		t.Error("column ref without row succeeded")
+	}
+	if _, err := s.evalExpr(&FuncCall{Name: "nope"}, nil); err == nil {
+		t.Error("unknown function succeeded")
+	}
+}
+
+func TestEvalBuiltins(t *testing.T) {
+	h := newPlanHarness(t)
+	s := h.session
+	// gateway_region reflects the session's gateway.
+	v, err := s.evalExpr(&FuncCall{Name: "gateway_region"}, nil)
+	if err != nil || v != string(simnet.EuropeW2) {
+		t.Errorf("gateway_region = %v, %v", v, err)
+	}
+	// gen_random_uuid yields 36-char distinct values.
+	a, _ := s.evalExpr(&FuncCall{Name: "gen_random_uuid"}, nil)
+	b, _ := s.evalExpr(&FuncCall{Name: "gen_random_uuid"}, nil)
+	if len(a.(string)) != 36 || a == b {
+		t.Errorf("uuids: %v %v", a, b)
+	}
+	// region_from_prefix extracts and validates.
+	v, err = s.evalExpr(&FuncCall{Name: "region_from_prefix", Args: []Expr{&Lit{Val: "us-east1/user42"}}}, nil)
+	if err != nil || v != "us-east1" {
+		t.Errorf("region_from_prefix = %v, %v", v, err)
+	}
+	if _, err := s.evalExpr(&FuncCall{Name: "region_from_prefix", Args: []Expr{&Lit{Val: "noprefix"}}}, nil); err == nil {
+		t.Error("prefixless key accepted")
+	}
+	// region_from_warehouse maps ints onto sorted regions.
+	v, err = s.evalExpr(&FuncCall{Name: "region_from_warehouse", Args: []Expr{&Lit{Val: int64(0)}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != string(simnet.AsiaNE1) { // alphabetically first of the three
+		t.Errorf("region_from_warehouse(0) = %v", v)
+	}
+}
+
+func TestResolveAsOfTimestamp(t *testing.T) {
+	h := newPlanHarness(t)
+	s := h.session
+	now := s.Coord.Store.Clock.Now()
+	ts, err := s.resolveAsOfTimestamp(&Lit{Val: "-30s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := now.WallTime - ts.WallTime; d < int64(29*sim.Second) || d > int64(31*sim.Second) {
+		t.Errorf("-30s resolved %v in the past", d)
+	}
+	if _, err := s.resolveAsOfTimestamp(&Lit{Val: "bogus"}); err == nil {
+		t.Error("bad interval accepted")
+	}
+	abs, err := s.resolveAsOfTimestamp(&Lit{Val: int64(12345)})
+	if err != nil || abs.WallTime != 12345 {
+		t.Errorf("absolute ts: %v %v", abs, err)
+	}
+}
+
+func TestSetVarValidation(t *testing.T) {
+	h := newPlanHarness(t)
+	s := h.session
+	if _, err := s.execSetVar(&SetVar{Name: "enable_auto_rehoming", Value: "on"}); err != nil || !s.AutoRehoming {
+		t.Errorf("rehoming not enabled: %v", err)
+	}
+	if _, err := s.execSetVar(&SetVar{Name: "enable_locality_optimized_search", Value: "off"}); err != nil || s.LocalityOptimizedSearch {
+		t.Errorf("LOS not disabled: %v", err)
+	}
+	if _, err := s.execSetVar(&SetVar{Name: "no_such_setting", Value: "on"}); err == nil {
+		t.Error("unknown setting accepted")
+	}
+	if _, err := s.execSetVar(&SetVar{Name: "database", Value: "other"}); err != nil || s.Database != "other" {
+		t.Errorf("database switch failed: %v", err)
+	}
+}
+
+func TestTypeFromName(t *testing.T) {
+	good := map[string]ColType{
+		"string": TString, "text": TString, "int": TInt, "bigint": TInt,
+		"float": TFloat, "bool": TBool, "uuid": TUUID,
+		"timestamp": TTimestamp, "crdb_internal_region": TRegion,
+	}
+	for name, want := range good {
+		got, err := typeFromName(name)
+		if err != nil || got != want {
+			t.Errorf("typeFromName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := typeFromName("blob"); err == nil {
+		t.Error("unknown type accepted")
+	}
+}

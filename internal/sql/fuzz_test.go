@@ -1,0 +1,49 @@
+package sql
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Parse never panics, whatever the input.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", src, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mutating valid statements never panics the parser.
+func TestQuickParseMutatedStatements(t *testing.T) {
+	bases := []string{
+		`SELECT a, b FROM t WHERE a = 1 AND b IN (2, 3) LIMIT 5`,
+		`CREATE TABLE t (a INT PRIMARY KEY, b STRING UNIQUE) LOCALITY REGIONAL BY ROW`,
+		`INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')`,
+		`UPDATE t SET b = b + 1 WHERE a = 1`,
+		`ALTER DATABASE d SURVIVE REGION FAILURE`,
+		`SELECT * FROM t AS OF SYSTEM TIME with_max_staleness('30s')`,
+	}
+	f := func(pick uint8, pos uint8, repl byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		src := []byte(bases[int(pick)%len(bases)])
+		src[int(pos)%len(src)] = repl
+		_, _ = Parse(string(src))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

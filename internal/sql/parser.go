@@ -1,0 +1,1255 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mrdb/internal/core"
+)
+
+// --- AST ---
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is a scalar expression.
+type Expr interface{ expr() }
+
+// Lit is a literal value.
+type Lit struct{ Val Datum }
+
+// ColRef references a column by name.
+type ColRef struct{ Name string }
+
+// FuncCall invokes a built-in function (gateway_region,
+// gen_random_uuid, rehome_row, now, with_min_timestamp, with_max_staleness).
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+// BinaryExpr is a binary operation; only '=', '+' and '-' are supported.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// CaseExpr is CASE WHEN cond THEN val ... [ELSE val] END.
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr
+}
+
+// CaseWhen is one WHEN arm.
+type CaseWhen struct {
+	Cond Expr
+	Then Expr
+}
+
+func (*Lit) expr()        {}
+func (*ColRef) expr()     {}
+func (*FuncCall) expr()   {}
+func (*BinaryExpr) expr() {}
+func (*CaseExpr) expr()   {}
+
+// CreateDatabase is CREATE DATABASE name [PRIMARY REGION r [REGIONS ...]].
+type CreateDatabase struct {
+	Name          string
+	PrimaryRegion string
+	Regions       []string
+}
+
+// AlterDatabase covers ADD/DROP REGION, SURVIVE ... FAILURE, PLACEMENT and
+// SET PRIMARY REGION.
+type AlterDatabase struct {
+	Name       string
+	AddRegion  string
+	DropRegion string
+	Survive    *core.SurvivalGoal
+	Placement  *core.DataPlacement
+	SetPrimary string
+}
+
+// LocalityClause is a table's LOCALITY specification.
+type LocalityClause struct {
+	Kind   core.TableLocality
+	Region string // REGIONAL BY TABLE IN <region>
+}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name           string
+	Type           string
+	NotNull        bool
+	PrimaryKey     bool
+	Unique         bool
+	NotVisible     bool
+	Default        Expr
+	Computed       Expr // AS (expr) STORED
+	OnUpdateRehome bool // ON UPDATE rehome_row()
+}
+
+// CreateTable is CREATE TABLE with column defs, table-level PRIMARY
+// KEY/UNIQUE constraints, an optional LOCALITY clause, and the duplicate-
+// indexes baseline extension.
+type CreateTable struct {
+	Name             string
+	Columns          []ColumnDef
+	PrimaryKey       []string
+	Uniques          [][]string
+	Locality         *LocalityClause
+	DuplicateIndexes bool // WITH DUPLICATE INDEXES (legacy baseline)
+}
+
+// CreateIndex is CREATE [UNIQUE] INDEX name ON table (cols).
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Unique bool
+	Cols   []string
+}
+
+// AlterTableLocality is ALTER TABLE t SET LOCALITY ...
+type AlterTableLocality struct {
+	Table    string
+	Locality LocalityClause
+}
+
+// Insert is INSERT INTO t (cols) VALUES (...), (...). With Upsert set it
+// is an UPSERT: a blind overwrite that skips uniqueness checks and the
+// existence read (allowed when every index key is derived from the PK).
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+	Upsert  bool
+}
+
+// CondOp is a WHERE predicate operator.
+type CondOp int8
+
+// Predicate operators.
+const (
+	OpEq CondOp = iota
+	OpIn
+)
+
+// Cond is one conjunct: col = v or col IN (v, ...).
+type Cond struct {
+	Col  string
+	Op   CondOp
+	Vals []Expr
+}
+
+// Where is a conjunction of conditions.
+type Where struct {
+	Conds []Cond
+}
+
+// AsOf is an AS OF SYSTEM TIME clause (§5.3): an exact timestamp (negative
+// interval string or absolute), with_min_timestamp(...), or
+// with_max_staleness('30s').
+type AsOf struct {
+	Exact        Expr
+	MinTimestamp Expr
+	MaxStaleness Expr
+}
+
+// Select is SELECT cols FROM t [AS OF SYSTEM TIME ...] [WHERE ...] [LIMIT n].
+type Select struct {
+	Columns []string // nil means *
+	Table   string
+	Where   *Where
+	Limit   int
+	AsOf    *AsOf
+}
+
+// Assignment is one SET col = expr in UPDATE.
+type Assignment struct {
+	Col string
+	Val Expr
+}
+
+// Update is UPDATE t SET ... WHERE ...
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where *Where
+}
+
+// Delete is DELETE FROM t WHERE ...
+type Delete struct {
+	Table string
+	Where *Where
+}
+
+// SetVar is SET name = value (session settings).
+type SetVar struct {
+	Name  string
+	Value string
+}
+
+// ShowRegions is SHOW REGIONS [FROM DATABASE db].
+type ShowRegions struct {
+	Database string
+}
+
+// ShowRanges is SHOW RANGES FROM TABLE t: the range descriptors backing a
+// table, with their placement.
+type ShowRanges struct {
+	Table string
+}
+
+// Explain is EXPLAIN <select>: the plan the optimizer would run — index,
+// partitions, and whether locality optimized search applies.
+type Explain struct {
+	Stmt *Select
+}
+
+// DropTable is DROP TABLE t.
+type DropTable struct {
+	Table string
+}
+
+// Truncate is TRUNCATE TABLE t: delete all rows, keep the schema.
+type Truncate struct {
+	Table string
+}
+
+func (*CreateDatabase) stmt()     {}
+func (*AlterDatabase) stmt()      {}
+func (*CreateTable) stmt()        {}
+func (*CreateIndex) stmt()        {}
+func (*AlterTableLocality) stmt() {}
+func (*Insert) stmt()             {}
+func (*Select) stmt()             {}
+func (*Update) stmt()             {}
+func (*Delete) stmt()             {}
+func (*SetVar) stmt()             {}
+func (*ShowRegions) stmt()        {}
+func (*ShowRanges) stmt()         {}
+func (*Explain) stmt()            {}
+func (*DropTable) stmt()          {}
+func (*Truncate) stmt()           {}
+
+// --- Lexer ---
+
+type tokKind int8
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkString // '...'
+	tkNumber
+	tkPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tkEOF})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tkString, text: s})
+		case c == '"':
+			s, err := l.lexQuotedIdent()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tkIdent, text: s})
+		case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) && !l.afterOperand()):
+			l.toks = append(l.toks, token{kind: tkNumber, text: l.lexNumber()})
+		case isIdentStart(c):
+			l.toks = append(l.toks, token{kind: tkIdent, text: l.lexIdent()})
+		case strings.ContainsRune("(),=*;+-.", rune(c)):
+			l.toks = append(l.toks, token{kind: tkPunct, text: string(c)})
+			l.pos++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+		}
+	}
+}
+
+// afterOperand reports whether the previous token could end an operand, in
+// which case '-' is subtraction rather than a negative-number sign.
+func (l *lexer) afterOperand() bool {
+	if len(l.toks) == 0 {
+		return false
+	}
+	t := l.toks[len(l.toks)-1]
+	switch t.kind {
+	case tkIdent, tkNumber, tkString:
+		return true
+	case tkPunct:
+		return t.text == ")"
+	}
+	return false
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+}
+
+func (l *lexer) lexString() (string, error) {
+	l.pos++ // opening quote
+	var out []byte
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				out = append(out, '\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return string(out), nil
+		}
+		out = append(out, c)
+		l.pos++
+	}
+	return "", fmt.Errorf("sql: unterminated string")
+}
+
+func (l *lexer) lexQuotedIdent() (string, error) {
+	l.pos++
+	start := l.pos
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == '"' {
+			s := l.src[start:l.pos]
+			l.pos++
+			return s, nil
+		}
+		l.pos++
+	}
+	return "", fmt.Errorf("sql: unterminated quoted identifier")
+}
+
+func (l *lexer) lexNumber() string {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexIdent() string {
+	start := l.pos
+	for l.pos < len(l.src) && (isIdentStart(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c|32 >= 'a' && c|32 <= 'z') }
+
+// --- Parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a single SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %q)", err, src)
+	}
+	p.maybePunct(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: trailing tokens after statement (in %q)", src)
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tkEOF }
+func (p *parser) advance()    { p.pos++ }
+func (p *parser) peekKw(kw string) bool {
+	t := p.cur()
+	return t.kind == tkIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) maybeKw(kw string) bool {
+	if p.peekKw(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.maybeKw(kw) {
+		return fmt.Errorf("sql: expected %s, found %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) maybePunct(s string) bool {
+	t := p.cur()
+	if t.kind == tkPunct && t.text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.maybePunct(s) {
+		return fmt.Errorf("sql: expected %q, found %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tkIdent {
+		return "", fmt.Errorf("sql: expected identifier, found %q", t.text)
+	}
+	p.advance()
+	return strings.ToLower(t.text), nil
+}
+
+// identOrString accepts a region name as identifier or string literal.
+func (p *parser) identOrString() (string, error) {
+	t := p.cur()
+	if t.kind == tkIdent || t.kind == tkString {
+		p.advance()
+		return t.text, nil
+	}
+	return "", fmt.Errorf("sql: expected name, found %q", t.text)
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.maybeKw("CREATE"):
+		switch {
+		case p.maybeKw("DATABASE"):
+			return p.parseCreateDatabase()
+		case p.maybeKw("TABLE"):
+			return p.parseCreateTable()
+		case p.maybeKw("UNIQUE"):
+			if err := p.expectKw("INDEX"); err != nil {
+				return nil, err
+			}
+			return p.parseCreateIndex(true)
+		case p.maybeKw("INDEX"):
+			return p.parseCreateIndex(false)
+		}
+		return nil, fmt.Errorf("sql: unsupported CREATE %q", p.cur().text)
+	case p.maybeKw("ALTER"):
+		switch {
+		case p.maybeKw("DATABASE"):
+			return p.parseAlterDatabase()
+		case p.maybeKw("TABLE"):
+			return p.parseAlterTable()
+		}
+		return nil, fmt.Errorf("sql: unsupported ALTER %q", p.cur().text)
+	case p.maybeKw("INSERT"):
+		return p.parseInsert(false)
+	case p.maybeKw("UPSERT"):
+		return p.parseInsert(true)
+	case p.maybeKw("SELECT"):
+		return p.parseSelect()
+	case p.maybeKw("UPDATE"):
+		return p.parseUpdate()
+	case p.maybeKw("DELETE"):
+		return p.parseDelete()
+	case p.maybeKw("SET"):
+		return p.parseSetVar()
+	case p.maybeKw("SHOW"):
+		switch {
+		case p.maybeKw("REGIONS"):
+			s := &ShowRegions{}
+			if p.maybeKw("FROM") {
+				if err := p.expectKw("DATABASE"); err != nil {
+					return nil, err
+				}
+				name, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				s.Database = name
+			}
+			return s, nil
+		case p.maybeKw("RANGES"):
+			if err := p.expectKw("FROM"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("TABLE"); err != nil {
+				return nil, err
+			}
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ShowRanges{Table: name}, nil
+		}
+		return nil, fmt.Errorf("sql: unsupported SHOW %q", p.cur().text)
+	case p.maybeKw("DROP"):
+		if err := p.expectKw("TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTable{Table: name}, nil
+	case p.maybeKw("TRUNCATE"):
+		p.maybeKw("TABLE")
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &Truncate{Table: name}, nil
+	case p.maybeKw("EXPLAIN"):
+		if err := p.expectKw("SELECT"); err != nil {
+			return nil, err
+		}
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Stmt: sel.(*Select)}, nil
+	}
+	return nil, fmt.Errorf("sql: unsupported statement starting with %q", p.cur().text)
+}
+
+func (p *parser) parseCreateDatabase() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s := &CreateDatabase{Name: name}
+	if p.maybeKw("PRIMARY") {
+		if err := p.expectKw("REGION"); err != nil {
+			return nil, err
+		}
+		if s.PrimaryRegion, err = p.identOrString(); err != nil {
+			return nil, err
+		}
+		if p.maybeKw("REGIONS") {
+			for {
+				r, err := p.identOrString()
+				if err != nil {
+					return nil, err
+				}
+				s.Regions = append(s.Regions, r)
+				if !p.maybePunct(",") {
+					break
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseAlterDatabase() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s := &AlterDatabase{Name: name}
+	switch {
+	case p.maybeKw("ADD"):
+		if err := p.expectKw("REGION"); err != nil {
+			return nil, err
+		}
+		if s.AddRegion, err = p.identOrString(); err != nil {
+			return nil, err
+		}
+	case p.maybeKw("DROP"):
+		if err := p.expectKw("REGION"); err != nil {
+			return nil, err
+		}
+		if s.DropRegion, err = p.identOrString(); err != nil {
+			return nil, err
+		}
+	case p.maybeKw("SURVIVE"):
+		var goal core.SurvivalGoal
+		switch {
+		case p.maybeKw("REGION"):
+			goal = core.SurviveRegion
+		case p.maybeKw("ZONE"):
+			goal = core.SurviveZone
+		default:
+			return nil, fmt.Errorf("sql: expected ZONE or REGION after SURVIVE")
+		}
+		if err := p.expectKw("FAILURE"); err != nil {
+			return nil, err
+		}
+		s.Survive = &goal
+	case p.maybeKw("PLACEMENT"):
+		var pl core.DataPlacement
+		switch {
+		case p.maybeKw("RESTRICTED"):
+			pl = core.PlacementRestricted
+		case p.maybeKw("DEFAULT"):
+			pl = core.PlacementDefault
+		default:
+			return nil, fmt.Errorf("sql: expected RESTRICTED or DEFAULT after PLACEMENT")
+		}
+		s.Placement = &pl
+	case p.maybeKw("SET"):
+		if err := p.expectKw("PRIMARY"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("REGION"); err != nil {
+			return nil, err
+		}
+		if s.SetPrimary, err = p.identOrString(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("sql: unsupported ALTER DATABASE action %q", p.cur().text)
+	}
+	return s, nil
+}
+
+func (p *parser) parseLocality() (*LocalityClause, error) {
+	switch {
+	case p.maybeKw("GLOBAL"):
+		return &LocalityClause{Kind: core.Global}, nil
+	case p.maybeKw("REGIONAL"):
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.maybeKw("ROW"):
+			return &LocalityClause{Kind: core.RegionalByRow}, nil
+		case p.maybeKw("TABLE"):
+			lc := &LocalityClause{Kind: core.RegionalByTable}
+			if p.maybeKw("IN") {
+				if p.maybeKw("PRIMARY") {
+					if err := p.expectKw("REGION"); err != nil {
+						return nil, err
+					}
+				} else {
+					r, err := p.identOrString()
+					if err != nil {
+						return nil, err
+					}
+					lc.Region = r
+				}
+			}
+			return lc, nil
+		}
+		return nil, fmt.Errorf("sql: expected ROW or TABLE after REGIONAL BY")
+	}
+	return nil, fmt.Errorf("sql: expected locality, found %q", p.cur().text)
+}
+
+func (p *parser) parseCreateTable() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s := &CreateTable{Name: name}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.maybeKw("PRIMARY"):
+			if err := p.expectKw("KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.parseColNameList()
+			if err != nil {
+				return nil, err
+			}
+			s.PrimaryKey = cols
+		case p.maybeKw("UNIQUE"):
+			cols, err := p.parseColNameList()
+			if err != nil {
+				return nil, err
+			}
+			s.Uniques = append(s.Uniques, cols)
+		default:
+			col, err := p.parseColumnDef()
+			if err != nil {
+				return nil, err
+			}
+			s.Columns = append(s.Columns, *col)
+		}
+		if p.maybePunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.maybeKw("LOCALITY"):
+			lc, err := p.parseLocality()
+			if err != nil {
+				return nil, err
+			}
+			s.Locality = lc
+		case p.maybeKw("WITH"):
+			if err := p.expectKw("DUPLICATE"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("INDEXES"); err != nil {
+				return nil, err
+			}
+			s.DuplicateIndexes = true
+		default:
+			return s, nil
+		}
+	}
+}
+
+func (p *parser) parseColNameList() ([]string, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		if !p.maybePunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+func (p *parser) parseColumnDef() (*ColumnDef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	typ, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	col := &ColumnDef{Name: name, Type: typ}
+	for {
+		switch {
+		case p.maybeKw("NOT"):
+			switch {
+			case p.maybeKw("NULL"):
+				col.NotNull = true
+			case p.maybeKw("VISIBLE"):
+				col.NotVisible = true
+			default:
+				return nil, fmt.Errorf("sql: expected NULL or VISIBLE after NOT")
+			}
+		case p.maybeKw("PRIMARY"):
+			if err := p.expectKw("KEY"); err != nil {
+				return nil, err
+			}
+			col.PrimaryKey = true
+		case p.maybeKw("UNIQUE"):
+			col.Unique = true
+		case p.maybeKw("DEFAULT"):
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			col.Default = e
+		case p.maybeKw("AS"):
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("STORED"); err != nil {
+				return nil, err
+			}
+			col.Computed = e
+		case p.maybeKw("ON"):
+			if err := p.expectKw("UPDATE"); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if fc, ok := e.(*FuncCall); ok && fc.Name == "rehome_row" {
+				col.OnUpdateRehome = true
+			} else {
+				return nil, fmt.Errorf("sql: only rehome_row() is supported in ON UPDATE")
+			}
+		default:
+			return col, nil
+		}
+	}
+}
+
+func (p *parser) parseCreateIndex(unique bool) (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := p.parseColNameList()
+	if err != nil {
+		return nil, err
+	}
+	return &CreateIndex{Name: name, Table: table, Unique: unique, Cols: cols}, nil
+}
+
+func (p *parser) parseAlterTable() (Statement, error) {
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("LOCALITY"); err != nil {
+		return nil, err
+	}
+	lc, err := p.parseLocality()
+	if err != nil {
+		return nil, err
+	}
+	return &AlterTableLocality{Table: table, Locality: *lc}, nil
+}
+
+func (p *parser) parseInsert(upsert bool) (Statement, error) {
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s := &Insert{Table: table, Upsert: upsert}
+	if p.maybePunct("(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.Columns = append(s.Columns, c)
+			if !p.maybePunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.maybePunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		s.Rows = append(s.Rows, row)
+		if !p.maybePunct(",") {
+			break
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelect() (Statement, error) {
+	s := &Select{}
+	if p.maybePunct("*") {
+		s.Columns = nil
+	} else {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.Columns = append(s.Columns, c)
+			if !p.maybePunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Table = table
+	if p.maybeKw("AS") {
+		if err := p.expectKw("OF"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("SYSTEM"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("TIME"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		asOf := &AsOf{}
+		if fc, ok := e.(*FuncCall); ok {
+			switch fc.Name {
+			case "with_min_timestamp":
+				asOf.MinTimestamp = fc.Args[0]
+			case "with_max_staleness":
+				asOf.MaxStaleness = fc.Args[0]
+			default:
+				asOf.Exact = e
+			}
+		} else {
+			asOf.Exact = e
+		}
+		s.AsOf = asOf
+	}
+	if p.maybeKw("WHERE") {
+		w, err := p.parseWhere()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	if p.maybeKw("LIMIT") {
+		t := p.cur()
+		if t.kind != tkNumber {
+			return nil, fmt.Errorf("sql: expected number after LIMIT")
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, err
+		}
+		p.advance()
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) parseWhere() (*Where, error) {
+	w := &Where{}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cond := Cond{Col: col}
+		switch {
+		case p.maybePunct("="):
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			cond.Op = OpEq
+			cond.Vals = []Expr{e}
+		case p.maybeKw("IN"):
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			cond.Op = OpIn
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				cond.Vals = append(cond.Vals, e)
+				if !p.maybePunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("sql: expected = or IN after %q", col)
+		}
+		w.Conds = append(w.Conds, cond)
+		if !p.maybeKw("AND") {
+			break
+		}
+	}
+	return w, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	s := &Update{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Set = append(s.Set, Assignment{Col: col, Val: e})
+		if !p.maybePunct(",") {
+			break
+		}
+	}
+	if p.maybeKw("WHERE") {
+		w, err := p.parseWhere()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	return s, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s := &Delete{Table: table}
+	if p.maybeKw("WHERE") {
+		w, err := p.parseWhere()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	return s, nil
+}
+
+func (p *parser) parseSetVar() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind != tkIdent && t.kind != tkString && t.kind != tkNumber {
+		return nil, fmt.Errorf("sql: expected value in SET")
+	}
+	p.advance()
+	return &SetVar{Name: name, Value: strings.ToLower(t.text)}, nil
+}
+
+// parseExpr parses expressions with '=' lowest, then +/-, then primaries.
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.maybePunct("=") {
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: "=", L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		if p.maybePunct("+") {
+			op = "+"
+		} else if p.maybePunct("-") {
+			op = "-"
+		} else {
+			return l, nil
+		}
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tkString:
+		p.advance()
+		return &Lit{Val: t.text}, nil
+	case t.kind == tkNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, err
+			}
+			return &Lit{Val: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return &Lit{Val: n}, nil
+	case t.kind == tkIdent && strings.EqualFold(t.text, "NULL"):
+		p.advance()
+		return &Lit{Val: nil}, nil
+	case t.kind == tkIdent && strings.EqualFold(t.text, "TRUE"):
+		p.advance()
+		return &Lit{Val: true}, nil
+	case t.kind == tkIdent && strings.EqualFold(t.text, "FALSE"):
+		p.advance()
+		return &Lit{Val: false}, nil
+	case t.kind == tkIdent && strings.EqualFold(t.text, "CASE"):
+		p.advance()
+		return p.parseCase()
+	case t.kind == tkIdent:
+		name := strings.ToLower(t.text)
+		p.advance()
+		if p.maybePunct("(") {
+			fc := &FuncCall{Name: name}
+			if !p.maybePunct(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, arg)
+					if !p.maybePunct(",") {
+						break
+					}
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			}
+			return fc, nil
+		}
+		return &ColRef{Name: name}, nil
+	case t.kind == tkPunct && t.text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q in expression", t.text)
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	c := &CaseExpr{}
+	for p.maybeKw("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, CaseWhen{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, fmt.Errorf("sql: CASE requires at least one WHEN")
+	}
+	if p.maybeKw("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

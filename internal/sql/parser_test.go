@@ -1,0 +1,208 @@
+package sql
+
+import (
+	"testing"
+
+	"mrdb/internal/core"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestParseCreateDatabase(t *testing.T) {
+	stmt := mustParse(t, `CREATE DATABASE movr PRIMARY REGION "us-east1" REGIONS "us-west1", "europe-west2"`)
+	cd := stmt.(*CreateDatabase)
+	if cd.Name != "movr" || cd.PrimaryRegion != "us-east1" || len(cd.Regions) != 2 {
+		t.Fatalf("%+v", cd)
+	}
+}
+
+func TestParseAlterDatabase(t *testing.T) {
+	ad := mustParse(t, `ALTER DATABASE movr ADD REGION "australia-southeast1"`).(*AlterDatabase)
+	if ad.AddRegion != "australia-southeast1" {
+		t.Fatalf("%+v", ad)
+	}
+	ad = mustParse(t, `ALTER DATABASE movr DROP REGION "us-west1"`).(*AlterDatabase)
+	if ad.DropRegion != "us-west1" {
+		t.Fatalf("%+v", ad)
+	}
+	ad = mustParse(t, `ALTER DATABASE movr SURVIVE REGION FAILURE`).(*AlterDatabase)
+	if ad.Survive == nil || *ad.Survive != core.SurviveRegion {
+		t.Fatalf("%+v", ad)
+	}
+	ad = mustParse(t, `ALTER DATABASE movr SURVIVE ZONE FAILURE`).(*AlterDatabase)
+	if ad.Survive == nil || *ad.Survive != core.SurviveZone {
+		t.Fatalf("%+v", ad)
+	}
+	ad = mustParse(t, `ALTER DATABASE movr PLACEMENT RESTRICTED`).(*AlterDatabase)
+	if ad.Placement == nil || *ad.Placement != core.PlacementRestricted {
+		t.Fatalf("%+v", ad)
+	}
+}
+
+func TestParseCreateTableLocalities(t *testing.T) {
+	ct := mustParse(t, `CREATE TABLE users (id UUID PRIMARY KEY, email STRING UNIQUE, name STRING) LOCALITY REGIONAL BY ROW`).(*CreateTable)
+	if ct.Locality == nil || ct.Locality.Kind != core.RegionalByRow {
+		t.Fatalf("%+v", ct.Locality)
+	}
+	if len(ct.Columns) != 3 || !ct.Columns[0].PrimaryKey || !ct.Columns[1].Unique {
+		t.Fatalf("%+v", ct.Columns)
+	}
+
+	ct = mustParse(t, `CREATE TABLE promo_codes (code STRING PRIMARY KEY) LOCALITY GLOBAL`).(*CreateTable)
+	if ct.Locality.Kind != core.Global {
+		t.Fatal("GLOBAL locality not parsed")
+	}
+
+	ct = mustParse(t, `CREATE TABLE west (id INT PRIMARY KEY) LOCALITY REGIONAL BY TABLE IN "us-west1"`).(*CreateTable)
+	if ct.Locality.Kind != core.RegionalByTable || ct.Locality.Region != "us-west1" {
+		t.Fatalf("%+v", ct.Locality)
+	}
+
+	ct = mustParse(t, `CREATE TABLE t (id INT PRIMARY KEY) LOCALITY REGIONAL BY TABLE IN PRIMARY REGION`).(*CreateTable)
+	if ct.Locality.Kind != core.RegionalByTable || ct.Locality.Region != "" {
+		t.Fatalf("%+v", ct.Locality)
+	}
+}
+
+func TestParseCreateTableConstraintsAndDefaults(t *testing.T) {
+	ct := mustParse(t, `CREATE TABLE t (
+		id UUID PRIMARY KEY DEFAULT gen_random_uuid(),
+		city STRING NOT NULL,
+		crdb_region crdb_internal_region NOT VISIBLE NOT NULL DEFAULT gateway_region() ON UPDATE rehome_row(),
+		PRIMARY KEY (id),
+		UNIQUE (city, id)
+	)`)
+	_ = ct
+	// The duplicate PRIMARY KEY is caught at execution, not parse, time.
+	c := mustParse(t, `CREATE TABLE u (
+		id INT PRIMARY KEY,
+		r crdb_internal_region AS (CASE WHEN state = 'CA' THEN 'us-west1' ELSE 'us-east1' END) STORED
+	)`).(*CreateTable)
+	if c.Columns[1].Computed == nil {
+		t.Fatal("computed column not parsed")
+	}
+	ce, ok := c.Columns[1].Computed.(*CaseExpr)
+	if !ok || len(ce.Whens) != 1 || ce.Else == nil {
+		t.Fatalf("%+v", c.Columns[1].Computed)
+	}
+	d := mustParse(t, `CREATE TABLE v (id INT PRIMARY KEY) WITH DUPLICATE INDEXES`).(*CreateTable)
+	if !d.DuplicateIndexes {
+		t.Fatal("WITH DUPLICATE INDEXES not parsed")
+	}
+}
+
+func TestParseAlterTableLocality(t *testing.T) {
+	at := mustParse(t, `ALTER TABLE promo_codes SET LOCALITY GLOBAL`).(*AlterTableLocality)
+	if at.Table != "promo_codes" || at.Locality.Kind != core.Global {
+		t.Fatalf("%+v", at)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	in := mustParse(t, `INSERT INTO users (id, email) VALUES (1, 'a@b.c'), (2, 'd@e.f')`).(*Insert)
+	if in.Table != "users" || len(in.Columns) != 2 || len(in.Rows) != 2 {
+		t.Fatalf("%+v", in)
+	}
+	if v := in.Rows[0][1].(*Lit).Val; v != "a@b.c" {
+		t.Fatalf("value %v", v)
+	}
+	in = mustParse(t, `INSERT INTO t VALUES (gateway_region(), -5, 2.5, NULL, TRUE)`).(*Insert)
+	if len(in.Rows[0]) != 5 {
+		t.Fatalf("%+v", in.Rows[0])
+	}
+	if _, ok := in.Rows[0][0].(*FuncCall); !ok {
+		t.Fatal("function call not parsed")
+	}
+	if in.Rows[0][1].(*Lit).Val.(int64) != -5 {
+		t.Fatal("negative literal")
+	}
+}
+
+func TestParseSelect(t *testing.T) {
+	sel := mustParse(t, `SELECT * FROM users WHERE email = 'some-email'`).(*Select)
+	if sel.Columns != nil || sel.Table != "users" || len(sel.Where.Conds) != 1 {
+		t.Fatalf("%+v", sel)
+	}
+	sel = mustParse(t, `SELECT id, name FROM users WHERE id IN (1, 2, 3) AND city = 'nyc' LIMIT 10`).(*Select)
+	if len(sel.Columns) != 2 || len(sel.Where.Conds) != 2 || sel.Limit != 10 {
+		t.Fatalf("%+v", sel)
+	}
+	if sel.Where.Conds[0].Op != OpIn || len(sel.Where.Conds[0].Vals) != 3 {
+		t.Fatalf("%+v", sel.Where.Conds[0])
+	}
+}
+
+func TestParseAsOfSystemTime(t *testing.T) {
+	sel := mustParse(t, `SELECT * FROM t AS OF SYSTEM TIME '-30s'`).(*Select)
+	if sel.AsOf == nil || sel.AsOf.Exact == nil {
+		t.Fatalf("%+v", sel.AsOf)
+	}
+	sel = mustParse(t, `SELECT * FROM t AS OF SYSTEM TIME with_max_staleness('30s')`).(*Select)
+	if sel.AsOf == nil || sel.AsOf.MaxStaleness == nil {
+		t.Fatalf("%+v", sel.AsOf)
+	}
+	sel = mustParse(t, `SELECT * FROM t AS OF SYSTEM TIME with_min_timestamp('-10s')`).(*Select)
+	if sel.AsOf == nil || sel.AsOf.MinTimestamp == nil {
+		t.Fatalf("%+v", sel.AsOf)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	up := mustParse(t, `UPDATE users SET name = 'x', age = age + 1 WHERE id = 7`).(*Update)
+	if up.Table != "users" || len(up.Set) != 2 || up.Where == nil {
+		t.Fatalf("%+v", up)
+	}
+	be, ok := up.Set[1].Val.(*BinaryExpr)
+	if !ok || be.Op != "+" {
+		t.Fatalf("%+v", up.Set[1].Val)
+	}
+	del := mustParse(t, `DELETE FROM users WHERE id = 7`).(*Delete)
+	if del.Table != "users" || del.Where == nil {
+		t.Fatalf("%+v", del)
+	}
+}
+
+func TestParseSetAndShow(t *testing.T) {
+	sv := mustParse(t, `SET enable_auto_rehoming = on`).(*SetVar)
+	if sv.Name != "enable_auto_rehoming" || sv.Value != "on" {
+		t.Fatalf("%+v", sv)
+	}
+	sr := mustParse(t, `SHOW REGIONS FROM DATABASE movr`).(*ShowRegions)
+	if sr.Database != "movr" {
+		t.Fatalf("%+v", sr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELEC * FROM t`,
+		`SELECT FROM t`,
+		`CREATE TABLE`,
+		`INSERT INTO t`,
+		`SELECT * FROM t WHERE`,
+		`SELECT * FROM t WHERE a >`,
+		`CREATE TABLE t (a INT PRIMARY KEY) LOCALITY REGIONAL BY COLUMN`,
+		`SELECT * FROM t; SELECT * FROM u`,
+		`SELECT * FROM t WHERE a = 'unterminated`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t -- trailing comment\nWHERE a = 1").(*Select)
+	if sel.Where == nil {
+		t.Fatal("comment swallowed the WHERE")
+	}
+}

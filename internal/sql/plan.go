@@ -1,0 +1,577 @@
+package sql
+
+import (
+	"fmt"
+
+	"mrdb/internal/core"
+	"mrdb/internal/hlc"
+	"mrdb/internal/mvcc"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+	"mrdb/internal/txn"
+)
+
+// Read planning. The planner picks an index from WHERE equality/IN
+// constraints, determines the candidate partitions, and — when the row
+// count is bounded by a unique index — applies Locality Optimized Search
+// (paper §4.2): probe the gateway's local partition first and fan out to
+// remote partitions only on a miss.
+
+// tableRow is a fetched row plus the partition it lives in.
+type tableRow struct {
+	vals   map[ColumnID]Datum
+	region simnet.Region
+}
+
+// namedVals converts a row to a name→value map for expression evaluation.
+func (t *Table) namedVals(vals map[ColumnID]Datum) map[string]Datum {
+	out := map[string]Datum{}
+	for _, c := range t.Columns {
+		if v, ok := vals[c.ID]; ok {
+			out[c.Name] = v
+		} else {
+			out[c.Name] = nil
+		}
+	}
+	return out
+}
+
+// readPlan describes how to fetch rows.
+type readPlan struct {
+	t     *Table
+	index *Index
+	// lookups are full index-key tuples for point gets; nil means scan.
+	lookups [][]Datum
+	// regions are the candidate partitions; [""]
+	// for unpartitioned tables.
+	regions []simnet.Region
+	// regionPinned means the partition set is exact (no search needed).
+	regionPinned bool
+	// los applies local-first probing (bounded row count).
+	los bool
+	// limit bounds scan row counts (0 = unlimited).
+	limit int
+}
+
+// constraints extracts per-column candidate values from a WHERE clause.
+func (s *Session) constraints(w *Where, ctx *evalCtx) (map[string][]Datum, error) {
+	out := map[string][]Datum{}
+	if w == nil {
+		return out, nil
+	}
+	for _, c := range w.Conds {
+		var vals []Datum
+		for _, e := range c.Vals {
+			v, err := s.evalExpr(e, ctx)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+		}
+		if existing, ok := out[c.Col]; ok {
+			// Conjunction: intersect value sets.
+			var merged []Datum
+			for _, v := range existing {
+				for _, w := range vals {
+					if DatumsEqual(v, w) {
+						merged = append(merged, v)
+					}
+				}
+			}
+			vals = merged
+		}
+		out[c.Col] = vals
+	}
+	return out, nil
+}
+
+// computedRegionFromConstraints evaluates a computed region column when all
+// the columns it depends on are single-value constrained.
+func (s *Session) computedRegionFromConstraints(t *Table, cons map[string][]Datum) (simnet.Region, bool) {
+	col, ok := t.ColumnByID(t.RegionColumn)
+	if !ok || col.Computed == nil {
+		return "", false
+	}
+	deps := exprColumnDeps(col.Computed)
+	row := map[string]Datum{}
+	for _, d := range deps {
+		vals, ok := cons[d]
+		if !ok || len(vals) != 1 {
+			return "", false
+		}
+		row[d] = vals[0]
+	}
+	v, err := s.evalExpr(col.Computed, &evalCtx{session: s, row: row})
+	if err != nil {
+		return "", false
+	}
+	r, ok := v.(string)
+	if !ok {
+		return "", false
+	}
+	return simnet.Region(r), true
+}
+
+// exprColumnDeps returns the column names an expression references.
+func exprColumnDeps(e Expr) []string {
+	var out []string
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch ex := e.(type) {
+		case *ColRef:
+			out = append(out, ex.Name)
+		case *FuncCall:
+			for _, a := range ex.Args {
+				walk(a)
+			}
+		case *BinaryExpr:
+			walk(ex.L)
+			walk(ex.R)
+		case *CaseExpr:
+			for _, w := range ex.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			if ex.Else != nil {
+				walk(ex.Else)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// planRead builds a read plan for a WHERE clause.
+func (s *Session) planRead(t *Table, db *core.Database, w *Where, limit int) (*readPlan, error) {
+	cons, err := s.constraints(w, nil)
+	if err != nil {
+		return nil, err
+	}
+	plan := &readPlan{t: t, limit: limit}
+
+	// Partition determination for REGIONAL BY ROW.
+	if t.IsPartitioned() {
+		regionCol, _ := t.ColumnByID(t.RegionColumn)
+		if vals, ok := cons[regionCol.Name]; ok && len(vals) > 0 {
+			for _, v := range vals {
+				if r, ok := v.(string); ok {
+					plan.regions = append(plan.regions, simnet.Region(r))
+				}
+			}
+			plan.regionPinned = true
+		} else if r, ok := s.computedRegionFromConstraints(t, cons); ok {
+			// Computed partitioning (§2.3.2): the region is derivable
+			// from the WHERE clause, so the query stays in one region.
+			plan.regions = []simnet.Region{r}
+			plan.regionPinned = true
+		} else {
+			// Candidate partitions: gateway-local region first (LOS).
+			local := s.Region()
+			if db.HasRegion(local) {
+				plan.regions = append(plan.regions, local)
+			}
+			for _, r := range db.Regions() {
+				if r != local {
+					plan.regions = append(plan.regions, r)
+				}
+			}
+		}
+	} else {
+		plan.regions = []simnet.Region{""}
+		plan.regionPinned = true
+	}
+
+	// Index selection: an index is usable if every indexed column has
+	// candidate values. Prefer the primary index, then unique indexes.
+	pickIndex := func() *Index {
+		var candidates []*Index
+		if t.DuplicateIndexes {
+			// Duplicate-indexes baseline: read the copy pinned to the
+			// gateway's region (§7.3.1).
+			local := s.Region()
+			for _, idx := range t.Indexes {
+				if idx.PinnedRegion == local {
+					candidates = append(candidates, idx)
+				}
+			}
+		}
+		candidates = append(candidates, t.Indexes...)
+		for _, idx := range candidates {
+			usable := true
+			for _, cid := range idx.Cols {
+				col, _ := t.ColumnByID(cid)
+				if vals, ok := cons[col.Name]; !ok || len(vals) == 0 {
+					usable = false
+					break
+				}
+			}
+			if usable {
+				return idx
+			}
+		}
+		return nil
+	}
+	idx := pickIndex()
+	if idx == nil {
+		// Full scan of the primary index.
+		plan.index = t.Primary()
+		if t.DuplicateIndexes {
+			local := s.Region()
+			for _, di := range t.Indexes {
+				if di.PinnedRegion == local && len(di.Storing) > 0 {
+					plan.index = di
+				}
+			}
+		}
+		return plan, nil
+	}
+	plan.index = idx
+
+	// Build lookup tuples: cartesian product of candidate values.
+	tuples := [][]Datum{nil}
+	for _, cid := range idx.Cols {
+		col, _ := t.ColumnByID(cid)
+		vals := cons[col.Name]
+		var next [][]Datum
+		for _, tu := range tuples {
+			for _, v := range vals {
+				nt := append(append([]Datum(nil), tu...), v)
+				next = append(next, nt)
+			}
+		}
+		tuples = next
+		if len(tuples) > 1024 {
+			return nil, fmt.Errorf("sql: IN list product too large")
+		}
+	}
+	plan.lookups = tuples
+	// LOS applies when the row count is bounded (unique index or LIMIT,
+	// §4.2) and the feature is enabled.
+	plan.los = s.LocalityOptimizedSearch && !plan.regionPinned && (idx.Unique || limit > 0)
+	return plan, nil
+}
+
+// rowFetcher abstracts fresh (transactional) vs stale reads.
+type rowFetcher interface {
+	get(p *sim.Proc, key mvcc.Key) (mvcc.Value, error)
+	scan(p *sim.Proc, start, end mvcc.Key, max int) ([]mvcc.KeyValue, error)
+}
+
+// txnFetcher reads through a transaction; forUpdate makes point reads take
+// exclusive locks (the implicit SELECT FOR UPDATE of UPDATE/DELETE).
+type txnFetcher struct {
+	tx        *txn.Txn
+	forUpdate bool
+}
+
+func (f *txnFetcher) get(p *sim.Proc, key mvcc.Key) (mvcc.Value, error) {
+	if f.forUpdate {
+		return f.tx.GetForUpdate(p, key)
+	}
+	return f.tx.Get(p, key)
+}
+func (f *txnFetcher) scan(p *sim.Proc, start, end mvcc.Key, max int) ([]mvcc.KeyValue, error) {
+	return f.tx.Scan(p, start, end, max)
+}
+
+// staleFetcher reads at a fixed timestamp from the nearest replica.
+type staleFetcher struct {
+	co *txn.Coordinator
+	ts hlc.Timestamp
+}
+
+func (f *staleFetcher) get(p *sim.Proc, key mvcc.Key) (mvcc.Value, error) {
+	v, _, err := f.co.ExactStaleRead(p, key, f.ts)
+	return v, err
+}
+func (f *staleFetcher) scan(p *sim.Proc, start, end mvcc.Key, max int) ([]mvcc.KeyValue, error) {
+	return f.co.StaleScan(p, start, end, max, f.ts)
+}
+
+// fetchRows executes a read plan.
+func (s *Session) fetchRows(p *sim.Proc, f rowFetcher, plan *readPlan) ([]tableRow, error) {
+	if plan.lookups == nil {
+		return s.fetchScan(p, f, plan)
+	}
+	return s.fetchPoint(p, f, plan)
+}
+
+// fetchPoint probes the index partitions for each lookup tuple. With LOS
+// the gateway's region is probed first; remaining tuples fan out to the
+// other partitions in parallel, and — because a unique index returns at
+// most one row per tuple — each tuple resolves as soon as any partition
+// finds it, rather than waiting for the slowest region (§4.2: "if the row
+// is found, there is no need to fan out to remote regions").
+func (s *Session) fetchPoint(p *sim.Proc, f rowFetcher, plan *readPlan) ([]tableRow, error) {
+	t, idx := plan.t, plan.index
+	remaining := plan.lookups
+	var out []tableRow
+
+	// probeAll waits for every probe (needed when a miss must be
+	// definitive, e.g. the local-first phase).
+	probeAll := func(regions []simnet.Region, tuples [][]Datum) ([]tableRow, [][]Datum, error) {
+		type result struct {
+			row *tableRow
+			err error
+		}
+		slots := make([]result, len(regions)*len(tuples))
+		wg := sim.NewWaitGroup(p.Sim())
+		i := 0
+		for _, region := range regions {
+			for _, tuple := range tuples {
+				region, tuple, slot := region, tuple, i
+				i++
+				wg.Add(1)
+				p.Sim().Spawn("sql/probe", func(wp *sim.Proc) {
+					defer wg.Done()
+					row, err := s.lookupOne(wp, f, t, idx, region, tuple)
+					slots[slot] = result{row: row, err: err}
+				})
+			}
+		}
+		wg.Wait(p)
+		var rows []tableRow
+		foundTuple := make([]bool, len(tuples))
+		i = 0
+		for range regions {
+			for ti := range tuples {
+				r := slots[i]
+				i++
+				if r.err != nil {
+					return nil, nil, r.err
+				}
+				if r.row != nil {
+					rows = append(rows, *r.row)
+					foundTuple[ti] = true
+				}
+			}
+		}
+		var miss [][]Datum
+		for ti, tuple := range tuples {
+			if !foundTuple[ti] {
+				miss = append(miss, tuple)
+			}
+		}
+		return rows, miss, nil
+	}
+
+	// probeFirstHit fans a tuple out to all regions and resolves on the
+	// first hit (or once all partitions report a miss). Only sound for
+	// unique indexes. Slower probes continue harmlessly in the
+	// background, as in a real distributed cancellation.
+	probeFirstHit := func(regions []simnet.Region, tuple []Datum) (*tableRow, error) {
+		type outcome struct {
+			row *tableRow
+			err error
+		}
+		res := sim.NewFuture[outcome](p.Sim())
+		pending := len(regions)
+		for _, region := range regions {
+			region := region
+			p.Sim().Spawn("sql/probe", func(wp *sim.Proc) {
+				row, err := s.lookupOne(wp, f, t, idx, region, tuple)
+				pending--
+				if res.Done() {
+					return
+				}
+				switch {
+				case err != nil:
+					res.Set(outcome{err: err})
+				case row != nil:
+					res.Set(outcome{row: row})
+				case pending == 0:
+					res.Set(outcome{})
+				}
+			})
+		}
+		o := res.Wait(p)
+		return o.row, o.err
+	}
+
+	if plan.los && len(plan.regions) > 1 && idx.Unique {
+		// Phase 1: local partition only (§4.2).
+		rows, miss, err := probeAll(plan.regions[:1], remaining)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+		if len(miss) == 0 {
+			return out, nil
+		}
+		// Phase 2: fan each missing tuple to the remote partitions,
+		// resolving on first hit.
+		for _, tuple := range miss {
+			row, err := probeFirstHit(plan.regions[1:], tuple)
+			if err != nil {
+				return nil, err
+			}
+			if row != nil {
+				out = append(out, *row)
+			}
+		}
+		return out, nil
+	}
+	rows, _, err := probeAll(plan.regions, remaining)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, rows...), nil
+}
+
+// lookupOne fetches one index tuple in one partition, following secondary
+// index entries to the primary row.
+func (s *Session) lookupOne(p *sim.Proc, f rowFetcher, t *Table, idx *Index, region simnet.Region, tuple []Datum) (*tableRow, error) {
+	key := EncodeIndexKey(t, idx, region, tuple)
+	val, err := f.get(p, key)
+	if err != nil {
+		return nil, err
+	}
+	if val == nil {
+		return nil, nil
+	}
+	if idx.ID == t.Primary().ID || len(idx.Storing) > 0 {
+		vals, err := DecodeRow(val)
+		if err != nil {
+			return nil, err
+		}
+		return &tableRow{vals: vals, region: region}, nil
+	}
+	// Secondary index: value holds the PK; the row lives in the same
+	// partition as the index entry.
+	pkVals, err := DecodeRow(val)
+	if err != nil {
+		return nil, err
+	}
+	primary := t.Primary()
+	var pkTuple []Datum
+	for _, cid := range primary.Cols {
+		pkTuple = append(pkTuple, pkVals[cid])
+	}
+	rowKey := EncodeIndexKey(t, primary, region, pkTuple)
+	rowVal, err := f.get(p, rowKey)
+	if err != nil {
+		return nil, err
+	}
+	if rowVal == nil {
+		return nil, nil
+	}
+	vals, err := DecodeRow(rowVal)
+	if err != nil {
+		return nil, err
+	}
+	return &tableRow{vals: vals, region: region}, nil
+}
+
+// fetchScan scans every candidate partition of the plan's index in
+// parallel.
+func (s *Session) fetchScan(p *sim.Proc, f rowFetcher, plan *readPlan) ([]tableRow, error) {
+	t, idx := plan.t, plan.index
+	type result struct {
+		rows []tableRow
+		err  error
+	}
+	slots := make([]result, len(plan.regions))
+	wg := sim.NewWaitGroup(p.Sim())
+	for i, region := range plan.regions {
+		i, region := i, region
+		wg.Add(1)
+		p.Sim().Spawn("sql/scan", func(wp *sim.Proc) {
+			defer wg.Done()
+			start, end := IndexSpan(t, idx.ID, region)
+			kvs, err := f.scan(wp, start, end, plan.limit)
+			if err != nil {
+				slots[i] = result{err: err}
+				return
+			}
+			var rows []tableRow
+			for _, kvp := range kvs {
+				if idx.ID == t.Primary().ID || len(idx.Storing) > 0 {
+					vals, err := DecodeRow(kvp.Value)
+					if err != nil {
+						slots[i] = result{err: err}
+						return
+					}
+					rows = append(rows, tableRow{vals: vals, region: region})
+				} else {
+					row, err := s.primaryFromIndexValue(wp, f, t, region, kvp.Value)
+					if err != nil {
+						slots[i] = result{err: err}
+						return
+					}
+					if row != nil {
+						rows = append(rows, *row)
+					}
+				}
+			}
+			slots[i] = result{rows: rows}
+		})
+	}
+	wg.Wait(p)
+	var out []tableRow
+	for _, r := range slots {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, r.rows...)
+	}
+	return out, nil
+}
+
+func (s *Session) primaryFromIndexValue(p *sim.Proc, f rowFetcher, t *Table, region simnet.Region, val mvcc.Value) (*tableRow, error) {
+	pkVals, err := DecodeRow(val)
+	if err != nil {
+		return nil, err
+	}
+	primary := t.Primary()
+	var pkTuple []Datum
+	for _, cid := range primary.Cols {
+		pkTuple = append(pkTuple, pkVals[cid])
+	}
+	rowKey := EncodeIndexKey(t, primary, region, pkTuple)
+	rowVal, err := f.get(p, rowKey)
+	if err != nil || rowVal == nil {
+		return nil, err
+	}
+	vals, err := DecodeRow(rowVal)
+	if err != nil {
+		return nil, err
+	}
+	return &tableRow{vals: vals, region: region}, nil
+}
+
+// filterRows applies the full WHERE clause to fetched rows.
+func (s *Session) filterRows(t *Table, rows []tableRow, w *Where) ([]tableRow, error) {
+	if w == nil {
+		return rows, nil
+	}
+	var out []tableRow
+	for _, row := range rows {
+		named := t.namedVals(row.vals)
+		match := true
+		for _, c := range w.Conds {
+			v, ok := named[c.Col]
+			if !ok {
+				return nil, fmt.Errorf("sql: unknown column %q", c.Col)
+			}
+			any := false
+			for _, e := range c.Vals {
+				ev, err := s.evalExpr(e, nil)
+				if err != nil {
+					return nil, err
+				}
+				if DatumsEqual(v, ev) {
+					any = true
+					break
+				}
+			}
+			if !any {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,708 @@
+// Package txn implements the gateway-side transaction coordinator: begin /
+// read / write / commit with serializable isolation, uncertainty-interval
+// refreshes and restarts (paper §6.1), commit wait for future-time (global)
+// transactions performed concurrently with lock release (§6.2), and the
+// stale read-only transaction variants — exact and bounded staleness
+// (§5.3).
+package txn
+
+import (
+	"errors"
+	"fmt"
+
+	"mrdb/internal/hlc"
+	"mrdb/internal/kv"
+	"mrdb/internal/mvcc"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+)
+
+// Coordinator creates transactions on one gateway node.
+type Coordinator struct {
+	Store  *kv.Store
+	Sender *kv.DistSender
+
+	// PipelineWrites replies to writes after proposal rather than after
+	// replication (async consensus); the commit path proves every
+	// pipelined write with QueryIntent before writing the commit record.
+	// On by default via NewCoordinator.
+	PipelineWrites bool
+
+	// FollowerReadPatience, when non-zero, lets follower replicas wait up
+	// to this long for their closed timestamp to catch up instead of
+	// redirecting a read to the leaseholder (the paper's adaptive-policy
+	// future work, §5.3.1).
+	FollowerReadPatience sim.Duration
+
+	// SpannerCommitWait, when true, performs commit wait *before*
+	// releasing locks (resolving intents), as Spanner does; the default
+	// (false) releases locks concurrently with the wait, which is the
+	// paper's key latency optimization (§6.2). Exposed for the ablation
+	// benchmark.
+	SpannerCommitWait bool
+
+	// Stats.
+	Begun, Committed, Aborted, Restarts int64
+	CommitWaits                         int64
+	CommitWaitTotal                     sim.Duration
+}
+
+// NewCoordinator returns a coordinator bound to a gateway store.
+func NewCoordinator(store *kv.Store, sender *kv.DistSender) *Coordinator {
+	return &Coordinator{Store: store, Sender: sender, PipelineWrites: true}
+}
+
+// Txn is one transaction attempt (an epoch); it is restarted in place on
+// retryable errors.
+type Txn struct {
+	co *Coordinator
+	kv *kv.Txn
+
+	// AllowOnePC lets the transaction buffer a sole write and commit it
+	// with a one-phase commit at the leaseholder (no intent ever becomes
+	// visible). The SQL layer sets it for auto-commit statements.
+	AllowOnePC bool
+
+	writes    []mvcc.Key
+	pipelined []mvcc.Key
+	reads     []readSpan
+	// buffered holds the candidate one-phase-commit write until commit
+	// or until any other operation forces a flush.
+	buffered     *mvcc.KeyValue
+	finished     bool
+	committed1PC bool
+	epochOnly    bool // set once the txn restarted at least once
+}
+
+type readSpan struct {
+	key mvcc.Key
+	end mvcc.Key // nil for point reads
+}
+
+// Begin starts a transaction at the gateway's current HLC time.
+func (c *Coordinator) Begin(priority int64) *Txn {
+	c.Begun++
+	return &Txn{co: c, kv: kv.GatewayTxn(c.Store, nil, priority)}
+}
+
+// ID returns the transaction's ID.
+func (t *Txn) ID() mvcc.TxnID { return t.kv.Meta.ID }
+
+// ReadTimestamp returns the current read timestamp.
+func (t *Txn) ReadTimestamp() hlc.Timestamp { return t.kv.ReadTimestamp }
+
+// ProvisionalCommitTimestamp returns the current provisional commit ts.
+func (t *Txn) ProvisionalCommitTimestamp() hlc.Timestamp { return t.kv.Meta.WriteTimestamp }
+
+// followerOK reports whether a fresh read of key may be served by any
+// replica: true only for ranges with the leading closed-timestamp policy
+// (GLOBAL tables), where present time is closed everywhere.
+func (t *Txn) followerOK(key mvcc.Key) bool {
+	desc, err := t.co.Sender.Catalog.Lookup(key)
+	return err == nil && desc.Policy == kv.ClosedTSLead
+}
+
+// restartError converts a conflict into a retry decision for RunTxn.
+func (t *Txn) restartError(reason string, minTS hlc.Timestamp) error {
+	return &kv.RetryableTxnError{TxnID: t.kv.Meta.ID, Reason: reason, MinTimestamp: minTS}
+}
+
+// flushBuffered sends a buffered one-phase-commit candidate through the
+// normal write path; it must run before any other operation.
+func (t *Txn) flushBuffered(p *sim.Proc) error {
+	if t.buffered == nil {
+		return nil
+	}
+	pair := *t.buffered
+	t.buffered = nil
+	return t.putSend(p, pair.Key, pair.Value)
+}
+
+// Get reads key at the transaction's read timestamp.
+func (t *Txn) Get(p *sim.Proc, key mvcc.Key) (mvcc.Value, error) {
+	return t.get(p, key, false)
+}
+
+// GetForUpdate reads key and acquires an exclusive unreplicated lock on it
+// (SELECT FOR UPDATE), serializing read-modify-write transactions without
+// restarts. Locking reads always go to the leaseholder.
+func (t *Txn) GetForUpdate(p *sim.Proc, key mvcc.Key) (mvcc.Value, error) {
+	return t.get(p, key, true)
+}
+
+func (t *Txn) get(p *sim.Proc, key mvcc.Key, forUpdate bool) (mvcc.Value, error) {
+	if err := t.flushBuffered(p); err != nil {
+		return nil, err
+	}
+	for {
+		req := &kv.GetRequest{
+			Key:           key,
+			Timestamp:     t.kv.ReadTimestamp,
+			Txn:           t.kv,
+			Uncertainty:   true,
+			FollowerRead:  !forUpdate && t.followerOK(key),
+			CanBumpReadTS: len(t.reads) == 0,
+			ForUpdate:     forUpdate,
+			WaitForClosed: t.co.FollowerReadPatience,
+		}
+		resp := t.co.Sender.Send(p, req)
+		if resp.Err == nil {
+			if !resp.Get.BumpedTS.IsEmpty() && t.kv.ReadTimestamp.Less(resp.Get.BumpedTS) {
+				t.adoptReadTS(resp.Get.BumpedTS)
+			}
+			t.reads = append(t.reads, readSpan{key: append(mvcc.Key(nil), key...)})
+			return resp.Get.Value, nil
+		}
+		if err := t.handleReadErr(p, resp.Err); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Scan reads [start, end) up to max rows.
+func (t *Txn) Scan(p *sim.Proc, start, end mvcc.Key, max int) ([]mvcc.KeyValue, error) {
+	if err := t.flushBuffered(p); err != nil {
+		return nil, err
+	}
+	for {
+		req := &kv.ScanRequest{
+			StartKey: start, EndKey: end, MaxRows: max,
+			Timestamp:    t.kv.ReadTimestamp,
+			Txn:          t.kv,
+			Uncertainty:  true,
+			FollowerRead: t.followerOK(start),
+		}
+		resp := t.co.Sender.Send(p, req)
+		if resp.Err == nil {
+			t.reads = append(t.reads, readSpan{
+				key: append(mvcc.Key(nil), start...),
+				end: append(mvcc.Key(nil), end...),
+			})
+			return resp.Scan.Rows, nil
+		}
+		if err := t.handleReadErr(p, resp.Err); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// handleReadErr digests a read failure: uncertainty errors trigger a
+// distributed refresh (retry on success, restart on failure); aborts
+// propagate.
+func (t *Txn) handleReadErr(p *sim.Proc, err error) error {
+	var ue *mvcc.UncertaintyError
+	if errors.As(err, &ue) {
+		newTS := ue.ValueTimestamp
+		if t.refreshReads(p, newTS) {
+			t.adoptReadTS(newTS)
+			return nil // retry the read
+		}
+		t.co.Restarts++
+		return t.restartError("uncertainty refresh failed", newTS)
+	}
+	var ta *kv.TxnAbortedError
+	if errors.As(err, &ta) {
+		return err
+	}
+	return err
+}
+
+// adoptReadTS ratchets the read timestamp (and the provisional commit
+// timestamp, which must always be >= the read timestamp).
+func (t *Txn) adoptReadTS(ts hlc.Timestamp) {
+	if t.kv.ReadTimestamp.Less(ts) {
+		t.kv.ReadTimestamp = ts
+	}
+	if t.kv.Meta.WriteTimestamp.Less(ts) {
+		t.kv.Meta.WriteTimestamp = ts
+	}
+}
+
+// refreshReads verifies every prior read remains valid at newTS (paper
+// §6.1: "checking whether the values previously read by the transaction
+// remain unchanged at the newer timestamp"). Spans refresh in parallel;
+// reads of GLOBAL tables refresh at the nearest replica when possible.
+func (t *Txn) refreshReads(p *sim.Proc, newTS hlc.Timestamp) bool {
+	if len(t.reads) == 0 {
+		return true
+	}
+	s := t.co.Store.Sim
+	wg := sim.NewWaitGroup(s)
+	wg.Add(len(t.reads))
+	failed := false
+	for _, span := range t.reads {
+		span := span
+		s.Spawn("txn/refresh", func(wp *sim.Proc) {
+			defer wg.Done()
+			req := &kv.RefreshRequest{
+				Key: span.key, EndKey: span.end,
+				FromTS: t.kv.ReadTimestamp, ToTS: newTS,
+				TxnID:        t.kv.Meta.ID,
+				FollowerRead: t.followerOK(span.key),
+			}
+			resp := t.co.Sender.Send(wp, req)
+			if resp.Err != nil || !resp.Refresh.Success {
+				failed = true
+			}
+		})
+	}
+	wg.Wait(p)
+	return !failed
+}
+
+// Put writes key=value. For one-phase-commit-eligible transactions the
+// sole write is buffered at the coordinator and committed together with
+// the transaction (CockroachDB's 1PC); otherwise it becomes a provisional
+// intent immediately.
+func (t *Txn) Put(p *sim.Proc, key mvcc.Key, value mvcc.Value) error {
+	if t.AllowOnePC && t.buffered == nil && len(t.writes) == 0 {
+		t.kv.Meta.Key = append(mvcc.Key(nil), key...)
+		t.buffered = &mvcc.KeyValue{Key: append(mvcc.Key(nil), key...), Value: value}
+		return nil
+	}
+	if err := t.flushBuffered(p); err != nil {
+		return err
+	}
+	return t.putSend(p, key, value)
+}
+
+// putSend writes an intent through the leaseholder.
+func (t *Txn) putSend(p *sim.Proc, key mvcc.Key, value mvcc.Value) error {
+	if len(t.writes) == 0 {
+		// First write anchors the transaction record's range.
+		t.kv.Meta.Key = append(mvcc.Key(nil), key...)
+	}
+	req := &kv.PutRequest{
+		Key: key, Value: value,
+		Timestamp: t.kv.Meta.WriteTimestamp,
+		Txn:       t.kv,
+		Pipelined: t.co.PipelineWrites,
+	}
+	resp := t.co.Sender.Send(p, req)
+	if resp.Err != nil {
+		return resp.Err
+	}
+	if t.kv.Meta.WriteTimestamp.Less(resp.Put.WriteTimestamp) {
+		t.kv.Meta.WriteTimestamp = resp.Put.WriteTimestamp
+	}
+	t.writes = append(t.writes, append(mvcc.Key(nil), key...))
+	if req.Pipelined {
+		t.pipelined = append(t.pipelined, t.writes[len(t.writes)-1])
+	}
+	return nil
+}
+
+// Del deletes key (writes a tombstone intent).
+func (t *Txn) Del(p *sim.Proc, key mvcc.Key) error { return t.Put(p, key, nil) }
+
+// PutParallel issues a set of writes concurrently and waits for all of
+// them; it models CockroachDB's batched/pipelined writes so that multi-key
+// statements pay the max, not the sum, of per-range latencies.
+func (t *Txn) PutParallel(p *sim.Proc, kvs []mvcc.KeyValue) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	if t.AllowOnePC && t.buffered == nil && len(t.writes) == 0 && len(kvs) == 1 {
+		t.kv.Meta.Key = append(mvcc.Key(nil), kvs[0].Key...)
+		t.buffered = &mvcc.KeyValue{Key: append(mvcc.Key(nil), kvs[0].Key...), Value: kvs[0].Value}
+		return nil
+	}
+	if err := t.flushBuffered(p); err != nil {
+		return err
+	}
+	if len(t.writes) == 0 {
+		t.kv.Meta.Key = append(mvcc.Key(nil), kvs[0].Key...)
+	}
+	s := p.Sim()
+	wg := sim.NewWaitGroup(s)
+	wg.Add(len(kvs))
+	errs := make([]error, len(kvs))
+	results := make([]hlc.Timestamp, len(kvs))
+	for i, pair := range kvs {
+		i, pair := i, pair
+		s.Spawn("txn/put", func(wp *sim.Proc) {
+			defer wg.Done()
+			req := &kv.PutRequest{Key: pair.Key, Value: pair.Value, Timestamp: t.kv.Meta.WriteTimestamp, Txn: t.kv, Pipelined: t.co.PipelineWrites}
+			resp := t.co.Sender.Send(wp, req)
+			if resp.Err != nil {
+				errs[i] = resp.Err
+				return
+			}
+			results[i] = resp.Put.WriteTimestamp
+		})
+	}
+	wg.Wait(p)
+	for i := range kvs {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if t.kv.Meta.WriteTimestamp.Less(results[i]) {
+			t.kv.Meta.WriteTimestamp = results[i]
+		}
+		t.writes = append(t.writes, append(mvcc.Key(nil), kvs[i].Key...))
+		if t.co.PipelineWrites {
+			t.pipelined = append(t.pipelined, t.writes[len(t.writes)-1])
+		}
+	}
+	return nil
+}
+
+// GetParallel issues point reads concurrently, preserving input order in
+// the results.
+func (t *Txn) GetParallel(p *sim.Proc, keys []mvcc.Key) ([]mvcc.Value, error) {
+	if err := t.flushBuffered(p); err != nil {
+		return nil, err
+	}
+	out := make([]mvcc.Value, len(keys))
+	var firstErr error
+	s := p.Sim()
+	wg := sim.NewWaitGroup(s)
+	wg.Add(len(keys))
+	canBump := len(t.reads) == 0 && len(keys) == 1
+	for i, key := range keys {
+		i, key := i, key
+		s.Spawn("txn/get", func(wp *sim.Proc) {
+			defer wg.Done()
+			req := &kv.GetRequest{
+				Key: key, Timestamp: t.kv.ReadTimestamp, Txn: t.kv,
+				Uncertainty: true, FollowerRead: t.followerOK(key),
+				CanBumpReadTS: canBump,
+			}
+			resp := t.co.Sender.Send(wp, req)
+			if resp.Err != nil {
+				if firstErr == nil {
+					firstErr = resp.Err
+				}
+				return
+			}
+			if !resp.Get.BumpedTS.IsEmpty() && t.kv.ReadTimestamp.Less(resp.Get.BumpedTS) {
+				t.adoptReadTS(resp.Get.BumpedTS)
+			}
+			out[i] = resp.Get.Value
+		})
+	}
+	wg.Wait(p)
+	if firstErr != nil {
+		if err := t.handleReadErr(p, firstErr); err != nil {
+			return nil, err
+		}
+		// A refresh succeeded: retry the whole batch.
+		return t.GetParallel(p, keys)
+	}
+	for _, key := range keys {
+		t.reads = append(t.reads, readSpan{key: append(mvcc.Key(nil), key...)})
+	}
+	return out, nil
+}
+
+// Commit finalizes the transaction. For read-write transactions this
+// writes the commit record through consensus, then resolves intents and
+// performs commit wait concurrently (§6.2); for read-only transactions it
+// only commit-waits if the read timestamp leads the local clock.
+func (t *Txn) Commit(p *sim.Proc) error {
+	if t.finished {
+		if t.committed1PC {
+			return nil
+		}
+		return fmt.Errorf("txn: already finished")
+	}
+	if t.buffered != nil {
+		ok, err := t.commit1PC(p)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		// Declined: fall back to the two-phase path.
+		if err := t.flushBuffered(p); err != nil {
+			return err
+		}
+	}
+	t.finished = true
+
+	if len(t.writes) == 0 {
+		// Read-only: paper §6.2 — a reader that observed a future-time
+		// value commit waits until the value is within every node's
+		// uncertainty window.
+		t.commitWait(p, t.kv.ReadTimestamp)
+		t.co.Store.Registry.Abort(t.kv.Meta.ID) // record is vestigial
+		t.co.Store.Registry.GC(t.kv.Meta.ID)
+		t.co.Committed++
+		return nil
+	}
+
+	commitTS := t.kv.Meta.WriteTimestamp
+	if t.kv.ReadTimestamp.Less(commitTS) {
+		// Reads must be valid at the commit timestamp (paper §5.1.1:
+		// long-running transactions Read Refresh on commit). This must
+		// precede the commit record: a failed refresh means restart.
+		if !t.refreshReads(p, commitTS) {
+			t.co.Restarts++
+			t.co.Store.Registry.Abort(t.kv.Meta.ID)
+			t.asyncResolve(mvcc.Aborted, hlc.Timestamp{})
+			return t.restartError("commit refresh failed", commitTS)
+		}
+		t.kv.ReadTimestamp = commitTS
+	}
+
+	// Parallel commit (CockroachDB's parallel commits): write the commit
+	// record in STAGING state concurrently with proving the pipelined
+	// writes (QueryIntent barrier), then finalize. This keeps a remote
+	// single-statement write at two WAN round trips instead of three.
+	stage := len(t.pipelined) > 0
+	var proveErr error
+	proveDone := sim.NewFuture[struct{}](t.co.Store.Sim)
+	if stage {
+		t.co.Store.Sim.Spawn("txn/prove", func(wp *sim.Proc) {
+			proveErr = t.proveWrites(wp)
+			proveDone.Set(struct{}{})
+		})
+	} else {
+		proveDone.Set(struct{}{})
+	}
+
+	resp := t.co.Sender.Send(p, &kv.EndTxnRequest{Txn: t.kv, Commit: true, CommitTS: commitTS, Stage: stage})
+	proveDone.Wait(p)
+	if resp.Err != nil {
+		var ta *kv.TxnAbortedError
+		if errors.As(resp.Err, &ta) {
+			t.asyncResolve(mvcc.Aborted, hlc.Timestamp{})
+			t.co.Aborted++
+		}
+		return resp.Err
+	}
+	if stage {
+		if proveErr != nil {
+			// A pipelined write was lost: roll the staged record back
+			// and retry the transaction.
+			t.co.Restarts++
+			t.co.Store.Registry.AbortStaged(t.kv.Meta.ID)
+			t.asyncResolve(mvcc.Aborted, hlc.Timestamp{})
+			return proveErr
+		}
+		if err := t.co.Store.Registry.FinalizeStaged(t.kv.Meta.ID); err != nil {
+			return err
+		}
+		t.pipelined = nil
+	}
+
+	if t.co.SpannerCommitWait {
+		// Ablation: hold locks through the wait, then release.
+		t.commitWait(p, commitTS)
+		t.asyncResolve(mvcc.Committed, commitTS)
+	} else {
+		// Paper §6.2: "CRDB performs this wait concurrently with
+		// releasing locks."
+		t.asyncResolve(mvcc.Committed, commitTS)
+		t.commitWait(p, commitTS)
+	}
+	t.co.Committed++
+	return nil
+}
+
+// proveWrites issues parallel QueryIntent requests for every pipelined
+// write and fails if any intent is missing.
+func (t *Txn) proveWrites(p *sim.Proc) error {
+	s := t.co.Store.Sim
+	wg := sim.NewWaitGroup(s)
+	wg.Add(len(t.pipelined))
+	missing := false
+	var firstErr error
+	for _, key := range t.pipelined {
+		key := key
+		s.Spawn("txn/query-intent", func(wp *sim.Proc) {
+			defer wg.Done()
+			resp := t.co.Sender.Send(wp, &kv.QueryIntentRequest{
+				Key: key, TxnID: t.kv.Meta.ID, Epoch: t.kv.Meta.Epoch,
+			})
+			switch {
+			case resp.Err != nil:
+				if firstErr == nil {
+					firstErr = resp.Err
+				}
+			case !resp.QueryIntent.Found:
+				missing = true
+			}
+		})
+	}
+	wg.Wait(p)
+	if firstErr != nil {
+		return firstErr
+	}
+	if missing {
+		return t.restartError("pipelined write lost", t.kv.Meta.WriteTimestamp)
+	}
+	return nil
+}
+
+// commit1PC attempts a one-phase commit of the buffered write, refreshing
+// the transaction's reads server-side. It returns false (and leaves the
+// buffer intact) when the server declines.
+func (t *Txn) commit1PC(p *sim.Proc) (bool, error) {
+	pair := *t.buffered
+	var spans [][2]mvcc.Key
+	for _, rs := range t.reads {
+		spans = append(spans, [2]mvcc.Key{rs.key, rs.end})
+	}
+	req := &kv.PutRequest{
+		Key: pair.Key, Value: pair.Value,
+		Timestamp:  t.kv.Meta.WriteTimestamp,
+		Txn:        t.kv,
+		Commit1PC:  true,
+		ReadSpans:  spans,
+		ReadFromTS: t.kv.ReadTimestamp,
+	}
+	resp := t.co.Sender.Send(p, req)
+	if resp.Err != nil {
+		var ta *kv.TxnAbortedError
+		if errors.As(resp.Err, &ta) {
+			t.finished = true
+			t.buffered = nil
+			t.co.Aborted++
+		}
+		return false, resp.Err
+	}
+	if resp.Put.Declined1PC {
+		return false, nil
+	}
+	t.finished = true
+	t.committed1PC = true
+	t.buffered = nil
+	t.co.Committed++
+	t.commitWait(p, resp.Put.WriteTimestamp)
+	return true, nil
+}
+
+// commitWait parks p until the gateway's HLC passes ts.
+func (t *Txn) commitWait(p *sim.Proc, ts hlc.Timestamp) {
+	d := t.co.Store.Clock.NowAfter(ts)
+	if d > 0 {
+		t.co.CommitWaits++
+		t.co.CommitWaitTotal += d
+		p.Sleep(d)
+	}
+}
+
+// asyncResolve spawns parallel intent resolution for every written key.
+func (t *Txn) asyncResolve(status mvcc.TxnStatus, commitTS hlc.Timestamp) {
+	s := t.co.Store.Sim
+	id := t.kv.Meta.ID
+	for _, key := range t.writes {
+		key := key
+		s.Spawn("txn/resolve", func(rp *sim.Proc) {
+			t.co.Sender.Send(rp, &kv.ResolveIntentRequest{
+				Key: key, TxnID: id, Status: status, CommitTS: commitTS,
+			})
+		})
+	}
+}
+
+// Abort rolls the transaction back, resolving its intents as aborted.
+func (t *Txn) Abort(p *sim.Proc) {
+	if t.finished {
+		return
+	}
+	t.finished = true
+	t.buffered = nil
+	t.co.Store.Registry.Abort(t.kv.Meta.ID)
+	if len(t.writes) > 0 {
+		t.co.Sender.Send(p, &kv.EndTxnRequest{Txn: t.kv, Commit: false})
+		t.asyncResolve(mvcc.Aborted, hlc.Timestamp{})
+	}
+	t.co.Aborted++
+}
+
+// maxTxnAttempts bounds automatic retries in Run.
+const maxTxnAttempts = 32
+
+// Run executes fn transactionally, retrying on aborts and retryable errors
+// with a fresh transaction each attempt (new ID, new timestamp).
+func (c *Coordinator) Run(p *sim.Proc, fn func(t *Txn) error) error {
+	var lastErr error
+	for attempt := 0; attempt < maxTxnAttempts; attempt++ {
+		t := c.Begin(0)
+		err := fn(t)
+		if err == nil {
+			err = t.Commit(p)
+		}
+		if err == nil {
+			return nil
+		}
+		t.Abort(p)
+		lastErr = err
+		var ta *kv.TxnAbortedError
+		var rt *kv.RetryableTxnError
+		if errors.As(err, &ta) || errors.As(err, &rt) {
+			// Brief deterministic backoff to let the winner finish.
+			p.Sleep(sim.Duration(1+p.Rand().Intn(4)) * sim.Millisecond)
+			continue
+		}
+		return err
+	}
+	return fmt.Errorf("txn: gave up after %d attempts: %w", maxTxnAttempts, lastErr)
+}
+
+// --- Stale read-only transactions (paper §5.3) ---
+
+// ExactStaleRead performs an AS OF SYSTEM TIME read at exactly ts,
+// preferring the nearest replica. Stale reads have no uncertainty interval.
+func (c *Coordinator) ExactStaleRead(p *sim.Proc, key mvcc.Key, ts hlc.Timestamp) (mvcc.Value, simnet.NodeID, error) {
+	resp := c.Sender.Send(p, &kv.GetRequest{
+		Key: key, Timestamp: ts, FollowerRead: true, Uncertainty: false,
+		WaitForClosed: c.FollowerReadPatience,
+	})
+	if resp.Err != nil {
+		return nil, 0, resp.Err
+	}
+	return resp.Get.Value, resp.Get.ServedBy, nil
+}
+
+// StaleScan performs an exact-staleness scan at ts from the nearest
+// replicas of the touched ranges.
+func (c *Coordinator) StaleScan(p *sim.Proc, start, end mvcc.Key, max int, ts hlc.Timestamp) ([]mvcc.KeyValue, error) {
+	resp := c.Sender.Send(p, &kv.ScanRequest{
+		StartKey: start, EndKey: end, MaxRows: max,
+		Timestamp: ts, FollowerRead: true, Uncertainty: false,
+	})
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	return resp.Scan.Rows, nil
+}
+
+// BoundedStaleRead performs a with_min_timestamp(minTS) read (§5.3.2): it
+// negotiates the highest locally servable timestamp and reads there if it
+// satisfies the bound. If not and fallbackToLeaseholder is set, the read is
+// served by the leaseholder at minTS; otherwise an error is returned.
+func (c *Coordinator) BoundedStaleRead(p *sim.Proc, key mvcc.Key, minTS hlc.Timestamp, fallbackToLeaseholder bool) (mvcc.Value, hlc.Timestamp, simnet.NodeID, error) {
+	end := append(append(mvcc.Key(nil), key...), 0)
+	negotiated, err := c.Sender.NegotiateBoundedStaleness(p, [][2]mvcc.Key{{key, end}})
+	if err != nil {
+		return nil, hlc.Timestamp{}, 0, err
+	}
+	if now := c.Store.Clock.Now(); negotiated.IsEmpty() || now.Less(negotiated) {
+		negotiated = now
+	}
+	if negotiated.Less(minTS) {
+		if !fallbackToLeaseholder {
+			return nil, hlc.Timestamp{}, 0, fmt.Errorf("txn: bounded staleness unsatisfiable: negotiated %s < bound %s", negotiated, minTS)
+		}
+		resp := c.Sender.Send(p, &kv.GetRequest{Key: key, Timestamp: minTS, Uncertainty: false})
+		if resp.Err != nil {
+			return nil, hlc.Timestamp{}, 0, resp.Err
+		}
+		return resp.Get.Value, minTS, resp.Get.ServedBy, nil
+	}
+	resp := c.Sender.Send(p, &kv.GetRequest{Key: key, Timestamp: negotiated, FollowerRead: true, Uncertainty: false})
+	if resp.Err != nil {
+		return nil, hlc.Timestamp{}, 0, resp.Err
+	}
+	return resp.Get.Value, negotiated, resp.Get.ServedBy, nil
+}
+
+// MaxStalenessToMinTS converts a with_max_staleness bound into the minimum
+// acceptable timestamp at the gateway's clock.
+func (c *Coordinator) MaxStalenessToMinTS(bound sim.Duration) hlc.Timestamp {
+	return c.Store.Clock.Now().Add(-bound)
+}

@@ -1,0 +1,302 @@
+package txn_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mrdb/internal/cluster"
+	"mrdb/internal/kv"
+	"mrdb/internal/mvcc"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+	"mrdb/internal/txn"
+	"mrdb/internal/zones"
+)
+
+// harness: a 3-region cluster with one LAG range covering "k/...".
+type harness struct {
+	c    *cluster.Cluster
+	desc *kv.RangeDescriptor
+}
+
+func newHarness(t *testing.T, seed int64) *harness {
+	t.Helper()
+	c := cluster.New(cluster.Config{
+		Seed: seed, Regions: cluster.ThreeRegions(), MaxOffset: 250 * sim.Millisecond,
+	})
+	cfg := zones.Config{
+		NumReplicas: 5, NumVoters: 3,
+		VoterConstraints: map[simnet.Region]int{simnet.USEast1: 3},
+		Constraints:      map[simnet.Region]int{simnet.EuropeW2: 1, simnet.AsiaNE1: 1},
+		LeasePreferences: []simnet.Region{simnet.USEast1},
+	}
+	desc, err := c.CreateRangeWithZoneConfig([]byte("k/"), []byte("k0"), cfg, kv.ClosedTSLag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{c: c, desc: desc}
+}
+
+func (h *harness) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	h.c.Sim.Spawn("test", func(p *sim.Proc) {
+		defer h.c.Sim.Stop()
+		if err := h.c.Admin.WaitAllReady(p); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(500 * sim.Millisecond)
+		fn(p)
+	})
+	h.c.Sim.RunFor(30 * 60 * sim.Second)
+	if n := h.c.ApplyErrors(); n != 0 {
+		t.Fatalf("%d apply errors", n)
+	}
+}
+
+func (h *harness) coord(r simnet.Region) *txn.Coordinator {
+	gw := h.c.GatewayFor(r)
+	return txn.NewCoordinator(h.c.Stores[gw], h.c.Senders[gw])
+}
+
+func TestOnePCCommit(t *testing.T) {
+	h := newHarness(t, 1)
+	h.run(t, func(p *sim.Proc) {
+		co := h.coord(simnet.USEast1)
+		tx := co.Begin(0)
+		tx.AllowOnePC = true
+		if err := tx.Put(p, mvcc.Key("k/a"), mvcc.Value("v1")); err != nil {
+			t.Error(err)
+			return
+		}
+		// The buffered write is not yet visible anywhere (no intent!).
+		lh, _ := h.c.Stores[h.desc.Leaseholder].Replica(h.desc.RangeID)
+		if _, ok := lh.EngineForBulkLoad().GetIntent(mvcc.Key("k/a")); ok {
+			t.Error("buffered 1PC write produced an intent")
+		}
+		if err := tx.Commit(p); err != nil {
+			t.Error(err)
+			return
+		}
+		// Committing again is a no-op for a 1PC txn.
+		if err := tx.Commit(p); err != nil {
+			t.Errorf("idempotent commit: %v", err)
+		}
+		// Value visible to a new txn; still no intent ever existed.
+		var got mvcc.Value
+		if err := co.Run(p, func(tx2 *txn.Txn) error {
+			v, err := tx2.Get(p, mvcc.Key("k/a"))
+			got = v
+			return err
+		}); err != nil || string(got) != "v1" {
+			t.Errorf("read back %q, %v", got, err)
+		}
+		if lh.EngineForBulkLoad().IntentCount() != 0 {
+			t.Error("1PC left intents behind")
+		}
+	})
+}
+
+func TestOnePCReadYourBufferedWriteFlushes(t *testing.T) {
+	h := newHarness(t, 2)
+	h.run(t, func(p *sim.Proc) {
+		co := h.coord(simnet.USEast1)
+		tx := co.Begin(0)
+		tx.AllowOnePC = true
+		if err := tx.Put(p, mvcc.Key("k/b"), mvcc.Value("mine")); err != nil {
+			t.Error(err)
+			return
+		}
+		// Reading the key flushes the buffer into a real intent so
+		// read-your-writes holds.
+		v, err := tx.Get(p, mvcc.Key("k/b"))
+		if err != nil || string(v) != "mine" {
+			t.Errorf("read-your-write: %q %v", v, err)
+			return
+		}
+		if err := tx.Commit(p); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestOnePCDeclinedFallsBack(t *testing.T) {
+	h := newHarness(t, 3)
+	h.run(t, func(p *sim.Proc) {
+		co := h.coord(simnet.USEast1)
+		// Seed a value.
+		if err := co.Run(p, func(tx *txn.Txn) error {
+			return tx.Put(p, mvcc.Key("k/c"), mvcc.Value("0"))
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		// T1 reads k/c, then T2 overwrites it, then T1 tries a 1PC write
+		// to another key: the server-side refresh of k/c must fail and
+		// the fallback must ALSO fail the refresh — the txn restarts.
+		tx1 := co.Begin(0)
+		tx1.AllowOnePC = true
+		if _, err := tx1.Get(p, mvcc.Key("k/c")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := co.Run(p, func(tx *txn.Txn) error {
+			return tx.Put(p, mvcc.Key("k/c"), mvcc.Value("1"))
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := tx1.Put(p, mvcc.Key("k/d"), mvcc.Value("x")); err != nil {
+			t.Error(err)
+			return
+		}
+		err := tx1.Commit(p)
+		// The write ts did not need to move (no conflict on k/d), so the
+		// commit may succeed at the original timestamp — but if it had
+		// to move, the refresh would fail. Either way the database stays
+		// consistent: verify serializability by rereading.
+		if err != nil {
+			tx1.Abort(p)
+		}
+		var got mvcc.Value
+		if err := co.Run(p, func(tx *txn.Txn) error {
+			v, err := tx.Get(p, mvcc.Key("k/c"))
+			got = v
+			return err
+		}); err != nil || string(got) != "1" {
+			t.Errorf("k/c = %q, %v", got, err)
+		}
+	})
+}
+
+func TestGetForUpdateSerializesIncrements(t *testing.T) {
+	h := newHarness(t, 4)
+	h.run(t, func(p *sim.Proc) {
+		co := h.coord(simnet.USEast1)
+		if err := co.Run(p, func(tx *txn.Txn) error {
+			return tx.Put(p, mvcc.Key("k/ctr"), mvcc.Value("0"))
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		wg := sim.NewWaitGroup(h.c.Sim)
+		const n = 8
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			h.c.Sim.Spawn("inc", func(wp *sim.Proc) {
+				defer wg.Done()
+				err := co.Run(wp, func(tx *txn.Txn) error {
+					v, err := tx.GetForUpdate(wp, mvcc.Key("k/ctr"))
+					if err != nil {
+						return err
+					}
+					cur := 0
+					fmt.Sscanf(string(v), "%d", &cur)
+					return tx.Put(wp, mvcc.Key("k/ctr"), mvcc.Value(fmt.Sprintf("%d", cur+1)))
+				})
+				if err != nil {
+					t.Errorf("increment: %v", err)
+				}
+			})
+		}
+		wg.Wait(p)
+		var got mvcc.Value
+		co.Run(p, func(tx *txn.Txn) error {
+			v, err := tx.Get(p, mvcc.Key("k/ctr"))
+			got = v
+			return err
+		})
+		if string(got) != fmt.Sprintf("%d", n) {
+			t.Errorf("counter = %q, want %d", got, n)
+		}
+		// SELECT FOR UPDATE queues instead of restarting: restarts should
+		// be rare (deadlock-free single-key workload => none).
+		if co.Restarts > 1 {
+			t.Errorf("SFU increments caused %d restarts", co.Restarts)
+		}
+	})
+}
+
+func TestPipelinedWritesProveAtCommit(t *testing.T) {
+	h := newHarness(t, 5)
+	h.run(t, func(p *sim.Proc) {
+		co := h.coord(simnet.EuropeW2) // remote gateway: pipelining matters
+		start := p.Now()
+		err := co.Run(p, func(tx *txn.Txn) error {
+			var kvs []mvcc.KeyValue
+			for i := 0; i < 8; i++ {
+				kvs = append(kvs, mvcc.KeyValue{
+					Key:   mvcc.Key(fmt.Sprintf("k/p%d", i)),
+					Value: mvcc.Value("v"),
+				})
+			}
+			return tx.PutParallel(p, kvs)
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// 8 writes from Europe to us-east1: pipelining + parallel commit
+		// keep the whole txn around two WAN round trips, far below the
+		// 8x sequential-replication cost.
+		elapsed := p.Now().Sub(start)
+		if elapsed > 400*sim.Millisecond {
+			t.Errorf("8-write remote txn took %v, pipelining broken", elapsed)
+		}
+		// All writes landed.
+		for i := 0; i < 8; i++ {
+			key := mvcc.Key(fmt.Sprintf("k/p%d", i))
+			var got mvcc.Value
+			if err := co.Run(p, func(tx *txn.Txn) error {
+				v, err := tx.Get(p, key)
+				got = v
+				return err
+			}); err != nil || got == nil {
+				t.Errorf("write %d lost: %v", i, err)
+			}
+		}
+	})
+}
+
+func TestAbortResolvesIntents(t *testing.T) {
+	h := newHarness(t, 6)
+	h.run(t, func(p *sim.Proc) {
+		co := h.coord(simnet.USEast1)
+		tx := co.Begin(0)
+		if err := tx.Put(p, mvcc.Key("k/ab"), mvcc.Value("doomed")); err != nil {
+			t.Error(err)
+			return
+		}
+		tx.Abort(p)
+		p.Sleep(500 * sim.Millisecond) // async resolution
+		var got mvcc.Value
+		if err := co.Run(p, func(tx2 *txn.Txn) error {
+			v, err := tx2.Get(p, mvcc.Key("k/ab"))
+			got = v
+			return err
+		}); err != nil || got != nil {
+			t.Errorf("aborted write visible: %q %v", got, err)
+		}
+		lh, _ := h.c.Stores[h.desc.Leaseholder].Replica(h.desc.RangeID)
+		if lh.EngineForBulkLoad().IntentCount() != 0 {
+			t.Error("aborted intents not cleaned up")
+		}
+	})
+}
+
+func TestCommitWaitOnlyForFutureTimestamps(t *testing.T) {
+	h := newHarness(t, 7)
+	h.run(t, func(p *sim.Proc) {
+		co := h.coord(simnet.USEast1)
+		// LAG-range writes commit at present time: no commit wait.
+		if err := co.Run(p, func(tx *txn.Txn) error {
+			return tx.Put(p, mvcc.Key("k/cw"), mvcc.Value("x"))
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		if co.CommitWaits != 0 {
+			t.Errorf("present-time commit waited %d times (%v total)", co.CommitWaits, co.CommitWaitTotal)
+		}
+	})
+}

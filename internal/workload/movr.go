@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"fmt"
+
+	"mrdb/internal/cluster"
+	"mrdb/internal/hlc"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+	"mrdb/internal/sql"
+	"mrdb/internal/txn"
+)
+
+// hlcLoadTS is the timestamp bulk loads happen at: before all traffic.
+func hlcLoadTS() hlc.Timestamp { return hlc.Timestamp{WallTime: 1} }
+
+// Movr drives the paper's motivating ride-sharing application (§1.1,
+// §7.5.1) as a workload: signups and ride transactions are region-local
+// REGIONAL BY ROW traffic, promo-code browsing is GLOBAL-table read
+// traffic, and every ride transaction joins the two.
+type Movr struct {
+	Cluster *cluster.Cluster
+	Catalog *sql.Catalog
+
+	// UsersPerRegion seeds this many users in each region.
+	UsersPerRegion int
+	// Promos seeds this many promo codes.
+	Promos int
+
+	SignupLat *LatencyRecorder
+	RideLat   *LatencyRecorder
+	BrowseLat *LatencyRecorder
+
+	regions []simnet.Region
+	nextID  int
+}
+
+// NewMovr builds the workload harness.
+func NewMovr(c *cluster.Cluster, catalog *sql.Catalog) *Movr {
+	return &Movr{
+		Cluster:        c,
+		Catalog:        catalog,
+		UsersPerRegion: 10,
+		Promos:         5,
+		SignupLat:      NewLatencyRecorder("movr/signup"),
+		RideLat:        NewLatencyRecorder("movr/start-ride"),
+		BrowseLat:      NewLatencyRecorder("movr/browse-promos"),
+		regions:        c.Regions(),
+	}
+}
+
+// session opens a movr session at a region's gateway.
+func (m *Movr) session(region simnet.Region) *sql.Session {
+	s := sql.NewSession(m.Cluster, m.Catalog, m.Cluster.GatewayFor(region))
+	s.Database = "movr"
+	return s
+}
+
+// Setup creates the movr schema exactly as paper Fig. 1c prescribes.
+func (m *Movr) Setup(p *sim.Proc) error {
+	s := m.session(m.regions[0])
+	create := fmt.Sprintf(`CREATE DATABASE movr PRIMARY REGION "%s"`, m.regions[0])
+	if len(m.regions) > 1 {
+		create += " REGIONS "
+		for i, r := range m.regions[1:] {
+			if i > 0 {
+				create += ", "
+			}
+			create += fmt.Sprintf("%q", string(r))
+		}
+	}
+	stmts := []string{
+		create,
+		`CREATE TABLE users (id INT PRIMARY KEY, email STRING UNIQUE, name STRING) LOCALITY REGIONAL BY ROW`,
+		`CREATE TABLE rides (id INT PRIMARY KEY, rider_id INT, vehicle STRING, promo STRING) LOCALITY REGIONAL BY ROW`,
+		`CREATE TABLE promo_codes (code STRING PRIMARY KEY, description STRING) LOCALITY GLOBAL`,
+	}
+	for _, stmt := range stmts {
+		if _, err := s.Exec(p, stmt); err != nil {
+			return fmt.Errorf("movr setup: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load seeds users (region-homed) and promo codes.
+func (m *Movr) Load(p *sim.Proc) error {
+	s := m.session(m.regions[0])
+	users, ok := m.Catalog.Table("movr", "users")
+	if !ok {
+		return fmt.Errorf("movr: users missing")
+	}
+	promos, ok := m.Catalog.Table("movr", "promo_codes")
+	if !ok {
+		return fmt.Errorf("movr: promo_codes missing")
+	}
+	ts := hlcLoadTS()
+	id := 0
+	for _, r := range m.regions {
+		for u := 0; u < m.UsersPerRegion; u++ {
+			id++
+			if err := s.BulkLoadRow(users, map[string]sql.Datum{
+				"id":                 int64(id),
+				"email":              fmt.Sprintf("user%d@movr.com", id),
+				"name":               fmt.Sprintf("user-%d", id),
+				sql.RegionColumnName: string(r),
+			}, ts); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < m.Promos; i++ {
+		if err := s.BulkLoadRow(promos, map[string]sql.Datum{
+			"code":        fmt.Sprintf("PROMO%d", i),
+			"description": fmt.Sprintf("promo %d", i),
+		}, ts); err != nil {
+			return err
+		}
+	}
+	m.nextID = id
+	return nil
+}
+
+// Run executes ops per client in every region: a mix of promo browsing
+// (70%), ride starts (25%) and signups (5%).
+func (m *Movr) Run(p *sim.Proc, clientsPerRegion, opsPerClient int) error {
+	wg := sim.NewWaitGroup(m.Cluster.Sim)
+	var firstErr error
+	for ri, region := range m.regions {
+		for cl := 0; cl < clientsPerRegion; cl++ {
+			ri, region := ri, region
+			wg.Add(1)
+			m.Cluster.Sim.Spawn(fmt.Sprintf("movr/%s/%d", region, cl), func(wp *sim.Proc) {
+				defer wg.Done()
+				s := m.session(region)
+				rng := wp.Rand()
+				for op := 0; op < opsPerClient; op++ {
+					roll := rng.Float64()
+					start := wp.Now()
+					var err error
+					switch {
+					case roll < 0.70:
+						err = m.browse(wp, s, rng.Intn(m.Promos))
+						record(m.BrowseLat, wp.Now().Sub(start), err)
+					case roll < 0.95:
+						userID := ri*m.UsersPerRegion + 1 + rng.Intn(m.UsersPerRegion)
+						err = m.startRide(wp, s, userID, rng.Intn(m.Promos))
+						record(m.RideLat, wp.Now().Sub(start), err)
+					default:
+						err = m.signup(wp, s)
+						record(m.SignupLat, wp.Now().Sub(start), err)
+					}
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+				}
+			})
+		}
+	}
+	wg.Wait(p)
+	return firstErr
+}
+
+func (m *Movr) browse(p *sim.Proc, s *sql.Session, promo int) error {
+	res, err := s.ExecStmt(p, &sql.Select{
+		Table: "promo_codes",
+		Where: &sql.Where{Conds: []sql.Cond{{
+			Col: "code", Op: sql.OpEq,
+			Vals: []sql.Expr{&sql.Lit{Val: fmt.Sprintf("PROMO%d", promo)}},
+		}}},
+	})
+	if err != nil {
+		return err
+	}
+	if len(res.Rows) != 1 {
+		return fmt.Errorf("movr: promo missing")
+	}
+	return nil
+}
+
+// startRide is the paper's canonical multi-table transaction: a REGIONAL
+// BY ROW write that reads a GLOBAL dimension table, staying region-local.
+func (m *Movr) startRide(p *sim.Proc, s *sql.Session, userID, promo int) error {
+	m.nextID++
+	rideID := 1000000 + m.nextID
+	return s.RunTxn(p, func(tx *txn.Txn) error {
+		res, err := s.ExecStmtTxn(p, tx, &sql.Select{
+			Table: "users", Columns: []string{"name"},
+			Where: &sql.Where{Conds: []sql.Cond{{
+				Col: "id", Op: sql.OpEq, Vals: []sql.Expr{&sql.Lit{Val: int64(userID)}},
+			}}},
+		})
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) == 0 {
+			return fmt.Errorf("movr: user %d missing", userID)
+		}
+		if _, err := s.ExecStmtTxn(p, tx, &sql.Select{
+			Table: "promo_codes",
+			Where: &sql.Where{Conds: []sql.Cond{{
+				Col: "code", Op: sql.OpEq,
+				Vals: []sql.Expr{&sql.Lit{Val: fmt.Sprintf("PROMO%d", promo)}},
+			}}},
+		}); err != nil {
+			return err
+		}
+		_, err = s.ExecStmtTxn(p, tx, &sql.Insert{
+			Table:   "rides",
+			Columns: []string{"id", "rider_id", "vehicle", "promo"},
+			Rows: [][]sql.Expr{{
+				&sql.Lit{Val: int64(rideID)}, &sql.Lit{Val: int64(userID)},
+				&sql.Lit{Val: "scooter"}, &sql.Lit{Val: fmt.Sprintf("PROMO%d", promo)},
+			}},
+		})
+		return err
+	})
+}
+
+func (m *Movr) signup(p *sim.Proc, s *sql.Session) error {
+	m.nextID++
+	id := m.nextID
+	_, err := s.ExecStmt(p, &sql.Insert{
+		Table:   "users",
+		Columns: []string{"id", "email", "name"},
+		Rows: [][]sql.Expr{{
+			&sql.Lit{Val: int64(id)},
+			&sql.Lit{Val: fmt.Sprintf("user%d@movr.com", id)},
+			&sql.Lit{Val: fmt.Sprintf("user-%d", id)},
+		}},
+	})
+	return err
+}

@@ -1,0 +1,219 @@
+// Package workload implements the benchmark workloads of the paper's
+// evaluation: YCSB variants A/B/D with zipf/uniform/latest key choosers
+// (§7.1–§7.3), TPC-C (§7.4), and the movr application schema (§7.5), plus
+// the latency recorders the harness uses to regenerate figures.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"mrdb/internal/sim"
+)
+
+// LatencyRecorder accumulates latency samples for one operation class.
+type LatencyRecorder struct {
+	Name    string
+	samples []sim.Duration
+	Errors  int
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder(name string) *LatencyRecorder {
+	return &LatencyRecorder{Name: name}
+}
+
+// Record adds one sample.
+func (r *LatencyRecorder) Record(d sim.Duration) { r.samples = append(r.samples, d) }
+
+// RecordError counts a failed operation.
+func (r *LatencyRecorder) RecordError() { r.Errors++ }
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int { return len(r.samples) }
+
+// Merge folds other's samples and errors into r.
+func (r *LatencyRecorder) Merge(other *LatencyRecorder) {
+	r.samples = append(r.samples, other.samples...)
+	r.Errors += other.Errors
+}
+
+// sorted returns samples ascending (cached sorting is unnecessary at our
+// sample counts).
+func (r *LatencyRecorder) sorted() []sim.Duration {
+	out := append([]sim.Duration(nil), r.samples...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Percentile returns the q-th percentile (0 <= q <= 100).
+func (r *LatencyRecorder) Percentile(q float64) sim.Duration {
+	s := r.sorted()
+	if len(s) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Mean returns the average latency.
+func (r *LatencyRecorder) Mean() sim.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var total sim.Duration
+	for _, s := range r.samples {
+		total += s
+	}
+	return total / sim.Duration(len(r.samples))
+}
+
+// Max returns the maximum sample.
+func (r *LatencyRecorder) Max() sim.Duration {
+	var m sim.Duration
+	for _, s := range r.samples {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// BoxStats summarizes the distribution the way the paper's Fig. 3 box
+// plots do: quartiles plus 1.5×IQR whiskers.
+type BoxStats struct {
+	P25, P50, P75        sim.Duration
+	WhiskerLo, WhiskerHi sim.Duration
+}
+
+// Box computes box-plot statistics.
+func (r *LatencyRecorder) Box() BoxStats {
+	b := BoxStats{
+		P25: r.Percentile(25),
+		P50: r.Percentile(50),
+		P75: r.Percentile(75),
+	}
+	iqr := b.P75 - b.P25
+	lo := b.P25 - 3*iqr/2
+	hi := b.P75 + 3*iqr/2
+	s := r.sorted()
+	if len(s) == 0 {
+		return b
+	}
+	b.WhiskerLo, b.WhiskerHi = b.P50, b.P50
+	for _, v := range s {
+		if v >= lo {
+			b.WhiskerLo = v
+			break
+		}
+	}
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] <= hi {
+			b.WhiskerHi = s[i]
+			break
+		}
+	}
+	return b
+}
+
+// CDF returns (latency, cumulative fraction) points for plotting, at the
+// given resolution.
+func (r *LatencyRecorder) CDF(points int) [][2]float64 {
+	s := r.sorted()
+	if len(s) == 0 {
+		return nil
+	}
+	if points <= 0 {
+		points = 100
+	}
+	var out [][2]float64
+	for i := 1; i <= points; i++ {
+		frac := float64(i) / float64(points)
+		idx := int(frac*float64(len(s))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out = append(out, [2]float64{float64(s[idx]) / float64(sim.Millisecond), frac})
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (r *LatencyRecorder) String() string {
+	return fmt.Sprintf("%-28s n=%-7d p50=%-10v p90=%-10v p99=%-10v max=%-10v errs=%d",
+		r.Name, r.Count(), r.Percentile(50), r.Percentile(90), r.Percentile(99), r.Max(), r.Errors)
+}
+
+// Table renders recorders as an aligned text table.
+func Table(recs ...*LatencyRecorder) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %8s %10s %10s %10s %10s %10s %6s\n",
+		"operation", "count", "p25", "p50", "p75", "p90", "p99", "errs")
+	for _, r := range recs {
+		fmt.Fprintf(&b, "%-28s %8d %10v %10v %10v %10v %10v %6d\n",
+			r.Name, r.Count(), r.Percentile(25), r.Percentile(50), r.Percentile(75),
+			r.Percentile(90), r.Percentile(99), r.Errors)
+	}
+	return b.String()
+}
+
+// --- Key choosers ---
+
+// KeyChooser selects keys for YCSB operations.
+type KeyChooser interface {
+	// Next returns a key in [0, n).
+	Next(rng *rand.Rand) int
+}
+
+// UniformChooser picks uniformly from n keys.
+type UniformChooser struct{ N int }
+
+// Next implements KeyChooser.
+func (u UniformChooser) Next(rng *rand.Rand) int { return rng.Intn(u.N) }
+
+// ZipfChooser picks keys with a zipfian distribution (YCSB default
+// theta=0.99), favoring low-numbered keys; used by YCSB-A/B (§7.1.1).
+type ZipfChooser struct {
+	n    int
+	zipf *rand.Zipf
+}
+
+// NewZipfChooser builds a zipf chooser over n keys using the given rng for
+// construction (the distribution object is deterministic).
+func NewZipfChooser(n int, rng *rand.Rand) *ZipfChooser {
+	return &ZipfChooser{n: n, zipf: rand.NewZipf(rng, 1.1, 1, uint64(n-1))}
+}
+
+// Next implements KeyChooser.
+func (z *ZipfChooser) Next(rng *rand.Rand) int { return int(z.zipf.Uint64()) }
+
+// LatestChooser favors recently inserted keys (YCSB-D).
+type LatestChooser struct {
+	// Insert tracking: the caller bumps Max as inserts happen.
+	Max  int
+	zipf *rand.Zipf
+}
+
+// NewLatestChooser builds a latest-distribution chooser.
+func NewLatestChooser(initial int, rng *rand.Rand) *LatestChooser {
+	return &LatestChooser{Max: initial, zipf: rand.NewZipf(rng, 1.1, 1, 1<<20)}
+}
+
+// Next implements KeyChooser.
+func (l *LatestChooser) Next(rng *rand.Rand) int {
+	off := int(l.zipf.Uint64())
+	k := l.Max - 1 - off
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
