@@ -1,0 +1,684 @@
+// Package chaos implements a deterministic nemesis harness in the spirit of
+// Jepsen: randomized faults (node crashes, region failures, symmetric and
+// one-way partitions, slow links) are injected into a running cluster from
+// the simulation's seeded RNG while concurrent workloads check invariants —
+// bank-sum conservation, single-key linearizability, closed-timestamp
+// monotonicity — and a prober measures virtual-time recovery (RTO).
+//
+// Because every source of randomness is the simulation RNG and all state
+// iteration is order-stable, a fixed seed reproduces the exact same fault
+// schedule and invariant results on every run.
+package chaos
+
+import (
+	"fmt"
+
+	"mrdb/internal/cluster"
+	"mrdb/internal/hlc"
+	"mrdb/internal/kv"
+	"mrdb/internal/mvcc"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+	"mrdb/internal/txn"
+	"mrdb/internal/zones"
+)
+
+// Options parameterizes a chaos run. Zero values take defaults.
+type Options struct {
+	Seed   int64
+	Faults int // fault/heal pairs to inject (2*Faults events total)
+
+	// MeanHold/MeanPause shape the schedule: each fault holds for a
+	// uniform duration in [Mean/2, 3*Mean/2], with a similar pause between
+	// faults. One fault is active at a time, so quorum is never lost on a
+	// REGION-survivable range.
+	MeanHold  sim.Duration
+	MeanPause sim.Duration
+
+	Accounts       int
+	InitialBalance int
+	Movers         int
+
+	// Settle is quiet time after the last heal before final audits.
+	Settle sim.Duration
+	// RTOThreshold classifies a probe as an outage: any successful probe
+	// whose end-to-end latency exceeds it records a recovery interval.
+	RTOThreshold sim.Duration
+	// Verbose prints events as they are injected.
+	Verbose bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Faults == 0 {
+		o.Faults = 10
+	}
+	if o.MeanHold == 0 {
+		o.MeanHold = 4 * sim.Second
+	}
+	if o.MeanPause == 0 {
+		o.MeanPause = 6 * sim.Second
+	}
+	if o.Accounts == 0 {
+		o.Accounts = 8
+	}
+	if o.InitialBalance == 0 {
+		o.InitialBalance = 100
+	}
+	if o.Movers == 0 {
+		o.Movers = 3
+	}
+	if o.Settle == 0 {
+		o.Settle = 15 * sim.Second
+	}
+	if o.RTOThreshold == 0 {
+		o.RTOThreshold = 1500 * sim.Millisecond
+	}
+	return o
+}
+
+// EventKind enumerates nemesis actions.
+type EventKind int8
+
+// Nemesis event kinds: each fault kind has a matching heal.
+const (
+	EvCrashNode EventKind = iota
+	EvRestartNode
+	EvFailRegion
+	EvRecoverRegion
+	EvPartitionPair
+	EvHealPair
+	EvPartitionOneWay
+	EvHealOneWay
+	EvSlowLink
+	EvHealLink
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvCrashNode:
+		return "crash"
+	case EvRestartNode:
+		return "restart"
+	case EvFailRegion:
+		return "fail-region"
+	case EvRecoverRegion:
+		return "recover-region"
+	case EvPartitionPair:
+		return "partition"
+	case EvHealPair:
+		return "heal-partition"
+	case EvPartitionOneWay:
+		return "partition-oneway"
+	case EvHealOneWay:
+		return "heal-oneway"
+	case EvSlowLink:
+		return "slow-link"
+	case EvHealLink:
+		return "heal-link"
+	}
+	return "unknown"
+}
+
+// Event is one nemesis action at a virtual time.
+type Event struct {
+	At     sim.Time
+	Kind   EventKind
+	A, B   simnet.NodeID
+	Region simnet.Region
+	Extra  sim.Duration // slow-link latency
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EvFailRegion, EvRecoverRegion:
+		return fmt.Sprintf("t=%v %s %s", e.At, e.Kind, e.Region)
+	case EvCrashNode, EvRestartNode:
+		return fmt.Sprintf("t=%v %s n%d", e.At, e.Kind, e.A)
+	case EvSlowLink:
+		return fmt.Sprintf("t=%v %s n%d→n%d +%v", e.At, e.Kind, e.A, e.B, e.Extra)
+	case EvPartitionOneWay, EvHealOneWay:
+		return fmt.Sprintf("t=%v %s n%d→n%d", e.At, e.Kind, e.A, e.B)
+	default:
+		return fmt.Sprintf("t=%v %s n%d↔n%d", e.At, e.Kind, e.A, e.B)
+	}
+}
+
+// linRead is one observed read of the linearizability register.
+type linRead struct {
+	start, end sim.Time
+	val        int
+}
+
+// harness carries the run's shared state.
+type harness struct {
+	opts    Options
+	c       *cluster.Cluster
+	rep     *Report
+	stopped bool
+
+	// activeFault tracks the currently held fault so the prober and other
+	// helpers can pick gateways outside the blast radius.
+	activeKind   EventKind
+	activeRegion simnet.Region
+	activeNode   simnet.NodeID
+
+	linReads  []linRead
+	linWrites int
+}
+
+// Run executes a chaos schedule and returns the report. The error is only
+// non-nil for setup failures; invariant violations are reported in Report.
+func Run(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	c := cluster.New(cluster.Config{
+		Seed:      opts.Seed,
+		Regions:   cluster.ThreeRegions(),
+		MaxOffset: 250 * sim.Millisecond,
+	})
+	h := &harness{
+		opts:       opts,
+		c:          c,
+		activeKind: -1,
+		rep: &Report{
+			Seed:         opts.Seed,
+			BankExpected: opts.Accounts * opts.InitialBalance,
+		},
+	}
+
+	// Bank range: REGION-survivable, 5 voters spread 2/2/1 so any single
+	// region failure keeps quorum.
+	bankCfg := zones.Config{
+		NumReplicas: 5, NumVoters: 5,
+		VoterConstraints: map[simnet.Region]int{
+			simnet.USEast1: 2, simnet.EuropeW2: 2, simnet.AsiaNE1: 1,
+		},
+		LeasePreferences: []simnet.Region{simnet.USEast1},
+	}
+	if _, err := c.CreateRangeWithZoneConfig([]byte("acct/"), []byte("acct0"), bankCfg, kv.ClosedTSLag); err != nil {
+		return nil, err
+	}
+	// Linearizability register: same survivability, home in Europe so the
+	// two ranges fail over in different fault scenarios.
+	linCfg := zones.Config{
+		NumReplicas: 5, NumVoters: 5,
+		VoterConstraints: map[simnet.Region]int{
+			simnet.EuropeW2: 2, simnet.AsiaNE1: 2, simnet.USEast1: 1,
+		},
+		LeasePreferences: []simnet.Region{simnet.EuropeW2},
+	}
+	if _, err := c.CreateRangeWithZoneConfig([]byte("lin/"), []byte("lin0"), linCfg, kv.ClosedTSLag); err != nil {
+		return nil, err
+	}
+
+	var setupErr error
+	c.Sim.Spawn("chaos", func(p *sim.Proc) {
+		defer c.Sim.Stop()
+		setupErr = h.run(p)
+	})
+	// Generous virtual budget; the orchestrator stops the sim when done.
+	budget := sim.Duration(opts.Faults+2)*(opts.MeanHold+opts.MeanPause)*2 + 5*sim.Minute
+	c.Sim.RunFor(budget)
+	h.rep.Elapsed = sim.Duration(c.Sim.Now())
+	h.rep.LeaseAcquisitions = h.leaseAcquisitions()
+	h.rep.EpochBumps = c.Liveness.EpochBumps
+	h.checkLinearizability()
+	return h.rep, setupErr
+}
+
+// acctKey returns the i-th bank account key.
+func acctKey(i int) mvcc.Key { return mvcc.Key(fmt.Sprintf("acct/%03d", i)) }
+
+// linKey is the single linearizability register.
+var linKey = mvcc.Key("lin/x")
+
+// healthyGateway picks the lowest-ID live node outside the active fault's
+// blast radius; iteration over sorted node IDs keeps it deterministic.
+func (h *harness) healthyGateway(now sim.Time) simnet.NodeID {
+	for _, id := range h.c.Topo.Nodes() {
+		if h.c.Net.NodeDown(id) {
+			continue
+		}
+		if h.activeKind == EvFailRegion {
+			if loc, ok := h.c.Topo.LocalityOf(id); ok && loc.Region == h.activeRegion {
+				continue
+			}
+		}
+		if !h.c.Liveness.Live(id, now) {
+			continue
+		}
+		return id
+	}
+	return h.c.Topo.Nodes()[0]
+}
+
+func (h *harness) coordAt(gw simnet.NodeID) *txn.Coordinator {
+	return txn.NewCoordinator(h.c.Stores[gw], h.c.Senders[gw])
+}
+
+func (h *harness) run(p *sim.Proc) error {
+	c, opts, rep := h.c, h.opts, h.rep
+	if err := c.Admin.WaitAllReady(p); err != nil {
+		return err
+	}
+	p.Sleep(1 * sim.Second)
+
+	// Seed the bank.
+	seedCo := h.coordAt(c.GatewayFor(simnet.USEast1))
+	if err := seedCo.Run(p, func(tx *txn.Txn) error {
+		var kvs []mvcc.KeyValue
+		for i := 0; i < opts.Accounts; i++ {
+			kvs = append(kvs, mvcc.KeyValue{Key: acctKey(i), Value: mvcc.Value(fmt.Sprintf("%d", opts.InitialBalance))})
+		}
+		return tx.PutParallel(p, kvs)
+	}); err != nil {
+		return fmt.Errorf("chaos: bank seed: %w", err)
+	}
+	if err := seedCo.Run(p, func(tx *txn.Txn) error {
+		return tx.Put(p, linKey, mvcc.Value("0"))
+	}); err != nil {
+		return fmt.Errorf("chaos: lin seed: %w", err)
+	}
+
+	wg := sim.NewWaitGroup(c.Sim)
+	h.spawnMovers(wg)
+	h.spawnLinWriter(wg)
+	h.spawnLinReaders(wg)
+	h.spawnProber(wg)
+	h.spawnAuditor(wg)
+	stopMon := h.startClosedTSMonitor()
+
+	h.nemesis(p)
+
+	p.Sleep(opts.Settle)
+	h.stopped = true
+	wg.Wait(p)
+	stopMon()
+
+	// Final audit from a fresh coordinator; everything is healed, so this
+	// must succeed (with a little patience for stragglers).
+	var finalErr error
+	for i := 0; i < 5; i++ {
+		total := 0
+		finalErr = h.coordAt(h.healthyGateway(p.Now())).Run(p, func(tx *txn.Txn) error {
+			total = 0
+			for a := 0; a < opts.Accounts; a++ {
+				v, err := tx.Get(p, acctKey(a))
+				if err != nil {
+					return err
+				}
+				n := 0
+				fmt.Sscanf(string(v), "%d", &n)
+				total += n
+			}
+			return nil
+		})
+		if finalErr == nil {
+			rep.BankFinal = total
+			rep.FinalAuditOK = total == rep.BankExpected
+			break
+		}
+		p.Sleep(2 * sim.Second)
+	}
+	if finalErr != nil {
+		return fmt.Errorf("chaos: final audit: %w", finalErr)
+	}
+	rep.LinWrites = h.linWrites
+	return nil
+}
+
+// --- Nemesis ---
+
+// uniformAround returns a uniform duration in [mean/2, 3*mean/2].
+func uniformAround(rng interface{ Int63n(int64) int64 }, mean sim.Duration) sim.Duration {
+	half := int64(mean) / 2
+	return sim.Duration(half + rng.Int63n(2*half+1))
+}
+
+// nemesis injects opts.Faults sequential fault/heal pairs.
+func (h *harness) nemesis(p *sim.Proc) {
+	c, opts := h.c, h.opts
+	rng := p.Rand()
+	nodes := c.Topo.Nodes()
+	regions := c.Regions()
+	for i := 0; i < opts.Faults; i++ {
+		p.Sleep(uniformAround(rng, opts.MeanPause))
+		var fault, heal Event
+		switch rng.Intn(5) {
+		case 0:
+			n := nodes[rng.Intn(len(nodes))]
+			fault = Event{Kind: EvCrashNode, A: n}
+			heal = Event{Kind: EvRestartNode, A: n}
+		case 1:
+			r := regions[rng.Intn(len(regions))]
+			fault = Event{Kind: EvFailRegion, Region: r}
+			heal = Event{Kind: EvRecoverRegion, Region: r}
+		case 2:
+			a, b := h.pickPair(rng, nodes)
+			fault = Event{Kind: EvPartitionPair, A: a, B: b}
+			heal = Event{Kind: EvHealPair, A: a, B: b}
+		case 3:
+			a, b := h.pickPair(rng, nodes)
+			fault = Event{Kind: EvPartitionOneWay, A: a, B: b}
+			heal = Event{Kind: EvHealOneWay, A: a, B: b}
+		case 4:
+			a, b := h.pickPair(rng, nodes)
+			extra := 50*sim.Millisecond + sim.Duration(rng.Int63n(int64(450*sim.Millisecond)))
+			fault = Event{Kind: EvSlowLink, A: a, B: b, Extra: extra}
+			heal = Event{Kind: EvHealLink, A: a, B: b}
+		}
+		h.apply(p, fault)
+		p.Sleep(uniformAround(rng, opts.MeanHold))
+		h.apply(p, heal)
+	}
+}
+
+func (h *harness) pickPair(rng interface{ Intn(int) int }, nodes []simnet.NodeID) (simnet.NodeID, simnet.NodeID) {
+	a := nodes[rng.Intn(len(nodes))]
+	b := nodes[rng.Intn(len(nodes))]
+	for b == a {
+		b = nodes[rng.Intn(len(nodes))]
+	}
+	return a, b
+}
+
+// apply executes an event against the network and records it.
+func (h *harness) apply(p *sim.Proc, e Event) {
+	e.At = p.Now()
+	switch e.Kind {
+	case EvCrashNode:
+		h.c.Net.CrashNode(e.A)
+		h.activeKind, h.activeNode = e.Kind, e.A
+	case EvRestartNode:
+		h.c.Net.RestartNode(e.A)
+		h.activeKind = -1
+	case EvFailRegion:
+		h.c.Net.FailRegion(e.Region)
+		h.activeKind, h.activeRegion = e.Kind, e.Region
+		h.rep.RegionFailures++
+	case EvRecoverRegion:
+		h.c.Net.RecoverRegion(e.Region)
+		h.activeKind = -1
+	case EvPartitionPair:
+		h.c.Net.Partition(e.A, e.B)
+		h.activeKind = e.Kind
+	case EvHealPair:
+		h.c.Net.Heal(e.A, e.B)
+		h.activeKind = -1
+	case EvPartitionOneWay:
+		h.c.Net.PartitionOneWay(e.A, e.B)
+		h.activeKind = e.Kind
+	case EvHealOneWay:
+		h.c.Net.HealOneWay(e.A, e.B)
+		h.activeKind = -1
+	case EvSlowLink:
+		h.c.Net.SlowLink(e.A, e.B, e.Extra)
+		h.activeKind = e.Kind
+	case EvHealLink:
+		h.c.Net.HealLink(e.A, e.B)
+		h.activeKind = -1
+	}
+	h.rep.Events = append(h.rep.Events, e)
+	if h.opts.Verbose {
+		fmt.Println("  " + e.String())
+	}
+}
+
+// --- Workloads ---
+
+// spawnMovers starts bank-transfer workers, one per region round-robin.
+// Transfer errors are tolerated (the nemesis guarantees unavailability
+// windows); the invariant is that the money supply never changes.
+func (h *harness) spawnMovers(wg *sim.WaitGroup) {
+	regions := h.c.Regions()
+	for m := 0; m < h.opts.Movers; m++ {
+		m := m
+		region := regions[m%len(regions)]
+		wg.Add(1)
+		h.c.Sim.Spawn(fmt.Sprintf("chaos/mover%d", m), func(p *sim.Proc) {
+			defer wg.Done()
+			gw := h.c.GatewayFor(region)
+			co := h.coordAt(gw)
+			rng := p.Rand()
+			for !h.stopped {
+				from := rng.Intn(h.opts.Accounts)
+				to := rng.Intn(h.opts.Accounts)
+				if from == to {
+					p.Sleep(50 * sim.Millisecond)
+					continue
+				}
+				if from > to {
+					// Ordered locking avoids deadlock aborts by
+					// construction; the deadlock detector is exercised
+					// plenty by the rest of the suite.
+					from, to = to, from
+				}
+				amount := 1 + rng.Intn(5)
+				err := co.Run(p, func(tx *txn.Txn) error {
+					av, err := tx.GetForUpdate(p, acctKey(from))
+					if err != nil {
+						return err
+					}
+					bv, err := tx.GetForUpdate(p, acctKey(to))
+					if err != nil {
+						return err
+					}
+					a, b := 0, 0
+					fmt.Sscanf(string(av), "%d", &a)
+					fmt.Sscanf(string(bv), "%d", &b)
+					if a < amount {
+						return nil
+					}
+					if err := tx.Put(p, acctKey(from), mvcc.Value(fmt.Sprintf("%d", a-amount))); err != nil {
+						return err
+					}
+					return tx.Put(p, acctKey(to), mvcc.Value(fmt.Sprintf("%d", b+amount)))
+				})
+				if err != nil {
+					h.rep.TransfersFailed++
+					p.Sleep(500 * sim.Millisecond)
+				} else {
+					h.rep.TransfersOK++
+					p.Sleep(200 * sim.Millisecond)
+				}
+			}
+		})
+	}
+}
+
+// spawnLinWriter starts the single writer of the linearizability register:
+// it writes strictly increasing values, only advancing after a confirmed
+// commit. An ambiguous failure (commit may or may not have applied) retries
+// the same value, which is idempotent for monotonicity.
+func (h *harness) spawnLinWriter(wg *sim.WaitGroup) {
+	wg.Add(1)
+	h.c.Sim.Spawn("chaos/lin-writer", func(p *sim.Proc) {
+		defer wg.Done()
+		next := 1
+		for !h.stopped {
+			co := h.coordAt(h.healthyGateway(p.Now()))
+			err := co.Run(p, func(tx *txn.Txn) error {
+				return tx.Put(p, linKey, mvcc.Value(fmt.Sprintf("%d", next)))
+			})
+			if err == nil {
+				h.linWrites++
+				next++
+				p.Sleep(300 * sim.Millisecond)
+			} else {
+				p.Sleep(500 * sim.Millisecond)
+			}
+		}
+	})
+}
+
+// spawnLinReaders starts one consistent reader per region recording
+// (start, end, value) windows for the linearizability check.
+func (h *harness) spawnLinReaders(wg *sim.WaitGroup) {
+	for i, region := range h.c.Regions() {
+		region := region
+		wg.Add(1)
+		h.c.Sim.Spawn(fmt.Sprintf("chaos/lin-reader%d", i), func(p *sim.Proc) {
+			defer wg.Done()
+			gw := h.c.GatewayFor(region)
+			co := h.coordAt(gw)
+			for !h.stopped {
+				start := p.Now()
+				var raw mvcc.Value
+				err := co.Run(p, func(tx *txn.Txn) error {
+					v, err := tx.Get(p, linKey)
+					raw = v
+					return err
+				})
+				if err == nil {
+					val := 0
+					fmt.Sscanf(string(raw), "%d", &val)
+					h.linReads = append(h.linReads, linRead{start: start, end: p.Now(), val: val})
+				}
+				p.Sleep(400 * sim.Millisecond)
+			}
+		})
+	}
+}
+
+// spawnProber measures availability and recovery time: a periodic write
+// through a gateway outside the fault's blast radius. Probe latency above
+// RTOThreshold records a recovery interval (the DistSender rides out the
+// outage internally, so the first slow probe's latency IS the RTO).
+func (h *harness) spawnProber(wg *sim.WaitGroup) {
+	wg.Add(1)
+	h.c.Sim.Spawn("chaos/prober", func(p *sim.Proc) {
+		defer wg.Done()
+		seq := 0
+		for !h.stopped {
+			gw := h.healthyGateway(p.Now())
+			co := h.coordAt(gw)
+			start := p.Now()
+			seq++
+			err := co.Run(p, func(tx *txn.Txn) error {
+				return tx.Put(p, mvcc.Key("acct/probe"), mvcc.Value(fmt.Sprintf("%d", seq)))
+			})
+			lat := p.Now().Sub(start)
+			if err != nil {
+				h.rep.ProbesFailed++
+				h.rep.Recoveries = append(h.rep.Recoveries, lat)
+				if h.opts.Verbose {
+					fmt.Printf("  t=%v probe via n%d FAILED after %v: %v\n", p.Now(), gw, lat, err)
+				}
+			} else {
+				h.rep.ProbesOK++
+				if lat > h.opts.RTOThreshold {
+					h.rep.Recoveries = append(h.rep.Recoveries, lat)
+					if h.opts.Verbose {
+						fmt.Printf("  t=%v probe via n%d recovered after %v\n", p.Now(), gw, lat)
+					}
+				}
+			}
+			p.Sleep(500 * sim.Millisecond)
+		}
+	})
+}
+
+// spawnAuditor runs periodic bank-sum audits during the chaos; failed reads
+// are tolerated, wrong sums are invariant violations.
+func (h *harness) spawnAuditor(wg *sim.WaitGroup) {
+	wg.Add(1)
+	h.c.Sim.Spawn("chaos/auditor", func(p *sim.Proc) {
+		defer wg.Done()
+		for !h.stopped {
+			co := h.coordAt(h.healthyGateway(p.Now()))
+			total := 0
+			err := co.Run(p, func(tx *txn.Txn) error {
+				total = 0
+				for a := 0; a < h.opts.Accounts; a++ {
+					v, err := tx.Get(p, acctKey(a))
+					if err != nil {
+						return err
+					}
+					n := 0
+					fmt.Sscanf(string(v), "%d", &n)
+					total += n
+				}
+				return nil
+			})
+			if err == nil {
+				h.rep.BankAudits++
+				if total != h.rep.BankExpected {
+					h.rep.BankAuditBad++
+				}
+			}
+			p.Sleep(2 * sim.Second)
+		}
+	})
+}
+
+// startClosedTSMonitor samples every replica's closed timestamp and counts
+// regressions (closed timestamps must be monotonic per replica).
+func (h *harness) startClosedTSMonitor() (stop func()) {
+	last := map[string]hlc.Timestamp{}
+	return h.c.Sim.Ticker(1*sim.Second, func() {
+		for _, id := range h.c.Topo.Nodes() {
+			st := h.c.Stores[id]
+			for _, d := range h.c.Catalog.All() {
+				r, ok := st.Replica(d.RangeID)
+				if !ok {
+					continue
+				}
+				key := fmt.Sprintf("n%d/r%d", id, d.RangeID)
+				ts := r.ClosedTimestamp()
+				h.rep.ClosedTSSamples++
+				if ts.Less(last[key]) {
+					h.rep.ClosedTSRegressions++
+				}
+				last[key] = ts
+			}
+		}
+	})
+}
+
+// leaseAcquisitions sums failover lease acquisitions across replicas.
+func (h *harness) leaseAcquisitions() int64 {
+	var n int64
+	for _, id := range h.c.Topo.Nodes() {
+		for _, d := range h.c.Catalog.All() {
+			if r, ok := h.c.Stores[id].Replica(d.RangeID); ok {
+				n += r.LeaseAcquisitions
+			}
+		}
+	}
+	return n
+}
+
+// checkLinearizability verifies the single-writer register: for any two
+// successful reads a, b with a.end < b.start, a.val <= b.val. Sweep in
+// O(n log n): process reads by start time, tracking the max value among
+// reads that ended before the current start.
+func (h *harness) checkLinearizability() {
+	reads := h.linReads
+	h.rep.LinReads = len(reads)
+	byStart := append([]linRead(nil), reads...)
+	byEnd := append([]linRead(nil), reads...)
+	sortReads(byStart, func(r linRead) sim.Time { return r.start })
+	sortReads(byEnd, func(r linRead) sim.Time { return r.end })
+	maxEnded := 0
+	j := 0
+	for _, r := range byStart {
+		for j < len(byEnd) && byEnd[j].end < r.start {
+			if byEnd[j].val > maxEnded {
+				maxEnded = byEnd[j].val
+			}
+			j++
+		}
+		if r.val < maxEnded {
+			h.rep.LinViolations++
+		}
+	}
+}
+
+func sortReads(rs []linRead, key func(linRead) sim.Time) {
+	// Insertion-free stable sort via sort.SliceStable equivalent; local
+	// helper keeps the call sites tidy.
+	for i := 1; i < len(rs); i++ {
+		for k := i; k > 0 && key(rs[k]) < key(rs[k-1]); k-- {
+			rs[k], rs[k-1] = rs[k-1], rs[k]
+		}
+	}
+}

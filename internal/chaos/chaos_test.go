@@ -1,0 +1,78 @@
+package chaos
+
+import (
+	"testing"
+
+	"mrdb/internal/sim"
+)
+
+// TestChaosDeterminism runs the same seed twice and requires the entire
+// report — fault schedule, workload counts, invariant results — to be
+// identical. This is the property that makes chaos failures debuggable:
+// any run can be replayed exactly from its seed.
+func TestChaosDeterminism(t *testing.T) {
+	run := func() *Report {
+		rep, err := Run(Options{Seed: 7, Faults: 8})
+		if err != nil {
+			t.Fatalf("chaos run failed: %v", err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Schedule() != b.Schedule() {
+		t.Fatalf("fault schedules differ for same seed:\n--- run 1:\n%s--- run 2:\n%s",
+			a.Schedule(), b.Schedule())
+	}
+	if a.String() != b.String() {
+		t.Fatalf("reports differ for same seed:\n--- run 1:\n%s--- run 2:\n%s", a, b)
+	}
+	if !a.OK() {
+		t.Fatalf("invariants violated:\n%s", a)
+	}
+	t.Logf("\n%s", a)
+}
+
+// TestChaosSmoke injects 100+ nemesis events against the bank and
+// linearizability workloads and requires every invariant to hold, and every
+// measured recovery to finish within the RTO bound.
+func TestChaosSmoke(t *testing.T) {
+	rep, err := Run(Options{Seed: 42, Faults: 55})
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	t.Logf("\n%s", rep)
+	if len(rep.Events) < 100 {
+		t.Fatalf("only %d events injected, want >= 100", len(rep.Events))
+	}
+	if !rep.OK() {
+		t.Fatalf("invariants violated:\n%s", rep)
+	}
+	if rep.RegionFailures == 0 {
+		t.Fatal("schedule contained no region failures; widen the fault mix")
+	}
+	if rep.TransfersOK == 0 || rep.LinReads == 0 || rep.BankAudits == 0 {
+		t.Fatalf("workloads made no progress:\n%s", rep)
+	}
+	if max := rep.MaxRTO(); max > 15*sim.Second {
+		t.Fatalf("recovery took %v, want <= 15s:\n%s", max, rep)
+	}
+	if rep.LeaseAcquisitions == 0 {
+		t.Fatal("no failover lease acquisitions despite region failures")
+	}
+}
+
+// TestSeedsDiffer sanity-checks that different seeds actually produce
+// different schedules (the RNG is being consulted, not a fixed script).
+func TestSeedsDiffer(t *testing.T) {
+	a, err := Run(Options{Seed: 1, Faults: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Options{Seed: 2, Faults: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedule() == b.Schedule() {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}

@@ -1,0 +1,94 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"mrdb/internal/sim"
+)
+
+// Report summarizes a chaos run: the injected schedule, workload throughput,
+// and the outcome of every invariant check. With a fixed seed the entire
+// report (including the schedule) is reproducible bit-for-bit.
+type Report struct {
+	Seed    int64
+	Events  []Event
+	Elapsed sim.Duration
+
+	RegionFailures int
+
+	// Bank-sum conservation.
+	BankExpected    int
+	BankFinal       int
+	BankAudits      int
+	BankAuditBad    int
+	FinalAuditOK    bool
+	TransfersOK     int64
+	TransfersFailed int64
+
+	// Single-key linearizability (single-writer monotonic register).
+	LinWrites     int
+	LinReads      int
+	LinViolations int
+
+	// Closed-timestamp monotonicity.
+	ClosedTSSamples     int64
+	ClosedTSRegressions int64
+
+	// Availability probes and measured recovery intervals (virtual time).
+	ProbesOK      int64
+	ProbesFailed  int64
+	Recoveries    []sim.Duration
+
+	// Recovery machinery counters.
+	LeaseAcquisitions int64
+	EpochBumps        int64
+}
+
+// Schedule renders the fault schedule as one canonical line per event;
+// two runs with the same seed must produce identical schedules.
+func (r *Report) Schedule() string {
+	var b strings.Builder
+	for _, e := range r.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MaxRTO returns the longest measured recovery interval, or zero.
+func (r *Report) MaxRTO() sim.Duration {
+	var max sim.Duration
+	for _, d := range r.Recoveries {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// OK reports whether every invariant held.
+func (r *Report) OK() bool {
+	return r.FinalAuditOK && r.BankAuditBad == 0 && r.LinViolations == 0 &&
+		r.ClosedTSRegressions == 0
+}
+
+// String renders a human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos seed=%d: %d events over %v (virtual)\n",
+		r.Seed, len(r.Events), r.Elapsed)
+	fmt.Fprintf(&b, "  bank: final=%d/%d audits=%d bad=%d transfers ok=%d failed=%d\n",
+		r.BankFinal, r.BankExpected, r.BankAudits, r.BankAuditBad,
+		r.TransfersOK, r.TransfersFailed)
+	fmt.Fprintf(&b, "  linearizability: writes=%d reads=%d violations=%d\n",
+		r.LinWrites, r.LinReads, r.LinViolations)
+	fmt.Fprintf(&b, "  closed-ts: samples=%d regressions=%d\n",
+		r.ClosedTSSamples, r.ClosedTSRegressions)
+	fmt.Fprintf(&b, "  probes: ok=%d failed=%d outages=%d max-rto=%v\n",
+		r.ProbesOK, r.ProbesFailed, len(r.Recoveries), r.MaxRTO())
+	fmt.Fprintf(&b, "  recovery: lease-acquisitions=%d epoch-bumps=%d region-failures=%d\n",
+		r.LeaseAcquisitions, r.EpochBumps, r.RegionFailures)
+	fmt.Fprintf(&b, "  invariants: %s\n", map[bool]string{true: "OK", false: "VIOLATED"}[r.OK()])
+	return b.String()
+}

@@ -58,6 +58,7 @@ type Cluster struct {
 	Catalog  *kv.RangeCatalog
 	Registry *kv.TxnRegistry
 	Admin    *kv.Admin
+	Liveness *kv.NodeLiveness
 	Stores   map[simnet.NodeID]*kv.Store
 	Senders  map[simnet.NodeID]*kv.DistSender
 
@@ -114,6 +115,7 @@ func New(cfg Config) *Cluster {
 	}
 	c.Net = simnet.NewNetwork(s, topo)
 	c.Registry = kv.NewTxnRegistry(s, topo)
+	c.Liveness = kv.NewNodeLiveness(s)
 
 	id := simnet.NodeID(1)
 	for _, rs := range cfg.Regions {
@@ -129,9 +131,12 @@ func New(cfg Config) *Cluster {
 				if cfg.CloseLag != 0 {
 					st.CloseLag = cfg.CloseLag
 				}
+				st.Catalog = c.Catalog
+				st.StartLiveness(c.Liveness)
 				c.Stores[id] = st
 				c.Senders[id] = &kv.DistSender{
 					NodeID: id, Net: c.Net, Topo: topo, Catalog: c.Catalog,
+					Liveness: c.Liveness,
 				}
 				id++
 			}

@@ -3,6 +3,7 @@ package kv
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"mrdb/internal/hlc"
 	"mrdb/internal/mvcc"
@@ -20,6 +21,11 @@ type DistSender struct {
 	Topo    *simnet.Topology
 	Catalog *RangeCatalog
 
+	// Liveness, when set, steers routing away from dead nodes: a request
+	// whose cached leaseholder is expired goes to the nearest live replica
+	// instead, and leaseholder hints pointing at dead nodes are ignored.
+	Liveness *NodeLiveness
+
 	// RPCTimeout bounds each attempt. Zero uses the network default.
 	RPCTimeout sim.Duration
 
@@ -28,6 +34,13 @@ type DistSender struct {
 	Retries          int64
 	FollowerMisses   int64
 	LeaseholderHints int64
+	// BackoffTotal accumulates virtual time spent in retry backoff.
+	BackoffTotal sim.Duration
+}
+
+// live reports whether the sender should route to id.
+func (ds *DistSender) live(id simnet.NodeID) bool {
+	return ds.Liveness == nil || ds.Liveness.Live(id, ds.Net.Sim.Now())
 }
 
 // keyOf extracts the routing key from a request.
@@ -68,21 +81,82 @@ func wantsFollower(req interface{}) bool {
 	return false
 }
 
-// nearestReplica picks the lowest-RTT replica of d from the gateway.
+// nearestReplica picks the lowest-RTT replica of d from the gateway,
+// preferring live replicas; if every replica looks dead it falls back to
+// the nearest one regardless (liveness may simply be stale).
 func (ds *DistSender) nearestReplica(d *RangeDescriptor) simnet.NodeID {
-	best := simnet.NodeID(0)
-	var bestRTT sim.Duration
+	return ds.nearestReplicaExcluding(d, 0)
+}
+
+// nearestReplicaExcluding is nearestReplica skipping one node (typically a
+// leaseholder already known to be unresponsive).
+func (ds *DistSender) nearestReplicaExcluding(d *RangeDescriptor, skip simnet.NodeID) simnet.NodeID {
+	best, bestAny := simnet.NodeID(0), simnet.NodeID(0)
+	var bestRTT, bestAnyRTT sim.Duration
 	for _, id := range d.Replicas() {
+		if id == skip {
+			continue
+		}
 		rtt := ds.Topo.NodeRTT(ds.NodeID, id)
-		if best == 0 || rtt < bestRTT {
+		if bestAny == 0 || rtt < bestAnyRTT {
+			bestAny, bestAnyRTT = id, rtt
+		}
+		if ds.live(id) && (best == 0 || rtt < bestRTT) {
 			best, bestRTT = id, rtt
 		}
 	}
-	return best
+	if best != 0 {
+		return best
+	}
+	if bestAny != 0 {
+		return bestAny
+	}
+	return skip
 }
 
-// maxSendAttempts bounds routing retries before giving up.
-const maxSendAttempts = 16
+// replicasByPreference orders a range's replicas by RTT from the gateway,
+// with live replicas ahead of liveness-expired ones (which still get tried
+// last: the record may be stale).
+func (ds *DistSender) replicasByPreference(d *RangeDescriptor) []simnet.NodeID {
+	out := append([]simnet.NodeID(nil), d.Replicas()...)
+	sort.SliceStable(out, func(i, j int) bool {
+		li, lj := ds.live(out[i]), ds.live(out[j])
+		if li != lj {
+			return li
+		}
+		return ds.Topo.NodeRTT(ds.NodeID, out[i]) < ds.Topo.NodeRTT(ds.NodeID, out[j])
+	})
+	return out
+}
+
+// maxSendAttempts bounds routing retries before giving up. With the capped
+// exponential backoff below, a full retry budget spans roughly 25s of
+// virtual time — enough to ride out an election plus a liveness expiration
+// during failover.
+const maxSendAttempts = 32
+
+// Retry backoff bounds: exponential from base to cap, with deterministic
+// jitter drawn from the simulation RNG (full jitter over the upper half of
+// the interval, so retries from different gateways decorrelate).
+const (
+	retryBackoffBase = 10 * sim.Millisecond
+	retryBackoffMax  = 1 * sim.Second
+)
+
+// backoff sleeps for the n-th capped exponential retry pause.
+func (ds *DistSender) backoff(p *sim.Proc, n int) {
+	d := retryBackoffBase
+	for i := 0; i < n && d < retryBackoffMax; i++ {
+		d *= 2
+	}
+	if d > retryBackoffMax {
+		d = retryBackoffMax
+	}
+	half := d / 2
+	d = half + sim.Duration(ds.Net.Sim.Rand().Int63n(int64(half)+1))
+	ds.BackoffTotal += d
+	p.Sleep(d)
+}
 
 // Send routes req and returns the typed response. It parks p for network
 // and evaluation time.
@@ -93,6 +167,7 @@ func (ds *DistSender) Send(p *sim.Proc, req interface{}) Response {
 	}
 	leaseholderHint := simnet.NodeID(0)
 	forceLeaseholder := false
+	backoffs := 0
 	for attempt := 0; attempt < maxSendAttempts; attempt++ {
 		desc, err := ds.Catalog.Lookup(key)
 		if err != nil {
@@ -104,15 +179,22 @@ func (ds *DistSender) Send(p *sim.Proc, req interface{}) Response {
 			leaseholderHint = 0
 		} else if wantsFollower(req) && !forceLeaseholder {
 			target = ds.nearestReplica(desc)
+		} else if !ds.live(target) {
+			// The cached leaseholder's liveness record expired: route to
+			// the nearest live replica instead, whose redirect (or the
+			// recovered catalog entry next attempt) points at the new
+			// leaseholder once a survivor acquires the lease.
+			target = ds.nearestReplicaExcluding(desc, target)
 		}
 		ds.Sent++
 		raw, rpcErr := ds.Net.SendRPC(p, ds.NodeID, target, BatchRequest{RangeID: desc.RangeID, Req: req}, ds.RPCTimeout)
 		if rpcErr != nil {
-			// Node unreachable: back off briefly and re-route (the
-			// descriptor or lease may move during failover).
+			// Node unreachable: back off and re-route (the descriptor or
+			// lease may move during failover).
 			ds.Retries++
 			forceLeaseholder = false
-			p.Sleep(100 * sim.Millisecond)
+			ds.backoff(p, backoffs)
+			backoffs++
 			continue
 		}
 		resp := raw.(Response)
@@ -120,10 +202,11 @@ func (ds *DistSender) Send(p *sim.Proc, req interface{}) Response {
 		if errors.As(resp.Err, &nle) {
 			ds.Retries++
 			ds.LeaseholderHints++
-			if nle.Leaseholder != 0 && nle.Leaseholder != target {
+			if nle.Leaseholder != 0 && nle.Leaseholder != target && ds.live(nle.Leaseholder) {
 				leaseholderHint = nle.Leaseholder
 			} else {
-				p.Sleep(50 * sim.Millisecond)
+				ds.backoff(p, backoffs)
+				backoffs++
 			}
 			continue
 		}
@@ -133,13 +216,20 @@ func (ds *DistSender) Send(p *sim.Proc, req interface{}) Response {
 			// redirected to the leaseholder.
 			ds.Retries++
 			ds.FollowerMisses++
+			if forceLeaseholder || target == desc.Leaseholder {
+				// The leaseholder itself could not serve (fenced lease
+				// mid-recovery): wait for the lease to move.
+				ds.backoff(p, backoffs)
+				backoffs++
+			}
 			forceLeaseholder = true
 			continue
 		}
 		var rkm *RangeKeyMismatchError
 		if errors.As(resp.Err, &rkm) {
 			ds.Retries++
-			p.Sleep(10 * sim.Millisecond)
+			ds.backoff(p, backoffs)
+			backoffs++
 			continue
 		}
 		return resp
@@ -182,18 +272,37 @@ func (ds *DistSender) NegotiateBoundedStaleness(p *sim.Proc, spans [][2]mvcc.Key
 			descs = []*RangeDescriptor{d}
 		}
 		for _, desc := range descs {
-			target := ds.nearestReplica(desc)
-			raw, err := ds.Net.SendRPC(p, ds.NodeID, target,
-				BatchRequest{RangeID: desc.RangeID, Req: &NegotiateRequest{StartKey: span[0], EndKey: span[1]}}, ds.RPCTimeout)
-			if err != nil {
-				return hlc.Timestamp{}, err
+			// Bounded staleness tolerates replica unavailability (§5.3.2):
+			// try every replica in nearest-first order (live ones ahead of
+			// suspect ones) and take the first answer, rather than failing
+			// on the first transient RPC error.
+			var lastErr error
+			answered := false
+			for _, target := range ds.replicasByPreference(desc) {
+				raw, err := ds.Net.SendRPC(p, ds.NodeID, target,
+					BatchRequest{RangeID: desc.RangeID, Req: &NegotiateRequest{StartKey: span[0], EndKey: span[1]}}, ds.RPCTimeout)
+				if err != nil {
+					ds.Retries++
+					lastErr = err
+					continue
+				}
+				resp := raw.(Response)
+				if resp.Err != nil {
+					ds.Retries++
+					lastErr = resp.Err
+					continue
+				}
+				if resp.Negot.MaxTimestamp.Less(result) {
+					result = resp.Negot.MaxTimestamp
+				}
+				answered = true
+				break
 			}
-			resp := raw.(Response)
-			if resp.Err != nil {
-				return hlc.Timestamp{}, resp.Err
-			}
-			if resp.Negot.MaxTimestamp.Less(result) {
-				result = resp.Negot.MaxTimestamp
+			if !answered {
+				if lastErr == nil {
+					lastErr = fmt.Errorf("kv: r%d has no reachable replica", desc.RangeID)
+				}
+				return hlc.Timestamp{}, lastErr
 			}
 		}
 	}

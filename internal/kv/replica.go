@@ -44,10 +44,19 @@ type Replica struct {
 	// this stays zero.
 	applyErrors int
 
+	// maxOffset sizes lease-start timestamps on failover acquisition.
+	maxOffset sim.Duration
+	// leaseEpoch is the liveness epoch the current lease (if held here) is
+	// bound to; a bump of this node's epoch by a peer fences the lease.
+	leaseEpoch int64
+	// leaseAcqActive guards against concurrent lease-acquisition loops.
+	leaseAcqActive bool
+
 	// Stats.
-	FollowerReads   int64
-	RedirectsToLH   int64
-	WritesEvaluated int64
+	FollowerReads     int64
+	RedirectsToLH     int64
+	WritesEvaluated   int64
+	LeaseAcquisitions int64
 }
 
 // Desc returns the replica's view of the range descriptor.
@@ -68,9 +77,38 @@ func (r *Replica) isLeaseholder() bool {
 	return r.desc.Leaseholder == r.store.NodeID
 }
 
+// hasValidLease reports whether the lease held here is still usable: the
+// node must believe its own liveness record is current and the lease's
+// epoch must match — if a peer bumped our epoch after our record expired,
+// the lease is fenced and another replica may already hold a new one
+// (CockroachDB's epoch-based lease invalidation).
+func (r *Replica) hasValidLease() bool {
+	if !r.isLeaseholder() {
+		return false
+	}
+	if r.store.liveness == nil {
+		return true
+	}
+	return r.store.SelfLive() && r.store.CurrentEpoch() == r.leaseEpoch
+}
+
 // errNotLeaseholder builds the redirect error from the local descriptor.
 func (r *Replica) errNotLeaseholder() error {
 	return &NotLeaseholderError{RangeID: r.desc.RangeID, Leaseholder: r.desc.Leaseholder}
+}
+
+// checkLease gates leaseholder-only evaluation: a non-leaseholder redirects
+// to the descriptor's leaseholder; a fenced leaseholder redirects with an
+// empty hint (it no longer knows who holds the lease — the sender must
+// re-route from its own catalog and liveness view).
+func (r *Replica) checkLease() error {
+	if !r.isLeaseholder() {
+		return r.errNotLeaseholder()
+	}
+	if !r.hasValidLease() {
+		return &NotLeaseholderError{RangeID: r.desc.RangeID}
+	}
+	return nil
 }
 
 // --- Request evaluation ---
@@ -116,7 +154,7 @@ func (r *Replica) evalGet(p *sim.Proc, req *GetRequest) Response {
 	if !req.Timestamp.IsEmpty() && !r.desc.ContainsKey(req.Key) {
 		return Response{Err: &RangeKeyMismatchError{RequestedKey: req.Key}}
 	}
-	if !r.isLeaseholder() {
+	if r.checkLease() != nil {
 		return r.evalFollowerGet(p, req)
 	}
 	if req.ForUpdate && req.Txn != nil {
@@ -214,7 +252,7 @@ func (r *Replica) evalFollowerGet(p *sim.Proc, req *GetRequest) Response {
 }
 
 func (r *Replica) evalScan(p *sim.Proc, req *ScanRequest) Response {
-	if !r.isLeaseholder() {
+	if r.checkLease() != nil {
 		if r.closed.closed.Less(req.Timestamp) {
 			r.RedirectsToLH++
 			return Response{Err: &FollowerReadUnavailableError{
@@ -251,8 +289,8 @@ func (r *Replica) evalPut(p *sim.Proc, req *PutRequest) Response {
 	if !r.desc.ContainsKey(req.Key) {
 		return Response{Err: &RangeKeyMismatchError{RequestedKey: req.Key}}
 	}
-	if !r.isLeaseholder() {
-		return Response{Err: r.errNotLeaseholder()}
+	if err := r.checkLease(); err != nil {
+		return Response{Err: err}
 	}
 	// Take the unreplicated lock (if transactional) BEFORE the latch:
 	// the lock is the coarse, transaction-lifetime mutex; the latch only
@@ -279,8 +317,8 @@ func (r *Replica) evalPut(p *sim.Proc, req *PutRequest) Response {
 		txnMeta = &req.Txn.Meta
 	}
 	for {
-		if !r.isLeaseholder() {
-			return Response{Err: r.errNotLeaseholder()}
+		if err := r.checkLease(); err != nil {
+			return Response{Err: err}
 		}
 		// Writes may not invalidate served reads — except the
 		// transaction's own (self-exemption avoids forcing a refresh on
@@ -399,8 +437,8 @@ func (r *Replica) evalPut1PC(p *sim.Proc, req *PutRequest, ts hlc.Timestamp, tar
 // evalQueryIntent proves a pipelined write: after waiting out in-flight
 // applications on the key, the transaction's intent must be present.
 func (r *Replica) evalQueryIntent(p *sim.Proc, req *QueryIntentRequest) Response {
-	if !r.isLeaseholder() {
-		return Response{Err: r.errNotLeaseholder()}
+	if err := r.checkLease(); err != nil {
+		return Response{Err: err}
 	}
 	r.latches.waitFree(p, req.Key)
 	meta, ok := r.engine.GetIntent(req.Key)
@@ -445,8 +483,8 @@ func (r *Replica) propose(p *sim.Proc, cmd Command) error {
 }
 
 func (r *Replica) evalEndTxn(p *sim.Proc, req *EndTxnRequest) Response {
-	if !r.isLeaseholder() {
-		return Response{Err: r.errNotLeaseholder()}
+	if err := r.checkLease(); err != nil {
+		return Response{Err: err}
 	}
 	status := mvcc.Aborted
 	switch {
@@ -479,8 +517,8 @@ func (r *Replica) evalEndTxn(p *sim.Proc, req *EndTxnRequest) Response {
 }
 
 func (r *Replica) evalResolveIntent(p *sim.Proc, req *ResolveIntentRequest) Response {
-	if !r.isLeaseholder() {
-		return Response{Err: r.errNotLeaseholder()}
+	if err := r.checkLease(); err != nil {
+		return Response{Err: err}
 	}
 	// Only propose if the intent is still there (idempotence without a
 	// wasted consensus round).
@@ -538,7 +576,7 @@ func (r *Replica) evalRefresh(req *RefreshRequest) Response {
 // timestamp - 1) over the span.
 func (r *Replica) evalNegotiate(req *NegotiateRequest) Response {
 	maxTS := r.closed.closed
-	if r.isLeaseholder() {
+	if r.hasValidLease() {
 		// The leaseholder can serve up to its clock.
 		maxTS = r.store.Clock.Now()
 	}
@@ -713,11 +751,94 @@ func (r *Replica) applyLeaseTransfer(cmd Command) {
 	if r.desc.Leaseholder == r.store.NodeID {
 		// Fresh leaseholder: assume everything was read up to the
 		// transfer timestamp (tscache low-water ratchet), and carry the
-		// closed-timestamp promise floor forward.
+		// closed-timestamp promise floor forward. The lease binds to this
+		// node's current liveness epoch.
 		r.tscache.SetLowWater(cmd.Ts)
 		if r.closed.issued.Less(cmd.ClosedTS) {
 			r.closed.issued = cmd.ClosedTS
 		}
+		r.leaseEpoch = r.store.CurrentEpoch()
+		if r.store.Catalog != nil {
+			// Publish the new routing so gateways converge without an
+			// admin in the loop.
+			r.store.Catalog.Update(r.desc.Clone())
+		}
+	}
+}
+
+// --- Lease acquisition on leadership change ---
+
+// onLeaderChange runs whenever this replica's Raft group elects (or learns
+// of) a new leader. If we just became leader but do not hold the lease, we
+// reconcile the two: CockroachDB colocates the leaseholder with the Raft
+// leader, so either leadership goes back to a live leaseholder, or — if the
+// leaseholder is dead by liveness — we fence it with an epoch bump and take
+// the lease ourselves. This is what makes FailRegion/CrashNode heal with no
+// admin intervention.
+func (r *Replica) onLeaderChange(leader simnet.NodeID, _ uint64) {
+	if leader != r.store.NodeID || r.store.liveness == nil {
+		return
+	}
+	if r.hasValidLease() || r.leaseAcqActive {
+		return
+	}
+	r.leaseAcqActive = true
+	r.store.Sim.Spawn(fmt.Sprintf("n%d/r%d/lease-acq", r.store.NodeID, r.desc.RangeID), func(p *sim.Proc) {
+		defer func() { r.leaseAcqActive = false }()
+		r.maybeAcquireLease(p)
+	})
+}
+
+// maybeAcquireLease runs on a fresh Raft leader without a valid lease.
+func (r *Replica) maybeAcquireLease(p *sim.Proc) {
+	// Settle first: a cooperative lease transfer to this node may already
+	// be committed but not yet applied here (leadership changes hands
+	// before the log catches up). Acting immediately would bounce
+	// leadership back to the old leaseholder and undo the transfer.
+	p.Sleep(500 * sim.Millisecond)
+	nl := r.store.liveness
+	for r.raft.IsLeader() && !r.hasValidLease() {
+		prev := r.desc.Leaseholder
+		if prev == r.store.NodeID {
+			// Our own lease was fenced (epoch bumped while we were cut
+			// off) but nobody claimed a new one; once our record is
+			// confirmed again, re-propose it bound to the new epoch.
+			if !r.store.SelfLive() {
+				p.Sleep(LivenessHeartbeatInterval / 2)
+				continue
+			}
+		} else if nl.Live(prev, p.Now()) {
+			// The incumbent is healthy (e.g. we won an election it merely
+			// lost by timing): hand leadership back instead of stealing
+			// the lease, preserving leader/leaseholder colocation.
+			r.raft.TransferLeadership(prev)
+			p.Sleep(LivenessHeartbeatInterval)
+			continue
+		} else if !nl.IncrementEpoch(prev, p.Now()) {
+			p.Sleep(LivenessHeartbeatInterval / 2)
+			continue
+		}
+		// The old lease is fenced; claim it for ourselves through the log
+		// so every replica learns the same lease at the same position.
+		nd := r.desc.Clone()
+		nd.Leaseholder = r.store.NodeID
+		nd.Generation++
+		cmd := Command{
+			Kind:     CmdLeaseTransfer,
+			Desc:     nd,
+			Ts:       r.store.Clock.Now().Add(r.maxOffset),
+			ClosedTS: r.closed.issued,
+		}
+		f, err := r.raft.Propose(cmd)
+		if err != nil {
+			p.Sleep(LivenessHeartbeatInterval / 2)
+			continue
+		}
+		if res := f.Wait(p); res.Err != nil {
+			p.Sleep(LivenessHeartbeatInterval / 2)
+			continue
+		}
+		r.LeaseAcquisitions++
 	}
 }
 
@@ -771,7 +892,7 @@ func (r *Replica) engineFor(key mvcc.Key) *mvcc.Engine {
 // heartbeatPayload generates the closed-timestamp side-transport payload on
 // the leader (paper §5.1.1).
 func (r *Replica) heartbeatPayload() interface{} {
-	if !r.isLeaseholder() {
+	if !r.hasValidLease() {
 		return nil
 	}
 	return r.closed.issue(r.store.Clock.Now())

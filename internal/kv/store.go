@@ -24,9 +24,19 @@ type Store struct {
 	// CloseLag overrides the default lagging closed-timestamp interval.
 	CloseLag sim.Duration
 
+	// Catalog, when set, lets replicas publish descriptor changes (e.g. a
+	// lease acquired after a failover) to the shared routing catalog.
+	Catalog *RangeCatalog
+
 	replicas map[RangeID]*Replica
 	// engineSeed derives per-replica skiplist seeds deterministically.
 	engineSeed int64
+
+	// liveness state: the shared registry plus this node's view of its own
+	// record, maintained from peer acks.
+	liveness *NodeLiveness
+	lastAck  sim.Time
+	ackEpoch int64
 
 	// GCCollected counts MVCC versions collected by the GC loop.
 	GCCollected int64
@@ -77,6 +87,16 @@ func (s *Store) handleMessage(m simnet.Message) {
 		if r, ok := s.replicas[payload.RangeID]; ok {
 			r.raft.Step(payload.Msg.(raft.Message))
 		}
+	case livenessPing:
+		if s.liveness != nil {
+			s.liveness.Heartbeat(m.From, payload.Expiration)
+			s.Net.Send(s.NodeID, m.From, livenessAck{Epoch: s.liveness.Epoch(m.From)})
+		}
+	case livenessAck:
+		// A peer confirmed our record: we are provably connected, and
+		// payload.Epoch is the epoch our leases must be bound to.
+		s.lastAck = s.Sim.Now()
+		s.ackEpoch = payload.Epoch
 	case *simnet.RPCRequest:
 		batch, ok := payload.Payload.(BatchRequest)
 		if !ok {
@@ -92,6 +112,51 @@ func (s *Store) handleMessage(m simnet.Message) {
 			payload.Reply(r.evaluate(p, batch.Req))
 		})
 	}
+}
+
+// StartLiveness registers this node in the shared liveness registry and
+// starts its heartbeat loop: every LivenessHeartbeatInterval the store pings
+// all peers over the network; each delivered ping renews this node's record,
+// and each ack renews this node's confidence in its own record. Crashes and
+// partitions stop the pings, so the record expires after LivenessTTL and the
+// node becomes eligible for an epoch bump. Returns a stop function.
+func (s *Store) StartLiveness(nl *NodeLiveness) (stop func()) {
+	s.liveness = nl
+	nl.Register(s.NodeID)
+	s.lastAck = s.Sim.Now()
+	s.ackEpoch = nl.Epoch(s.NodeID)
+	return s.Sim.Ticker(LivenessHeartbeatInterval, func() {
+		exp := s.Sim.Now().Add(LivenessTTL)
+		for _, peer := range nl.Nodes() {
+			if peer == s.NodeID {
+				continue
+			}
+			s.Net.Send(s.NodeID, peer, livenessPing{Expiration: exp})
+		}
+	})
+}
+
+// Liveness returns the shared liveness registry (nil if not started).
+func (s *Store) Liveness() *NodeLiveness { return s.liveness }
+
+// SelfLive reports whether this node believes its own liveness record is
+// current: a peer acked a heartbeat within the TTL. A node cut off from all
+// peers loses this and must stop serving as a leaseholder, since others may
+// have bumped its epoch. Single-node liveness domains are trivially live.
+func (s *Store) SelfLive() bool {
+	if s.liveness == nil || len(s.liveness.Nodes()) <= 1 {
+		return true
+	}
+	return s.Sim.Now() <= s.lastAck.Add(LivenessTTL)
+}
+
+// CurrentEpoch is the epoch of this node's record as last confirmed by a
+// peer; leases this store acquires are bound to it.
+func (s *Store) CurrentEpoch() int64 {
+	if s.liveness == nil {
+		return 0
+	}
+	return s.ackEpoch
 }
 
 // raftTransport adapts the network for one range's Raft node.
@@ -118,6 +183,8 @@ func (s *Store) CreateReplica(desc *RangeDescriptor, maxOffset sim.Duration) *Re
 		latches:       newLatchManager(s.Sim),
 		intentWaiters: map[string]*sim.Cond{},
 		lockTable:     map[string]mvcc.TxnID{},
+		maxOffset:     maxOffset,
+		leaseEpoch:    s.CurrentEpoch(),
 	}
 	r.closedAdvanced = sim.NewCond(s.Sim)
 	r.closed = closedTracker{policy: desc.Policy, lag: s.CloseLag}
@@ -133,6 +200,7 @@ func (s *Store) CreateReplica(desc *RangeDescriptor, maxOffset sim.Duration) *Re
 		Apply:            r.apply,
 		HeartbeatPayload: r.heartbeatPayload,
 		OnHeartbeat:      r.onHeartbeat,
+		OnLeaderChange:   r.onLeaderChange,
 	}
 	if desc.Policy == ClosedTSLead {
 		// GLOBAL ranges publish closed-timestamp promises on the faster

@@ -35,6 +35,7 @@ const (
 	Microsecond = time.Microsecond
 	Millisecond = time.Millisecond
 	Second      = time.Second
+	Minute      = time.Minute
 )
 
 // Add returns the time d after t.

@@ -26,10 +26,13 @@ type Network struct {
 	handlers map[NodeID]Handler
 	// downNodes refuse to send or receive anything.
 	downNodes map[NodeID]bool
-	// partitioned pairs drop messages in both directions.
+	// partitioned holds directional blocks: an entry {a,b} drops a→b only.
+	// Symmetric partitions insert both directions.
 	partitioned map[[2]NodeID]bool
 	// downRegions drop all traffic in or out of a region.
 	downRegions map[Region]bool
+	// slowLinks adds extra one-way latency per directed link.
+	slowLinks map[[2]NodeID]sim.Duration
 
 	// Stats
 	MessagesSent    int64
@@ -46,6 +49,7 @@ func NewNetwork(s *sim.Simulation, topo *Topology) *Network {
 		downNodes:   map[NodeID]bool{},
 		partitioned: map[[2]NodeID]bool{},
 		downRegions: map[Region]bool{},
+		slowLinks:   map[[2]NodeID]sim.Duration{},
 	}
 }
 
@@ -77,10 +81,40 @@ func (n *Network) Partition(a, b NodeID) {
 	n.partitioned[[2]NodeID{b, a}] = true
 }
 
-// Heal removes a pairwise partition.
+// Heal removes a pairwise partition (both directions).
 func (n *Network) Heal(a, b NodeID) {
 	delete(n.partitioned, [2]NodeID{a, b})
 	delete(n.partitioned, [2]NodeID{b, a})
+}
+
+// PartitionOneWay blocks traffic from a to b only; b can still reach a.
+// Real WAN faults are rarely symmetric (asymmetric routing, unidirectional
+// congestion), and one-way loss exercises failure-detection paths that
+// symmetric partitions cannot.
+func (n *Network) PartitionOneWay(a, b NodeID) {
+	n.partitioned[[2]NodeID{a, b}] = true
+}
+
+// HealOneWay removes the a→b block, leaving any b→a block in place.
+func (n *Network) HealOneWay(a, b NodeID) {
+	delete(n.partitioned, [2]NodeID{a, b})
+}
+
+// SlowLink adds extra one-way latency to every message from a to b,
+// modeling a congested or degraded link. It stacks with the topology
+// latency and jitter. Zero or negative extra clears the link.
+func (n *Network) SlowLink(a, b NodeID, extra sim.Duration) {
+	if extra <= 0 {
+		delete(n.slowLinks, [2]NodeID{a, b})
+		return
+	}
+	n.slowLinks[[2]NodeID{a, b}] = extra
+}
+
+// HealLink removes extra latency in both directions between a and b.
+func (n *Network) HealLink(a, b NodeID) {
+	delete(n.slowLinks, [2]NodeID{a, b})
+	delete(n.slowLinks, [2]NodeID{b, a})
 }
 
 func (n *Network) blocked(from, to NodeID) bool {
@@ -112,7 +146,7 @@ func (n *Network) delay(from, to NodeID) sim.Duration {
 	if base < 10*sim.Microsecond {
 		base = 10 * sim.Microsecond
 	}
-	return base
+	return base + n.slowLinks[[2]NodeID{from, to}]
 }
 
 // Send delivers payload to the destination node's handler after the

@@ -225,6 +225,87 @@ func TestPartitionPair(t *testing.T) {
 	}
 }
 
+func TestPartitionOneWay(t *testing.T) {
+	s := sim.New(1)
+	topo := threeRegionTopo()
+	n := NewNetwork(s, topo)
+	got := map[NodeID]int{}
+	n.Register(1, func(m Message) { got[1]++ })
+	n.Register(2, func(m Message) { got[2]++ })
+	n.PartitionOneWay(1, 2)
+	n.Send(1, 2, "x") // blocked
+	n.Send(2, 1, "x") // reverse direction still flows
+	s.Run()
+	if got[2] != 0 {
+		t.Fatal("1→2 delivered through one-way partition")
+	}
+	if got[1] != 1 {
+		t.Fatal("2→1 blocked by one-way partition")
+	}
+	n.HealOneWay(1, 2)
+	n.Send(1, 2, "x")
+	s.Run()
+	if got[2] != 1 {
+		t.Fatal("1→2 still blocked after heal")
+	}
+}
+
+func TestPartitionOneWayBlocksRPCReply(t *testing.T) {
+	// A server whose replies are blocked looks dead to the client even
+	// though the request arrived: the RPC must time out.
+	s := sim.New(1)
+	topo := threeRegionTopo()
+	n := NewNetwork(s, topo)
+	served := 0
+	n.Register(4, func(m Message) {
+		served++
+		m.Payload.(*RPCRequest).Reply("pong")
+	})
+	n.PartitionOneWay(4, 1)
+	var err error
+	s.Spawn("client", func(p *sim.Proc) {
+		_, err = n.SendRPC(p, 1, 4, "ping", 200*sim.Millisecond)
+	})
+	s.Run()
+	if served != 1 {
+		t.Fatalf("request not delivered: served=%d", served)
+	}
+	if err == nil {
+		t.Fatal("expected timeout with reply direction partitioned")
+	}
+}
+
+func TestSlowLink(t *testing.T) {
+	s := sim.New(1)
+	topo := threeRegionTopo()
+	n := NewNetwork(s, topo)
+	var at sim.Time
+	n.Register(4, func(m Message) { at = s.Now() })
+	n.SlowLink(1, 4, 100*sim.Millisecond)
+	n.Send(1, 4, "x")
+	s.Run()
+	want := sim.Time(87*sim.Millisecond/2 + 100*sim.Millisecond)
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+	// Reverse direction unaffected.
+	var back sim.Time
+	n.Register(1, func(m Message) { back = s.Now() - at })
+	n.Send(4, 1, "x")
+	s.Run()
+	if got := sim.Duration(back); got != 87*sim.Millisecond/2 {
+		t.Fatalf("reverse latency %v, want 43.5ms", got)
+	}
+	n.HealLink(1, 4)
+	n.Register(4, func(m Message) { at = s.Now() })
+	start := s.Now()
+	n.Send(1, 4, "x")
+	s.Run()
+	if at.Sub(start) != 87*sim.Millisecond/2 {
+		t.Fatalf("latency after heal = %v", at.Sub(start))
+	}
+}
+
 func TestJitterBoundedAndDeterministic(t *testing.T) {
 	run := func(seed int64) sim.Time {
 		s := sim.New(seed)

@@ -469,6 +469,23 @@ func (t *Txn) Commit(p *sim.Proc) error {
 		if errors.As(resp.Err, &ta) {
 			t.asyncResolve(mvcc.Aborted, hlc.Timestamp{})
 			t.co.Aborted++
+			return resp.Err
+		}
+		// Transport or consensus failure after EndTxn was sent: the record
+		// may be untouched, staged, or already committed (the registry
+		// serialized which). It must not be abandoned in a pending state —
+		// pushers refuse to abort staging records, so a later writer on our
+		// keys would wait forever. Resolve it now, one way or the other; the
+		// caller still sees the (ambiguous) error either way.
+		reg := t.co.Store.Registry
+		reg.AbortStaged(t.kv.Meta.ID)
+		if st, cts := reg.Status(t.kv.Meta.ID); st == mvcc.Committed {
+			t.asyncResolve(mvcc.Committed, cts)
+			t.co.Committed++
+		} else {
+			reg.Abort(t.kv.Meta.ID)
+			t.asyncResolve(mvcc.Aborted, hlc.Timestamp{})
+			t.co.Aborted++
 		}
 		return resp.Err
 	}
