@@ -3,15 +3,20 @@
 //
 // Usage:
 //
-//	mrbench [-full] [experiment ...]
+//	mrbench [-full|-quick] [-trace] [experiment ...]
 //
 // Experiments: table1 table2 fig3 fig4a fig4b fig4c fig5 fig6
 // ablation-commitwait ablation-nonvoters ablation-survivability all
 // (default: all).
 //
 // -full runs at a scale close to the paper's (minutes per figure); the
-// default quick scale finishes in seconds per figure and preserves every
-// reported shape.
+// default quick scale (also spellable as -quick) finishes in seconds per
+// figure and preserves every reported shape.
+//
+// -trace enables span recording during fig3, writes per-phase span
+// histograms to results/fig3_phases.txt, and fails the run if any
+// non-GLOBAL variant shows a commit-wait span above the gate — the CI
+// smoke that commit-waits never leak into REGIONAL transactions.
 package main
 
 import (
@@ -25,12 +30,19 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run at paper scale (slow)")
+	quick := flag.Bool("quick", false, "run at quick scale (the default; explicit for CI invocations)")
+	trace := flag.Bool("trace", false, "record spans; write fig3 phase histograms and enforce the commit-wait gate")
 	flag.Parse()
 
+	if *full && *quick {
+		fmt.Fprintln(os.Stderr, "mrbench: -full and -quick are mutually exclusive")
+		os.Exit(2)
+	}
 	scale := bench.Quick()
 	if *full {
 		scale = bench.Full()
 	}
+	bench.Trace = *trace
 	experiments := flag.Args()
 	if len(experiments) == 0 {
 		experiments = []string{"all"}

@@ -51,11 +51,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mrchaos: second run: %v\n", err)
 			os.Exit(1)
 		}
+		if rep.SpanHash != rep2.SpanHash {
+			fmt.Fprintf(os.Stderr, "mrchaos: DETERMINISM VIOLATION: span-tree hashes differ (%016x vs %016x)\n",
+				rep.SpanHash, rep2.SpanHash)
+			os.Exit(1)
+		}
 		if rep.Schedule() != rep2.Schedule() || rep.String() != rep2.String() {
 			fmt.Fprintln(os.Stderr, "mrchaos: DETERMINISM VIOLATION: runs differ")
 			os.Exit(1)
 		}
-		fmt.Println("determinism verified: second run identical")
+		fmt.Println("determinism verified: second run identical (schedule, report, span hash)")
 	}
 	if !rep.OK() {
 		fmt.Fprintln(os.Stderr, "mrchaos: invariants violated")

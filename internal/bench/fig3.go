@@ -3,17 +3,41 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 
+	"mrdb/internal/cluster"
+	"mrdb/internal/obs"
 	"mrdb/internal/sim"
 	"mrdb/internal/simnet"
 	"mrdb/internal/workload"
 )
 
+// Trace enables span recording during Fig 3 runs. The collected traces are
+// aggregated into per-phase latency histograms written under TraceDir, and
+// the commit-wait gate turns protocol regressions into hard errors: only
+// GLOBAL tables may commit-wait. Tracing is passive over virtual time, so
+// the reported latencies are identical with it on or off.
+var Trace bool
+
+// TraceDir is where Trace output lands.
+var TraceDir = "results"
+
+// commitWaitGate is the longest commit-wait tolerated on a non-GLOBAL
+// table. Clock skew alone can force a wait bounded by the actual skew
+// spread (2ms by default); GLOBAL transactions wait hundreds of
+// milliseconds by design. 10ms cleanly separates the two.
+const commitWaitGate = 10 * sim.Millisecond
+
 // fig3Run executes the §7.1 workload (YCSB-A, zipf, 5 regions, us-east1
 // primary) against one table configuration and returns the workload with
-// its recorders.
-func fig3Run(seed int64, maxOffset sim.Duration, scale Scale, locality string, stale bool, dupIndexes bool) (*workload.YCSB, error) {
+// its recorders, plus the cluster for trace inspection.
+func fig3Run(seed int64, maxOffset sim.Duration, scale Scale, locality string, stale bool, dupIndexes bool) (*workload.YCSB, *cluster.Cluster, error) {
 	c := paperCluster(seed, maxOffset)
+	if Trace {
+		c.EnableTracing()
+	}
 	catalog := newCatalog()
 	cfg := workload.YCSBConfig{
 		Variant:          workload.YCSBA,
@@ -38,7 +62,28 @@ func fig3Run(seed int64, maxOffset sim.Duration, scale Scale, locality string, s
 		p.Sleep(2 * sim.Second)
 		return y.Run(p)
 	})
-	return y, err
+	return y, c, err
+}
+
+// tracePhases aggregates span durations by span name for one Fig 3 variant
+// and reports the longest commit-wait seen, so the caller can apply the
+// non-GLOBAL gate.
+func tracePhases(w io.Writer, name string, c *cluster.Cluster) sim.Duration {
+	reg := obs.NewRegistry()
+	var maxWait sim.Duration
+	for _, tr := range c.Tracer.Traces() {
+		for _, sp := range tr.Spans {
+			reg.Histogram(sp.Name).RecordDuration(sp.Duration())
+			if sp.Name == "txn.commitwait" && sp.Duration() > maxWait {
+				maxWait = sp.Duration()
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n%s:\n", name)
+	for _, n := range reg.Histograms() {
+		fmt.Fprintf(w, "  %-18s %s\n", n, reg.Histogram(n).Summary())
+	}
+	return maxWait
 }
 
 // Fig3 reproduces paper Figure 3: transaction latency for REGIONAL and
@@ -57,10 +102,19 @@ func Fig3(w io.Writer, scale Scale) error {
 		{"Regional (Stale)", "LOCALITY REGIONAL BY TABLE IN PRIMARY REGION", true},
 	}
 	primary := simnet.USEast1
+	var phases strings.Builder
+	var gateErr error
 	for i, v := range variants {
-		y, err := fig3Run(100+int64(i), 250*sim.Millisecond, scale, v.locality, v.stale, false)
+		y, c, err := fig3Run(100+int64(i), 250*sim.Millisecond, scale, v.locality, v.stale, false)
 		if err != nil {
 			return fmt.Errorf("fig3 %s: %w", v.name, err)
+		}
+		if Trace {
+			maxWait := tracePhases(&phases, v.name, c)
+			if !strings.Contains(v.locality, "GLOBAL") && maxWait > commitWaitGate && gateErr == nil {
+				gateErr = fmt.Errorf("fig3 %s: commit-wait of %v on a non-GLOBAL table (gate %v): only GLOBAL tables may commit-wait",
+					v.name, maxWait, commitWaitGate)
+			}
 		}
 		fmt.Fprintf(w, "\n%s:\n", v.name)
 		isPrimary := func(r simnet.Region) bool { return r == primary }
@@ -79,5 +133,15 @@ func Fig3(w io.Writer, scale Scale) error {
 Expected shape (paper): GLOBAL reads < 3ms everywhere, GLOBAL writes
 500-600ms; REGIONAL reads/writes < 3ms from the primary region and
 100-200ms remote; stale remote reads < 3ms.`)
-	return nil
+	if Trace {
+		if err := os.MkdirAll(TraceDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(TraceDir, "fig3_phases.txt")
+		if err := os.WriteFile(path, []byte(phases.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nper-phase span histograms written to %s\n", path)
+	}
+	return gateErr
 }

@@ -33,7 +33,7 @@ func Fig5(w io.Writer, scale Scale) error {
 	fmt.Fprintln(w, "\nReads:")
 	var writesOut []string
 	for i, v := range variants {
-		y, err := fig3Run(200+int64(i), v.offset, scale, v.locality, v.stale, v.dupIndexes)
+		y, _, err := fig3Run(200+int64(i), v.offset, scale, v.locality, v.stale, v.dupIndexes)
 		if err != nil {
 			return fmt.Errorf("fig5 %s: %w", v.name, err)
 		}

@@ -12,6 +12,7 @@ package chaos
 
 import (
 	"fmt"
+	"strings"
 
 	"mrdb/internal/cluster"
 	"mrdb/internal/hlc"
@@ -174,6 +175,9 @@ func Run(opts Options) (*Report, error) {
 		Seed:      opts.Seed,
 		Regions:   cluster.ThreeRegions(),
 		MaxOffset: 250 * sim.Millisecond,
+		// Tracing is passive over virtual time, so it cannot perturb the
+		// fault schedule; the span-tree hash doubles as a determinism check.
+		Tracing: true,
 	})
 	h := &harness{
 		opts:       opts,
@@ -221,6 +225,13 @@ func Run(opts Options) (*Report, error) {
 	h.rep.Elapsed = sim.Duration(c.Sim.Now())
 	h.rep.LeaseAcquisitions = h.leaseAcquisitions()
 	h.rep.EpochBumps = c.Liveness.EpochBumps
+	h.rep.SpanHash = c.Tracer.Hash()
+	for _, name := range c.Metrics.Histograms() {
+		if strings.HasPrefix(name, "chaos.rto.") {
+			h.rep.RTOByFault = append(h.rep.RTOByFault,
+				fmt.Sprintf("%s %s", strings.TrimPrefix(name, "chaos.rto."), c.Metrics.Histogram(name).Summary()))
+		}
+	}
 	h.checkLinearizability()
 	return h.rep, setupErr
 }
@@ -553,13 +564,26 @@ func (h *harness) spawnProber(wg *sim.WaitGroup) {
 			co := h.coordAt(gw)
 			start := p.Now()
 			seq++
+			// The fault blamed for a slow probe is the one active when the
+			// probe started; by completion it may already have healed.
+			kind := "none"
+			if h.activeKind >= 0 {
+				kind = h.activeKind.String()
+			}
+			sp, probeDone := h.c.Tracer.StartRootIn(p, "chaos.probe")
+			sp.SetTagInt("gateway", int64(gw)).SetTagInt("seq", int64(seq)).SetTag("fault", kind)
 			err := co.Run(p, func(tx *txn.Txn) error {
 				return tx.Put(p, mvcc.Key("acct/probe"), mvcc.Value(fmt.Sprintf("%d", seq)))
 			})
 			lat := p.Now().Sub(start)
 			if err != nil {
+				sp.SetTag("err", err.Error())
+			}
+			probeDone()
+			if err != nil {
 				h.rep.ProbesFailed++
 				h.rep.Recoveries = append(h.rep.Recoveries, lat)
+				h.recordRTO(kind, lat)
 				if h.opts.Verbose {
 					fmt.Printf("  t=%v probe via n%d FAILED after %v: %v\n", p.Now(), gw, lat, err)
 				}
@@ -567,6 +591,7 @@ func (h *harness) spawnProber(wg *sim.WaitGroup) {
 				h.rep.ProbesOK++
 				if lat > h.opts.RTOThreshold {
 					h.rep.Recoveries = append(h.rep.Recoveries, lat)
+					h.recordRTO(kind, lat)
 					if h.opts.Verbose {
 						fmt.Printf("  t=%v probe via n%d recovered after %v\n", p.Now(), gw, lat)
 					}
@@ -575,6 +600,13 @@ func (h *harness) spawnProber(wg *sim.WaitGroup) {
 			p.Sleep(500 * sim.Millisecond)
 		}
 	})
+}
+
+// recordRTO files one recovery interval under the blamed fault kind and the
+// all-faults aggregate.
+func (h *harness) recordRTO(kind string, lat sim.Duration) {
+	h.c.Metrics.Histogram("chaos.rto." + kind).RecordDuration(lat)
+	h.c.Metrics.Histogram("chaos.rto.all").RecordDuration(lat)
 }
 
 // spawnAuditor runs periodic bank-sum audits during the chaos; failed reads

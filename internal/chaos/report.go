@@ -36,9 +36,16 @@ type Report struct {
 	ClosedTSRegressions int64
 
 	// Availability probes and measured recovery intervals (virtual time).
-	ProbesOK      int64
-	ProbesFailed  int64
-	Recoveries    []sim.Duration
+	ProbesOK     int64
+	ProbesFailed int64
+	Recoveries   []sim.Duration
+	// RTOByFault holds one pre-rendered histogram summary per fault kind
+	// that caused a recovery interval ("<kind> count=... p99=...").
+	RTOByFault []string
+
+	// SpanHash is the FNV-1a hash over every recorded trace's canonical
+	// rendering; with a fixed seed it must be bit-for-bit reproducible.
+	SpanHash uint64
 
 	// Recovery machinery counters.
 	LeaseAcquisitions int64
@@ -87,6 +94,10 @@ func (r *Report) String() string {
 		r.ClosedTSSamples, r.ClosedTSRegressions)
 	fmt.Fprintf(&b, "  probes: ok=%d failed=%d outages=%d max-rto=%v\n",
 		r.ProbesOK, r.ProbesFailed, len(r.Recoveries), r.MaxRTO())
+	for _, line := range r.RTOByFault {
+		fmt.Fprintf(&b, "  rto %s\n", line)
+	}
+	fmt.Fprintf(&b, "  trace: span-hash=%016x\n", r.SpanHash)
 	fmt.Fprintf(&b, "  recovery: lease-acquisitions=%d epoch-bumps=%d region-failures=%d\n",
 		r.LeaseAcquisitions, r.EpochBumps, r.RegionFailures)
 	fmt.Fprintf(&b, "  invariants: %s\n", map[bool]string{true: "OK", false: "VIOLATED"}[r.OK()])

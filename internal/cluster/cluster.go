@@ -9,6 +9,7 @@ import (
 
 	"mrdb/internal/hlc"
 	"mrdb/internal/kv"
+	"mrdb/internal/obs"
 	"mrdb/internal/sim"
 	"mrdb/internal/simnet"
 	"mrdb/internal/zones"
@@ -48,6 +49,11 @@ type Config struct {
 	// AutoSplitKeys, when non-zero, starts the split queue: ranges whose
 	// leaseholder holds more live keys are divided.
 	AutoSplitKeys int
+	// Tracing enables span recording from the start. Tracing is purely
+	// passive over virtual time — it never changes the simulation schedule
+	// or any latency — so it can also be switched on later with
+	// EnableTracing.
+	Tracing bool
 }
 
 // Cluster is a running simulated deployment.
@@ -61,6 +67,12 @@ type Cluster struct {
 	Liveness *kv.NodeLiveness
 	Stores   map[simnet.NodeID]*kv.Store
 	Senders  map[simnet.NodeID]*kv.DistSender
+
+	// Tracer and Metrics are the cluster-wide observability sinks, shared
+	// by the network, every DistSender, and every Store. The tracer starts
+	// disabled unless Config.Tracing is set.
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
 
 	MaxOffset sim.Duration
 	regions   []simnet.Region
@@ -113,7 +125,12 @@ func New(cfg Config) *Cluster {
 		Senders:   map[simnet.NodeID]*kv.DistSender{},
 		MaxOffset: cfg.MaxOffset,
 	}
+	c.Tracer = obs.NewTracer(s)
+	c.Tracer.SetEnabled(cfg.Tracing)
+	c.Metrics = obs.NewRegistry()
 	c.Net = simnet.NewNetwork(s, topo)
+	c.Net.Tracer = c.Tracer
+	c.Net.Metrics = c.Metrics
 	c.Registry = kv.NewTxnRegistry(s, topo)
 	c.Liveness = kv.NewNodeLiveness(s)
 
@@ -132,11 +149,12 @@ func New(cfg Config) *Cluster {
 					st.CloseLag = cfg.CloseLag
 				}
 				st.Catalog = c.Catalog
+				st.Obs = c.Tracer
 				st.StartLiveness(c.Liveness)
 				c.Stores[id] = st
 				c.Senders[id] = &kv.DistSender{
 					NodeID: id, Net: c.Net, Topo: topo, Catalog: c.Catalog,
-					Liveness: c.Liveness,
+					Liveness: c.Liveness, Tracer: c.Tracer,
 				}
 				id++
 			}
@@ -156,6 +174,9 @@ func New(cfg Config) *Cluster {
 	}
 	return c
 }
+
+// EnableTracing switches span recording on for subsequent requests.
+func (c *Cluster) EnableTracing() { c.Tracer.SetEnabled(true) }
 
 // Regions returns the cluster's regions in creation order.
 func (c *Cluster) Regions() []simnet.Region { return c.regions }

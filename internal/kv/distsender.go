@@ -7,6 +7,7 @@ import (
 
 	"mrdb/internal/hlc"
 	"mrdb/internal/mvcc"
+	"mrdb/internal/obs"
 	"mrdb/internal/sim"
 	"mrdb/internal/simnet"
 )
@@ -28,6 +29,11 @@ type DistSender struct {
 
 	// RPCTimeout bounds each attempt. Zero uses the network default.
 	RPCTimeout sim.Duration
+
+	// Tracer, when set, records a "ds.send" span per routed request with a
+	// "ds.rpc" child per replica attempt (target, retries, backoff, and the
+	// error that caused each retry). Optional; nil-safe.
+	Tracer *obs.Tracer
 
 	// Stats.
 	Sent             int64
@@ -165,12 +171,25 @@ func (ds *DistSender) Send(p *sim.Proc, req interface{}) Response {
 	if !ok {
 		return Response{Err: fmt.Errorf("kv: cannot route %T", req)}
 	}
+	sp, finish := ds.Tracer.StartIn(p, "ds.send")
+	defer finish()
+	sp.SetTag("req", fmt.Sprintf("%T", req)).SetTag("key", string(key))
 	leaseholderHint := simnet.NodeID(0)
 	forceLeaseholder := false
 	backoffs := 0
+	// lastErr remembers why the most recent attempt failed, so exhausting
+	// the retry budget surfaces the cause instead of a bare attempt count.
+	var lastErr error
+	backoff := func(asp *obs.Span) {
+		before := ds.BackoffTotal
+		ds.backoff(p, backoffs)
+		backoffs++
+		asp.SetTagDuration("backoff", ds.BackoffTotal-before)
+	}
 	for attempt := 0; attempt < maxSendAttempts; attempt++ {
 		desc, err := ds.Catalog.Lookup(key)
 		if err != nil {
+			sp.SetTag("err", err.Error())
 			return Response{Err: err}
 		}
 		target := desc.Leaseholder
@@ -187,26 +206,33 @@ func (ds *DistSender) Send(p *sim.Proc, req interface{}) Response {
 			target = ds.nearestReplicaExcluding(desc, target)
 		}
 		ds.Sent++
-		raw, rpcErr := ds.Net.SendRPC(p, ds.NodeID, target, BatchRequest{RangeID: desc.RangeID, Req: req}, ds.RPCTimeout)
+		asp, attemptDone := ds.Tracer.StartIn(p, "ds.rpc")
+		asp.SetTagInt("attempt", int64(attempt)).SetTagInt("target", int64(target))
+		raw, rpcErr := ds.Net.SendRPC(p, ds.NodeID, target,
+			BatchRequest{RangeID: desc.RangeID, Req: req, Trace: asp.Ctx()}, ds.RPCTimeout)
 		if rpcErr != nil {
 			// Node unreachable: back off and re-route (the descriptor or
 			// lease may move during failover).
+			lastErr = rpcErr
+			asp.SetTag("err", rpcErr.Error())
 			ds.Retries++
 			forceLeaseholder = false
-			ds.backoff(p, backoffs)
-			backoffs++
+			attemptDone()
+			backoff(asp)
 			continue
 		}
 		resp := raw.(Response)
 		var nle *NotLeaseholderError
 		if errors.As(resp.Err, &nle) {
+			lastErr = resp.Err
+			asp.SetTag("err", resp.Err.Error())
 			ds.Retries++
 			ds.LeaseholderHints++
+			attemptDone()
 			if nle.Leaseholder != 0 && nle.Leaseholder != target && ds.live(nle.Leaseholder) {
 				leaseholderHint = nle.Leaseholder
 			} else {
-				ds.backoff(p, backoffs)
-				backoffs++
+				backoff(asp)
 			}
 			continue
 		}
@@ -214,27 +240,38 @@ func (ds *DistSender) Send(p *sim.Proc, req interface{}) Response {
 		if errors.As(resp.Err, &fru) {
 			// Paper §5.3.1: reads a follower cannot serve are
 			// redirected to the leaseholder.
+			lastErr = resp.Err
+			asp.SetTag("err", resp.Err.Error())
 			ds.Retries++
 			ds.FollowerMisses++
+			attemptDone()
 			if forceLeaseholder || target == desc.Leaseholder {
 				// The leaseholder itself could not serve (fenced lease
 				// mid-recovery): wait for the lease to move.
-				ds.backoff(p, backoffs)
-				backoffs++
+				backoff(asp)
 			}
 			forceLeaseholder = true
 			continue
 		}
 		var rkm *RangeKeyMismatchError
 		if errors.As(resp.Err, &rkm) {
+			lastErr = resp.Err
+			asp.SetTag("err", resp.Err.Error())
 			ds.Retries++
-			ds.backoff(p, backoffs)
-			backoffs++
+			attemptDone()
+			backoff(asp)
 			continue
 		}
+		attemptDone()
 		return resp
 	}
-	return Response{Err: fmt.Errorf("kv: request to %q failed after %d attempts", key, maxSendAttempts)}
+	err := fmt.Errorf("kv: request to %q failed after %d attempts", key, maxSendAttempts)
+	if lastErr != nil {
+		err = fmt.Errorf("kv: request to %q failed after %d attempts: last attempt: %w",
+			key, maxSendAttempts, lastErr)
+	}
+	sp.SetTag("err", err.Error())
+	return Response{Err: err}
 }
 
 // Get is a convenience wrapper returning the value for key.

@@ -3,9 +3,11 @@ package kv
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"mrdb/internal/hlc"
 	"mrdb/internal/mvcc"
+	"mrdb/internal/obs"
 	"mrdb/internal/raft"
 	"mrdb/internal/sim"
 	"mrdb/internal/simnet"
@@ -170,7 +172,9 @@ func (r *Replica) evalGet(p *sim.Proc, req *GetRequest) Response {
 	for {
 		// Wait out in-flight writes on this key so we cannot read around
 		// a write that is between evaluation and application.
+		lsp := r.store.Obs.StartChild("latch.wait", obs.ProcSpan(p))
 		r.latches.waitFree(p, req.Key)
+		lsp.Finish()
 		val, vts, err := r.engine.Get(req.Key, readTS, opts)
 		var wie *mvcc.WriteIntentError
 		if errors.As(err, &wie) {
@@ -215,7 +219,9 @@ func (r *Replica) evalFollowerGet(p *sim.Proc, req *GetRequest) Response {
 	if r.closed.closed.Less(required) && req.WaitForClosed > 0 {
 		// Adaptive policy (paper future work): wait for the closed
 		// timestamp to reach us instead of paying a WAN redirect.
+		csp := r.store.Obs.StartChild("closedts.wait", obs.ProcSpan(p))
 		r.waitForClosed(p, required, req.WaitForClosed)
+		csp.Finish()
 	}
 	if r.closed.closed.Less(required) {
 		r.RedirectsToLH++
@@ -247,6 +253,7 @@ func (r *Replica) evalFollowerGet(p *sim.Proc, req *GetRequest) Response {
 			return Response{Err: err}
 		}
 		r.FollowerReads++
+		obs.ProcSpan(p).SetTag("follower_read", "true")
 		return Response{Get: &GetResponse{Value: val, Timestamp: vts, ServedBy: r.store.NodeID, BumpedTS: bumped}}
 	}
 }
@@ -265,6 +272,7 @@ func (r *Replica) evalScan(p *sim.Proc, req *ScanRequest) Response {
 				RangeID: r.desc.RangeID, ClosedTS: r.closed.closed, ReadTS: req.Timestamp}}
 		}
 		r.FollowerReads++
+		obs.ProcSpan(p).SetTag("follower_read", "true")
 		return Response{Scan: &ScanResponse{Rows: rows, ServedBy: r.store.NodeID}}
 	}
 	opts := r.getOpts(req.Txn, req.Uncertainty)
@@ -302,7 +310,9 @@ func (r *Replica) evalPut(p *sim.Proc, req *PutRequest) Response {
 			return Response{Err: err}
 		}
 	}
+	lsp := r.store.Obs.StartChild("latch.wait", obs.ProcSpan(p))
 	r.latches.acquire(p, req.Key)
+	lsp.Finish()
 	releaseOnReturn := true
 	defer func() {
 		if releaseOnReturn {
@@ -333,6 +343,7 @@ func (r *Replica) evalPut(p *sim.Proc, req *PutRequest) Response {
 			}
 		} else if ts.LessEq(tsc) {
 			ts = tsc.Next()
+			obs.ProcSpan(p).SetTag("tscache_push", "true")
 		}
 		// …and may not land at or below a closed timestamp. Under the
 		// LEAD policy this is what pushes writes into the future
@@ -341,6 +352,7 @@ func (r *Replica) evalPut(p *sim.Proc, req *PutRequest) Response {
 		target := r.closed.issue(r.store.Clock.Now())
 		if ts.LessEq(target) {
 			ts = target.Next()
+			obs.ProcSpan(p).SetTag("closedts_push", "true")
 		}
 		newTs, err := r.checkPut(req.Key, ts, txnMeta)
 		var wie *mvcc.WriteIntentError
@@ -470,15 +482,42 @@ func (r *Replica) checkPut(key mvcc.Key, ts hlc.Timestamp, txn *mvcc.TxnMeta) (h
 
 // propose pushes cmd through Raft and parks p until it applies locally.
 func (r *Replica) propose(p *sim.Proc, cmd Command) error {
+	sp := r.store.Obs.StartChild("raft.replicate", obs.ProcSpan(p))
+	sp.SetTagInt("range", int64(r.desc.RangeID))
 	f, err := r.raft.Propose(cmd)
 	if err != nil {
 		var nl *raft.ErrNotLeader
 		if errors.As(err, &nl) {
-			return r.errNotLeaseholder()
+			err = r.errNotLeaseholder()
 		}
+		sp.SetTag("err", err.Error())
+		sp.Finish()
 		return err
 	}
 	res := f.Wait(p)
+	if sp != nil {
+		if res.Err != nil {
+			sp.SetTag("err", res.Err.Error())
+		}
+		// Attribute the quorum: which voters' acks committed the entry,
+		// and how many of those acks crossed a region boundary. A write
+		// that claims region-local latency must show wan_acks == 0; a
+		// cross-region quorum shows exactly the remote acks it paid for.
+		var acks strings.Builder
+		wan := 0
+		for i, a := range res.Acks {
+			if i > 0 {
+				acks.WriteByte(',')
+			}
+			fmt.Fprintf(&acks, "n%d", a)
+			if a != r.store.NodeID && r.store.Net.WAN(r.store.NodeID, a) {
+				wan++
+			}
+		}
+		sp.SetTag("acks", acks.String())
+		sp.SetTagInt("wan_acks", int64(wan))
+		sp.Finish()
+	}
 	return res.Err
 }
 
@@ -633,6 +672,9 @@ const deadlockPushInterval = 1 * sim.Second
 // (paper §6.2: readers block on the locks of still-running writers), only
 // pushing after a long liveness threshold.
 func (r *Replica) waitOnIntent(p *sim.Proc, key mvcc.Key, holder mvcc.TxnMeta, waiter *Txn, isWrite bool) error {
+	isp := r.store.Obs.StartChild("intent.wait", obs.ProcSpan(p))
+	isp.SetTag("holder", fmt.Sprintf("%v", holder.ID))
+	defer isp.Finish()
 	reg := r.store.Registry
 	status, commitTS := reg.Status(holder.ID)
 	// The common case wakes on the registry's commit/abort broadcast at no

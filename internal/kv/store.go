@@ -5,6 +5,7 @@ import (
 
 	"mrdb/internal/hlc"
 	"mrdb/internal/mvcc"
+	"mrdb/internal/obs"
 	"mrdb/internal/raft"
 	"mrdb/internal/sim"
 	"mrdb/internal/simnet"
@@ -27,6 +28,11 @@ type Store struct {
 	// Catalog, when set, lets replicas publish descriptor changes (e.g. a
 	// lease acquired after a failover) to the shared routing catalog.
 	Catalog *RangeCatalog
+
+	// Obs, when set, records server-side spans (replica evaluation,
+	// latching, closed-timestamp waits, Raft replication) into incoming
+	// requests' traces. Optional; nil-safe.
+	Obs *obs.Tracer
 
 	replicas map[RangeID]*Replica
 	// engineSeed derives per-replica skiplist seeds deterministically.
@@ -109,7 +115,19 @@ func (s *Store) handleMessage(m simnet.Message) {
 			return
 		}
 		s.Sim.Spawn(fmt.Sprintf("n%d/r%d/eval", s.NodeID, batch.RangeID), func(p *sim.Proc) {
-			payload.Reply(r.evaluate(p, batch.Req))
+			sp := s.Obs.StartSpan("replica.eval", batch.Trace)
+			if sp != nil {
+				sp.SetTagInt("node", int64(s.NodeID)).
+					SetTagInt("range", int64(batch.RangeID)).
+					SetTag("req", fmt.Sprintf("%T", batch.Req))
+				obs.SetProcSpan(p, sp)
+			}
+			resp := r.evaluate(p, batch.Req)
+			if sp != nil && resp.Err != nil {
+				sp.SetTag("err", resp.Err.Error())
+			}
+			sp.Finish()
+			payload.Reply(resp)
 		})
 	}
 }

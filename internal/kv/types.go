@@ -12,6 +12,7 @@ import (
 
 	"mrdb/internal/hlc"
 	"mrdb/internal/mvcc"
+	"mrdb/internal/obs"
 	"mrdb/internal/sim"
 	"mrdb/internal/simnet"
 	"mrdb/internal/zones"
@@ -368,6 +369,9 @@ type Response struct {
 type BatchRequest struct {
 	RangeID RangeID
 	Req     interface{}
+	// Trace carries the sender's span context to the serving replica, so
+	// server-side evaluation spans join the request's trace.
+	Trace obs.SpanContext
 }
 
 // RaftEnvelope carries a Raft message for one range between stores.

@@ -1,0 +1,107 @@
+package obs_test
+
+// Metamorphic test for zero-cost tracing: because the tracer never sleeps,
+// schedules events, or consumes simulation randomness, running the exact
+// same workload with tracing on and off must produce identical query
+// results and identical virtual-time latencies, sample for sample.
+
+import (
+	"reflect"
+	"testing"
+
+	"mrdb/internal/cluster"
+	"mrdb/internal/sim"
+	"mrdb/internal/sql"
+	"mrdb/internal/workload"
+)
+
+// movrOutcome captures everything observable about one MovR run.
+type movrOutcome struct {
+	FinalTime sim.Time
+	Signup    []sim.Duration
+	Ride      []sim.Duration
+	Browse    []sim.Duration
+	UserRows  [][]sql.Datum
+	Traces    int
+}
+
+func runMovr(t *testing.T, seed int64, tracing bool) movrOutcome {
+	t.Helper()
+	c := cluster.New(cluster.Config{
+		Seed:      seed,
+		Regions:   cluster.ThreeRegions(),
+		MaxOffset: 250 * sim.Millisecond,
+		Tracing:   tracing,
+	})
+	catalog := sql.NewCatalog()
+	m := workload.NewMovr(c, catalog)
+	var out movrOutcome
+	var runErr error
+	c.Sim.Spawn("movr", func(p *sim.Proc) {
+		defer c.Sim.Stop()
+		if runErr = m.Setup(p); runErr != nil {
+			return
+		}
+		p.Sleep(2 * sim.Second)
+		if runErr = m.Load(p); runErr != nil {
+			return
+		}
+		p.Sleep(2 * sim.Second)
+		if runErr = m.Run(p, 2, 10); runErr != nil {
+			return
+		}
+		s := sql.NewSession(c, catalog, c.GatewayFor(c.Regions()[0]))
+		s.Database = "movr"
+		res, err := s.Exec(p, `SELECT name FROM users WHERE id = 1`)
+		if err != nil {
+			runErr = err
+			return
+		}
+		out.UserRows = res.Rows
+	})
+	c.Sim.RunFor(60 * 60 * sim.Second)
+	if runErr != nil {
+		t.Fatalf("movr run (tracing=%v): %v", tracing, runErr)
+	}
+	out.FinalTime = c.Sim.Now()
+	out.Signup = m.SignupLat.Samples()
+	out.Ride = m.RideLat.Samples()
+	out.Browse = m.BrowseLat.Samples()
+	out.Traces = len(c.Tracer.Traces())
+	return out
+}
+
+func TestMetamorphicTracingIsFree(t *testing.T) {
+	off := runMovr(t, 71, false)
+	on := runMovr(t, 71, true)
+
+	// Tracing actually happened in one run and not the other.
+	if off.Traces != 0 {
+		t.Errorf("untraced run collected %d traces", off.Traces)
+	}
+	if on.Traces == 0 {
+		t.Error("traced run collected no traces")
+	}
+	// ...and changed nothing observable.
+	if off.FinalTime != on.FinalTime {
+		t.Errorf("virtual end time differs: off=%v on=%v", off.FinalTime, on.FinalTime)
+	}
+	if !reflect.DeepEqual(off.UserRows, on.UserRows) {
+		t.Errorf("query results differ: off=%v on=%v", off.UserRows, on.UserRows)
+	}
+	for _, tc := range []struct {
+		name    string
+		off, on []sim.Duration
+	}{
+		{"signup", off.Signup, on.Signup},
+		{"ride", off.Ride, on.Ride},
+		{"browse", off.Browse, on.Browse},
+	} {
+		if !reflect.DeepEqual(tc.off, tc.on) {
+			t.Errorf("%s latency samples differ (n=%d vs n=%d)", tc.name, len(tc.off), len(tc.on))
+		}
+	}
+	if len(off.Browse) == 0 || len(off.Ride) == 0 {
+		t.Fatalf("workload recorded no samples: browse=%d ride=%d", len(off.Browse), len(off.Ride))
+	}
+}

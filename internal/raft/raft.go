@@ -158,6 +158,12 @@ var ErrLeadershipLost = fmt.Errorf("raft: leadership lost with proposal in fligh
 type ProposeResult struct {
 	Index uint64
 	Err   error
+	// Acks lists the voters (including the leader itself) whose match
+	// index had reached the entry when it committed — the critical quorum
+	// that paid for this proposal's replication round trip. Sorted by node
+	// ID; nil on error or when resolved away from the leader. The
+	// observability layer uses it to count inter-region quorum round trips.
+	Acks []simnet.NodeID
 }
 
 // Node is one replica's Raft state machine.
@@ -538,6 +544,20 @@ func (n *Node) maybeCommit() {
 	}
 }
 
+// ackSet returns the sorted voters whose match index covers idx. Called at
+// commit time on the leader, this is exactly the quorum whose acks
+// committed the entry (slower voters have not matched it yet).
+func (n *Node) ackSet(idx uint64) []simnet.NodeID {
+	var acks []simnet.NodeID
+	for v := range n.voters {
+		if n.matchIndex[v] >= idx {
+			acks = append(acks, v)
+		}
+	}
+	sort.Slice(acks, func(i, j int) bool { return acks[i] < acks[j] })
+	return acks
+}
+
 func (n *Node) applyCommitted() {
 	for n.applied < n.commitIndex {
 		n.applied++
@@ -550,7 +570,7 @@ func (n *Node) applyCommitted() {
 		}
 		if f, ok := n.pending[e.Index]; ok {
 			delete(n.pending, e.Index)
-			f.Set(ProposeResult{Index: e.Index})
+			f.Set(ProposeResult{Index: e.Index, Acks: n.ackSet(e.Index)})
 		}
 	}
 }

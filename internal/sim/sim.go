@@ -159,7 +159,19 @@ type Proc struct {
 	name string
 	wake chan struct{}
 	done bool
+
+	// obsctx is an opaque slot for the observability layer (the process's
+	// current trace span). sim knows nothing about its type; it exists here
+	// so spans can follow a process across blocking calls without sim
+	// importing obs.
+	obsctx interface{}
 }
+
+// ObsCtx returns the process's opaque observability context.
+func (p *Proc) ObsCtx() interface{} { return p.obsctx }
+
+// SetObsCtx installs an opaque observability context on the process.
+func (p *Proc) SetObsCtx(v interface{}) { p.obsctx = v }
 
 // Sim returns the simulation the process runs on.
 func (p *Proc) Sim() *Simulation { return p.sim }

@@ -3,6 +3,7 @@ package simnet
 import (
 	"fmt"
 
+	"mrdb/internal/obs"
 	"mrdb/internal/sim"
 )
 
@@ -38,6 +39,14 @@ type Network struct {
 	MessagesSent    int64
 	MessagesDropped int64
 	BytesEstimate   int64
+
+	// Tracer, when set, records a "net.rpc" span per RPC with per-message
+	// link attribution (endpoints, regions, WAN classification, one-way
+	// delay). Optional; nil-safe.
+	Tracer *obs.Tracer
+	// Metrics, when set, counts messages and RPC round trips, split by
+	// WAN/local. Optional; nil-safe.
+	Metrics *obs.Registry
 }
 
 // NewNetwork returns a network over the given simulation and topology.
@@ -117,6 +126,13 @@ func (n *Network) HealLink(a, b NodeID) {
 	delete(n.slowLinks, [2]NodeID{b, a})
 }
 
+// WAN reports whether traffic between the two nodes crosses regions.
+func (n *Network) WAN(a, b NodeID) bool {
+	la, oka := n.Topo.LocalityOf(a)
+	lb, okb := n.Topo.LocalityOf(b)
+	return oka && okb && la.Region != lb.Region
+}
+
 func (n *Network) blocked(from, to NodeID) bool {
 	if n.downNodes[from] || n.downNodes[to] {
 		return true
@@ -154,6 +170,10 @@ func (n *Network) delay(from, to NodeID) sim.Duration {
 // are silently dropped, as on a real network.
 func (n *Network) Send(from, to NodeID, payload interface{}) {
 	n.MessagesSent++
+	n.Metrics.Counter("net.send").Inc()
+	if n.WAN(from, to) {
+		n.Metrics.Counter("net.send.wan").Inc()
+	}
 	if n.blocked(from, to) {
 		n.MessagesDropped++
 		return
@@ -209,14 +229,35 @@ func (e *ErrRPC) Error() string { return "rpc: " + e.Reason }
 // arrives or the timeout expires. The destination handler receives an
 // *RPCRequest payload and must call Reply.
 func (n *Network) SendRPC(p *sim.Proc, from, to NodeID, payload interface{}, timeout sim.Duration) (interface{}, error) {
+	wan := n.WAN(from, to)
+	n.Metrics.Counter("net.rpc").Inc()
+	if wan {
+		n.Metrics.Counter("net.rpc.wan").Inc()
+	}
+	sp := n.Tracer.StartChild("net.rpc", obs.ProcSpan(p))
+	if sp != nil {
+		sp.SetTagInt("from", int64(from)).SetTagInt("to", int64(to))
+		if lf, ok := n.Topo.LocalityOf(from); ok {
+			sp.SetTag("from_region", string(lf.Region))
+		}
+		if lt, ok := n.Topo.LocalityOf(to); ok {
+			sp.SetTag("to_region", string(lt.Region))
+		}
+		sp.SetTag("wan", fmt.Sprintf("%t", wan))
+		sp.SetTagDuration("link_rtt", n.Topo.NodeRTT(from, to))
+	}
 	reply := sim.NewFuture[interface{}](n.Sim)
 	req := &RPCRequest{From: from, Payload: payload, reply: reply, net: n, to: to}
 	n.MessagesSent++
 	if n.blocked(from, to) {
 		n.MessagesDropped++
-		return nil, &ErrRPC{Reason: fmt.Sprintf("node %d unreachable from %d", to, from)}
+		err := &ErrRPC{Reason: fmt.Sprintf("node %d unreachable from %d", to, from)}
+		sp.SetTag("err", err.Error())
+		sp.Finish()
+		return nil, err
 	}
 	d := n.delay(from, to)
+	sp.SetTagDuration("req_delay", d)
 	n.Sim.After(d, func() {
 		if n.blocked(from, to) {
 			n.MessagesDropped++
@@ -232,9 +273,15 @@ func (n *Network) SendRPC(p *sim.Proc, from, to NodeID, payload interface{}, tim
 	if timeout <= 0 {
 		timeout = 10 * sim.Second
 	}
+	start := n.Sim.Now()
 	v, ok := reply.WaitTimeout(p, timeout)
+	n.Metrics.Histogram("net.rpc.rtt").RecordDuration(n.Sim.Now().Sub(start))
 	if !ok {
-		return nil, &ErrRPC{Reason: fmt.Sprintf("timeout after %s calling node %d", timeout, to)}
+		err := &ErrRPC{Reason: fmt.Sprintf("timeout after %s calling node %d", timeout, to)}
+		sp.SetTag("err", err.Error())
+		sp.Finish()
+		return nil, err
 	}
+	sp.Finish()
 	return v, nil
 }

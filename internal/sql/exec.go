@@ -82,8 +82,25 @@ func (s *Session) MustExec(p *sim.Proc, sqlText string) *Result {
 	return res
 }
 
-// ExecStmt executes a parsed statement.
+// ExecStmt executes a parsed statement. When cluster tracing is enabled it
+// is the root of the request path's trace: every downstream span —
+// transaction phases, DistSender attempts, network RPCs, replica
+// evaluation, Raft replication — hangs off the "sql.exec" span started
+// here (unless the caller already carries a span, in which case execution
+// joins the caller's trace).
 func (s *Session) ExecStmt(p *sim.Proc, stmt Statement) (*Result, error) {
+	sp, done := s.Cluster.Tracer.StartRootIn(p, "sql.exec")
+	sp.SetTag("stmt", strings.TrimPrefix(fmt.Sprintf("%T", stmt), "*sql.")).
+		SetTag("gateway_region", string(s.Region()))
+	res, err := s.execStmt(p, stmt)
+	if err != nil {
+		sp.SetTag("err", err.Error())
+	}
+	done()
+	return res, err
+}
+
+func (s *Session) execStmt(p *sim.Proc, stmt Statement) (*Result, error) {
 	switch st := stmt.(type) {
 	case *CreateDatabase:
 		return s.execCreateDatabase(st)
@@ -139,9 +156,17 @@ func (s *Session) RollbackTxn(p *sim.Proc) {
 }
 
 // RunTxn executes fn inside a retrying transaction; statements issued via
-// ExecTxn within fn share it.
+// ExecTxn within fn share it. Like ExecStmt it roots a trace when tracing
+// is enabled and no span is already in flight.
 func (s *Session) RunTxn(p *sim.Proc, fn func(tx *txn.Txn) error) error {
-	return s.Coord.Run(p, fn)
+	sp, done := s.Cluster.Tracer.StartRootIn(p, "sql.txn")
+	sp.SetTag("gateway_region", string(s.Region()))
+	err := s.Coord.Run(p, fn)
+	if err != nil {
+		sp.SetTag("err", err.Error())
+	}
+	done()
+	return err
 }
 
 func (s *Session) execDML(p *sim.Proc, stmt Statement) (*Result, error) {

@@ -6,6 +6,7 @@ import (
 	"mrdb/internal/core"
 	"mrdb/internal/hlc"
 	"mrdb/internal/mvcc"
+	"mrdb/internal/obs"
 	"mrdb/internal/sim"
 	"mrdb/internal/simnet"
 	"mrdb/internal/txn"
@@ -316,6 +317,7 @@ func (s *Session) fetchPoint(p *sim.Proc, f rowFetcher, plan *readPlan) ([]table
 		}
 		slots := make([]result, len(regions)*len(tuples))
 		wg := sim.NewWaitGroup(p.Sim())
+		parent := obs.ProcSpan(p)
 		i := 0
 		for _, region := range regions {
 			for _, tuple := range tuples {
@@ -324,6 +326,7 @@ func (s *Session) fetchPoint(p *sim.Proc, f rowFetcher, plan *readPlan) ([]table
 				wg.Add(1)
 				p.Sim().Spawn("sql/probe", func(wp *sim.Proc) {
 					defer wg.Done()
+					obs.SetProcSpan(wp, parent)
 					row, err := s.lookupOne(wp, f, t, idx, region, tuple)
 					slots[slot] = result{row: row, err: err}
 				})
@@ -366,9 +369,11 @@ func (s *Session) fetchPoint(p *sim.Proc, f rowFetcher, plan *readPlan) ([]table
 		}
 		res := sim.NewFuture[outcome](p.Sim())
 		pending := len(regions)
+		parent := obs.ProcSpan(p)
 		for _, region := range regions {
 			region := region
 			p.Sim().Spawn("sql/probe", func(wp *sim.Proc) {
+				obs.SetProcSpan(wp, parent)
 				row, err := s.lookupOne(wp, f, t, idx, region, tuple)
 				pending--
 				if res.Done() {
@@ -472,11 +477,13 @@ func (s *Session) fetchScan(p *sim.Proc, f rowFetcher, plan *readPlan) ([]tableR
 	}
 	slots := make([]result, len(plan.regions))
 	wg := sim.NewWaitGroup(p.Sim())
+	parent := obs.ProcSpan(p)
 	for i, region := range plan.regions {
 		i, region := i, region
 		wg.Add(1)
 		p.Sim().Spawn("sql/scan", func(wp *sim.Proc) {
 			defer wg.Done()
+			obs.SetProcSpan(wp, parent)
 			start, end := IndexSpan(t, idx.ID, region)
 			kvs, err := f.scan(wp, start, end, plan.limit)
 			if err != nil {

@@ -13,6 +13,7 @@ import (
 	"mrdb/internal/hlc"
 	"mrdb/internal/kv"
 	"mrdb/internal/mvcc"
+	"mrdb/internal/obs"
 	"mrdb/internal/sim"
 	"mrdb/internal/simnet"
 )
@@ -50,6 +51,14 @@ type Coordinator struct {
 // NewCoordinator returns a coordinator bound to a gateway store.
 func NewCoordinator(store *kv.Store, sender *kv.DistSender) *Coordinator {
 	return &Coordinator{Store: store, Sender: sender, PipelineWrites: true}
+}
+
+// tracer returns the gateway store's tracer (nil-safe).
+func (c *Coordinator) tracer() *obs.Tracer {
+	if c.Store == nil {
+		return nil
+	}
+	return c.Store.Obs
 }
 
 // Txn is one transaction attempt (an epoch); it is restarted in place on
@@ -226,6 +235,9 @@ func (t *Txn) refreshReads(p *sim.Proc, newTS hlc.Timestamp) bool {
 	if len(t.reads) == 0 {
 		return true
 	}
+	sp, done := t.co.tracer().StartIn(p, "txn.refresh")
+	defer done()
+	sp.SetTagInt("spans", int64(len(t.reads)))
 	s := t.co.Store.Sim
 	wg := sim.NewWaitGroup(s)
 	wg.Add(len(t.reads))
@@ -234,6 +246,7 @@ func (t *Txn) refreshReads(p *sim.Proc, newTS hlc.Timestamp) bool {
 		span := span
 		s.Spawn("txn/refresh", func(wp *sim.Proc) {
 			defer wg.Done()
+			obs.SetProcSpan(wp, sp)
 			req := &kv.RefreshRequest{
 				Key: span.key, EndKey: span.end,
 				FromTS: t.kv.ReadTimestamp, ToTS: newTS,
@@ -318,10 +331,12 @@ func (t *Txn) PutParallel(p *sim.Proc, kvs []mvcc.KeyValue) error {
 	wg.Add(len(kvs))
 	errs := make([]error, len(kvs))
 	results := make([]hlc.Timestamp, len(kvs))
+	parent := obs.ProcSpan(p)
 	for i, pair := range kvs {
 		i, pair := i, pair
 		s.Spawn("txn/put", func(wp *sim.Proc) {
 			defer wg.Done()
+			obs.SetProcSpan(wp, parent)
 			req := &kv.PutRequest{Key: pair.Key, Value: pair.Value, Timestamp: t.kv.Meta.WriteTimestamp, Txn: t.kv, Pipelined: t.co.PipelineWrites}
 			resp := t.co.Sender.Send(wp, req)
 			if resp.Err != nil {
@@ -359,10 +374,12 @@ func (t *Txn) GetParallel(p *sim.Proc, keys []mvcc.Key) ([]mvcc.Value, error) {
 	wg := sim.NewWaitGroup(s)
 	wg.Add(len(keys))
 	canBump := len(t.reads) == 0 && len(keys) == 1
+	parent := obs.ProcSpan(p)
 	for i, key := range keys {
 		i, key := i, key
 		s.Spawn("txn/get", func(wp *sim.Proc) {
 			defer wg.Done()
+			obs.SetProcSpan(wp, parent)
 			req := &kv.GetRequest{
 				Key: key, Timestamp: t.kv.ReadTimestamp, Txn: t.kv,
 				Uncertainty: true, FollowerRead: t.followerOK(key),
@@ -400,6 +417,9 @@ func (t *Txn) GetParallel(p *sim.Proc, keys []mvcc.Key) ([]mvcc.Value, error) {
 // performs commit wait concurrently (§6.2); for read-only transactions it
 // only commit-waits if the read timestamp leads the local clock.
 func (t *Txn) Commit(p *sim.Proc) error {
+	sp, done := t.co.tracer().StartIn(p, "txn.commit")
+	defer done()
+	_ = sp
 	if t.finished {
 		if t.committed1PC {
 			return nil
@@ -440,7 +460,7 @@ func (t *Txn) Commit(p *sim.Proc) error {
 		if !t.refreshReads(p, commitTS) {
 			t.co.Restarts++
 			t.co.Store.Registry.Abort(t.kv.Meta.ID)
-			t.asyncResolve(mvcc.Aborted, hlc.Timestamp{})
+			t.asyncResolve(p, mvcc.Aborted, hlc.Timestamp{})
 			return t.restartError("commit refresh failed", commitTS)
 		}
 		t.kv.ReadTimestamp = commitTS
@@ -453,8 +473,10 @@ func (t *Txn) Commit(p *sim.Proc) error {
 	stage := len(t.pipelined) > 0
 	var proveErr error
 	proveDone := sim.NewFuture[struct{}](t.co.Store.Sim)
+	parent := obs.ProcSpan(p)
 	if stage {
 		t.co.Store.Sim.Spawn("txn/prove", func(wp *sim.Proc) {
+			obs.SetProcSpan(wp, parent)
 			proveErr = t.proveWrites(wp)
 			proveDone.Set(struct{}{})
 		})
@@ -462,12 +484,21 @@ func (t *Txn) Commit(p *sim.Proc) error {
 		proveDone.Set(struct{}{})
 	}
 
+	// The staging phase: the commit record write (STAGING when pipelined
+	// writes are still being proven) overlapped with the QueryIntent proofs.
+	stageName := "txn.commit_record"
+	if stage {
+		stageName = "txn.stage"
+	}
+	ssp, stageDone := t.co.tracer().StartIn(p, stageName)
+	_ = ssp
 	resp := t.co.Sender.Send(p, &kv.EndTxnRequest{Txn: t.kv, Commit: true, CommitTS: commitTS, Stage: stage})
 	proveDone.Wait(p)
+	stageDone()
 	if resp.Err != nil {
 		var ta *kv.TxnAbortedError
 		if errors.As(resp.Err, &ta) {
-			t.asyncResolve(mvcc.Aborted, hlc.Timestamp{})
+			t.asyncResolve(p, mvcc.Aborted, hlc.Timestamp{})
 			t.co.Aborted++
 			return resp.Err
 		}
@@ -480,11 +511,11 @@ func (t *Txn) Commit(p *sim.Proc) error {
 		reg := t.co.Store.Registry
 		reg.AbortStaged(t.kv.Meta.ID)
 		if st, cts := reg.Status(t.kv.Meta.ID); st == mvcc.Committed {
-			t.asyncResolve(mvcc.Committed, cts)
+			t.asyncResolve(p, mvcc.Committed, cts)
 			t.co.Committed++
 		} else {
 			reg.Abort(t.kv.Meta.ID)
-			t.asyncResolve(mvcc.Aborted, hlc.Timestamp{})
+			t.asyncResolve(p, mvcc.Aborted, hlc.Timestamp{})
 			t.co.Aborted++
 		}
 		return resp.Err
@@ -495,7 +526,7 @@ func (t *Txn) Commit(p *sim.Proc) error {
 			// and retry the transaction.
 			t.co.Restarts++
 			t.co.Store.Registry.AbortStaged(t.kv.Meta.ID)
-			t.asyncResolve(mvcc.Aborted, hlc.Timestamp{})
+			t.asyncResolve(p, mvcc.Aborted, hlc.Timestamp{})
 			return proveErr
 		}
 		if err := t.co.Store.Registry.FinalizeStaged(t.kv.Meta.ID); err != nil {
@@ -507,11 +538,11 @@ func (t *Txn) Commit(p *sim.Proc) error {
 	if t.co.SpannerCommitWait {
 		// Ablation: hold locks through the wait, then release.
 		t.commitWait(p, commitTS)
-		t.asyncResolve(mvcc.Committed, commitTS)
+		t.asyncResolve(p, mvcc.Committed, commitTS)
 	} else {
 		// Paper §6.2: "CRDB performs this wait concurrently with
 		// releasing locks."
-		t.asyncResolve(mvcc.Committed, commitTS)
+		t.asyncResolve(p, mvcc.Committed, commitTS)
 		t.commitWait(p, commitTS)
 	}
 	t.co.Committed++
@@ -521,6 +552,9 @@ func (t *Txn) Commit(p *sim.Proc) error {
 // proveWrites issues parallel QueryIntent requests for every pipelined
 // write and fails if any intent is missing.
 func (t *Txn) proveWrites(p *sim.Proc) error {
+	sp, done := t.co.tracer().StartIn(p, "txn.prove")
+	defer done()
+	sp.SetTagInt("writes", int64(len(t.pipelined)))
 	s := t.co.Store.Sim
 	wg := sim.NewWaitGroup(s)
 	wg.Add(len(t.pipelined))
@@ -530,6 +564,7 @@ func (t *Txn) proveWrites(p *sim.Proc) error {
 		key := key
 		s.Spawn("txn/query-intent", func(wp *sim.Proc) {
 			defer wg.Done()
+			obs.SetProcSpan(wp, sp)
 			resp := t.co.Sender.Send(wp, &kv.QueryIntentRequest{
 				Key: key, TxnID: t.kv.Meta.ID, Epoch: t.kv.Meta.Epoch,
 			})
@@ -595,22 +630,32 @@ func (t *Txn) commit1PC(p *sim.Proc) (bool, error) {
 func (t *Txn) commitWait(p *sim.Proc, ts hlc.Timestamp) {
 	d := t.co.Store.Clock.NowAfter(ts)
 	if d > 0 {
+		sp := t.co.tracer().StartChild("txn.commitwait", obs.ProcSpan(p))
+		sp.SetTagDuration("wait", d)
+		sp.SetTagDuration("max_offset", t.co.Store.Clock.MaxOffset())
 		t.co.CommitWaits++
 		t.co.CommitWaitTotal += d
 		p.Sleep(d)
+		sp.Finish()
 	}
 }
 
-// asyncResolve spawns parallel intent resolution for every written key.
-func (t *Txn) asyncResolve(status mvcc.TxnStatus, commitTS hlc.Timestamp) {
+// asyncResolve spawns parallel intent resolution for every written key. The
+// resolutions join the transaction's trace (under a "txn.resolve" span) but
+// run concurrently with — never on — the caller's latency path.
+func (t *Txn) asyncResolve(p *sim.Proc, status mvcc.TxnStatus, commitTS hlc.Timestamp) {
 	s := t.co.Store.Sim
 	id := t.kv.Meta.ID
+	parent := obs.ProcSpan(p)
 	for _, key := range t.writes {
 		key := key
 		s.Spawn("txn/resolve", func(rp *sim.Proc) {
+			sp := t.co.tracer().StartChild("txn.resolve", parent)
+			obs.SetProcSpan(rp, sp)
 			t.co.Sender.Send(rp, &kv.ResolveIntentRequest{
 				Key: key, TxnID: id, Status: status, CommitTS: commitTS,
 			})
+			sp.Finish()
 		})
 	}
 }
@@ -625,7 +670,7 @@ func (t *Txn) Abort(p *sim.Proc) {
 	t.co.Store.Registry.Abort(t.kv.Meta.ID)
 	if len(t.writes) > 0 {
 		t.co.Sender.Send(p, &kv.EndTxnRequest{Txn: t.kv, Commit: false})
-		t.asyncResolve(mvcc.Aborted, hlc.Timestamp{})
+		t.asyncResolve(p, mvcc.Aborted, hlc.Timestamp{})
 	}
 	t.co.Aborted++
 }

@@ -35,6 +35,12 @@ func (r *LatencyRecorder) RecordError() { r.Errors++ }
 // Count returns the number of samples.
 func (r *LatencyRecorder) Count() int { return len(r.samples) }
 
+// Samples returns the recorded virtual-time samples in recording order.
+// The metamorphic tracing tests compare these slices across runs.
+func (r *LatencyRecorder) Samples() []sim.Duration {
+	return append([]sim.Duration(nil), r.samples...)
+}
+
 // Merge folds other's samples and errors into r.
 func (r *LatencyRecorder) Merge(other *LatencyRecorder) {
 	r.samples = append(r.samples, other.samples...)
