@@ -8,6 +8,7 @@
 //
 //	mrchaos -seed 42 -faults 25 -v
 //	mrchaos -seed 42 -verify   # run twice, check schedules match
+//	mrchaos -seed 42 -metrics  # include the full metrics registry in the report
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	movers := flag.Int("movers", 3, "concurrent bank-transfer workers")
 	verbose := flag.Bool("v", false, "print events as they are injected")
 	verify := flag.Bool("verify", false, "run twice and verify determinism")
+	metrics := flag.Bool("metrics", false, "dump the full metrics registry into the report (covered by -verify)")
 	flag.Parse()
 
 	opts := chaos.Options{
@@ -35,6 +37,7 @@ func main() {
 		MeanHold:  *hold,
 		MeanPause: *pause,
 		Movers:    *movers,
+		Metrics:   *metrics,
 		Verbose:   *verbose,
 	}
 	rep, err := chaos.Run(opts)

@@ -5,11 +5,15 @@
 //
 //	mrsql [-regions us-east1,europe-west2,asia-northeast1] [-e 'stmt' ...]
 //
-// Reads statements from stdin (or -e flags), one per line. Meta-commands:
+// Reads statements from stdin (or -e flags), one per line. Besides DDL and
+// DML this includes the introspection surface: EXPLAIN ANALYZE <stmt> and
+// SELECTs over the mrdb_internal virtual tables (statement_statistics,
+// contention_events, ranges, node_liveness, net_links). Meta-commands:
 //
 //	\region <name>   switch the gateway region of the session
 //	\regions         list cluster regions
 //	\ranges          dump range descriptors
+//	\stats           dump the statement-statistics registry
 //	\t on|off        toggle per-statement latency output
 //	\q               quit
 package main
@@ -127,6 +131,8 @@ func metaCommand(p *sim.Proc, c *cluster.Cluster, session **sql.Session, catalog
 			fmt.Printf("  r%-4d [%q, %q) lease=n%d policy=%s voters=%v nonvoters=%v\n",
 				d.RangeID, d.StartKey, d.EndKey, d.Leaseholder, d.Policy, d.Voters, d.NonVoters)
 		}
+	case "\\stats":
+		fmt.Print(c.StmtStats)
 	case "\\t":
 		*showTiming = len(fields) < 2 || fields[1] != "off"
 	default:

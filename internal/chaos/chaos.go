@@ -45,6 +45,9 @@ type Options struct {
 	// RTOThreshold classifies a probe as an outage: any successful probe
 	// whose end-to-end latency exceeds it records a recovery interval.
 	RTOThreshold sim.Duration
+	// Metrics dumps the full metrics registry into the report, making it
+	// part of the -verify determinism comparison.
+	Metrics bool
 	// Verbose prints events as they are injected.
 	Verbose bool
 }
@@ -231,6 +234,9 @@ func Run(opts Options) (*Report, error) {
 			h.rep.RTOByFault = append(h.rep.RTOByFault,
 				fmt.Sprintf("%s %s", strings.TrimPrefix(name, "chaos.rto."), c.Metrics.Histogram(name).Summary()))
 		}
+	}
+	if opts.Metrics {
+		h.rep.MetricsDump = c.Metrics.String()
 	}
 	h.checkLinearizability()
 	return h.rep, setupErr

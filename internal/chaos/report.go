@@ -47,6 +47,11 @@ type Report struct {
 	// rendering; with a fixed seed it must be bit-for-bit reproducible.
 	SpanHash uint64
 
+	// MetricsDump, when Options.Metrics is set, is the canonical rendering
+	// of the full metrics registry; being part of String() it joins the
+	// -verify determinism comparison.
+	MetricsDump string
+
 	// Recovery machinery counters.
 	LeaseAcquisitions int64
 	EpochBumps        int64
@@ -98,6 +103,12 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "  rto %s\n", line)
 	}
 	fmt.Fprintf(&b, "  trace: span-hash=%016x\n", r.SpanHash)
+	if r.MetricsDump != "" {
+		b.WriteString("  metrics:\n")
+		for _, line := range strings.Split(strings.TrimRight(r.MetricsDump, "\n"), "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
 	fmt.Fprintf(&b, "  recovery: lease-acquisitions=%d epoch-bumps=%d region-failures=%d\n",
 		r.LeaseAcquisitions, r.EpochBumps, r.RegionFailures)
 	fmt.Fprintf(&b, "  invariants: %s\n", map[bool]string{true: "OK", false: "VIOLATED"}[r.OK()])

@@ -74,6 +74,15 @@ type Cluster struct {
 	Tracer  *obs.Tracer
 	Metrics *obs.Registry
 
+	// StmtStats and Contention are the SQL-facing introspection registries:
+	// per-fingerprint statement statistics recorded by sessions, and
+	// contention events recorded by replicas when a request blocks on
+	// another transaction's intent. Both are always on — recording is
+	// passive over virtual time — and surface through the mrdb_internal
+	// virtual tables.
+	StmtStats  *obs.StmtStats
+	Contention *obs.ContentionLog
+
 	MaxOffset sim.Duration
 	regions   []simnet.Region
 }
@@ -128,6 +137,8 @@ func New(cfg Config) *Cluster {
 	c.Tracer = obs.NewTracer(s)
 	c.Tracer.SetEnabled(cfg.Tracing)
 	c.Metrics = obs.NewRegistry()
+	c.StmtStats = obs.NewStmtStats()
+	c.Contention = obs.NewContentionLog()
 	c.Net = simnet.NewNetwork(s, topo)
 	c.Net.Tracer = c.Tracer
 	c.Net.Metrics = c.Metrics
@@ -150,6 +161,7 @@ func New(cfg Config) *Cluster {
 				}
 				st.Catalog = c.Catalog
 				st.Obs = c.Tracer
+				st.Contention = c.Contention
 				st.StartLiveness(c.Liveness)
 				c.Stores[id] = st
 				c.Senders[id] = &kv.DistSender{

@@ -40,6 +40,9 @@ type DistSender struct {
 	Retries          int64
 	FollowerMisses   int64
 	LeaseholderHints int64
+	// WANRPCs counts attempts routed to a node in another region; sessions
+	// diff it around a statement to attribute cross-region trips.
+	WANRPCs int64
 	// BackoffTotal accumulates virtual time spent in retry backoff.
 	BackoffTotal sim.Duration
 }
@@ -206,6 +209,9 @@ func (ds *DistSender) Send(p *sim.Proc, req interface{}) Response {
 			target = ds.nearestReplicaExcluding(desc, target)
 		}
 		ds.Sent++
+		if ds.Net.WAN(ds.NodeID, target) {
+			ds.WANRPCs++
+		}
 		asp, attemptDone := ds.Tracer.StartIn(p, "ds.rpc")
 		asp.SetTagInt("attempt", int64(attempt)).SetTagInt("target", int64(target))
 		raw, rpcErr := ds.Net.SendRPC(p, ds.NodeID, target,

@@ -64,6 +64,10 @@ type Replica struct {
 // Desc returns the replica's view of the range descriptor.
 func (r *Replica) Desc() *RangeDescriptor { return r.desc }
 
+// LeaseEpoch returns the liveness epoch the current lease is bound to, as
+// published at replica creation or the last lease transfer applied here.
+func (r *Replica) LeaseEpoch() int64 { return r.leaseEpoch }
+
 // ClosedTimestamp returns this replica's known closed timestamp.
 func (r *Replica) ClosedTimestamp() hlc.Timestamp { return r.closed.closed }
 
@@ -689,6 +693,23 @@ func (r *Replica) waitOnIntent(p *sim.Proc, key mvcc.Key, holder mvcc.TxnMeta, w
 	var waiterID mvcc.TxnID
 	if waiter != nil {
 		waiterID = waiter.Meta.ID
+	}
+	// A Pending holder means this request actually blocks; log the wait as
+	// a contention event (with its virtual duration) when it ends.
+	if status == mvcc.Pending && r.store.Contention != nil {
+		start := p.Now()
+		defer func() {
+			r.store.Contention.Record(obs.ContentionEvent{
+				Start:    start,
+				NodeID:   int64(r.store.NodeID),
+				RangeID:  int64(r.desc.RangeID),
+				Key:      string(key),
+				Holder:   fmt.Sprintf("%v", holder.ID),
+				Waiter:   fmt.Sprintf("%v", waiterID),
+				Duration: p.Now().Sub(start),
+				IsWrite:  isWrite,
+			})
+		}()
 	}
 	for status == mvcc.Pending {
 		reg.BeginWait(waiterID, holder.ID)

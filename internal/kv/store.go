@@ -34,6 +34,11 @@ type Store struct {
 	// requests' traces. Optional; nil-safe.
 	Obs *obs.Tracer
 
+	// Contention, when set, receives one event per intent wait on this
+	// store's replicas, feeding mrdb_internal.contention_events. Optional;
+	// nil-safe.
+	Contention *obs.ContentionLog
+
 	replicas map[RangeID]*Replica
 	// engineSeed derives per-replica skiplist seeds deterministically.
 	engineSeed int64

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mrdb/internal/sim"
+)
+
+// StmtStat accumulates execution statistics for one statement fingerprint:
+// how often it ran, how often it failed, and histograms over its
+// virtual-time latency, transaction restarts, and WAN round trips.
+type StmtStat struct {
+	Count   int64
+	Errors  int64
+	Latency *Histogram // virtual nanoseconds end-to-end
+	Retries *Histogram // transaction restarts per execution
+	WANRPCs *Histogram // cross-region RPCs issued per execution
+}
+
+// StmtStats is the cluster-wide statement statistics registry, keyed by
+// statement fingerprint (the statement text with literals normalized away).
+// Like the rest of the obs package it is strictly passive and stamped with
+// virtual time only, so its contents are bit-for-bit reproducible per seed
+// and queryable through mrdb_internal.statement_statistics.
+type StmtStats struct {
+	stats map[string]*StmtStat
+}
+
+// NewStmtStats returns an empty registry.
+func NewStmtStats() *StmtStats {
+	return &StmtStats{stats: map[string]*StmtStat{}}
+}
+
+// Record folds one execution into the fingerprint's accumulated stats.
+// Nil-safe, so callers need no "is stats collection on" checks.
+func (s *StmtStats) Record(fingerprint string, latency sim.Duration, retries, wanRPCs int64, failed bool) {
+	if s == nil {
+		return
+	}
+	st, ok := s.stats[fingerprint]
+	if !ok {
+		st = &StmtStat{
+			Latency: NewHistogram(),
+			Retries: NewHistogram(),
+			WANRPCs: NewHistogram(),
+		}
+		s.stats[fingerprint] = st
+	}
+	st.Count++
+	if failed {
+		st.Errors++
+	}
+	st.Latency.RecordDuration(latency)
+	st.Retries.Record(retries)
+	st.WANRPCs.Record(wanRPCs)
+}
+
+// Get returns the stats for a fingerprint, or nil.
+func (s *StmtStats) Get(fingerprint string) *StmtStat {
+	if s == nil {
+		return nil
+	}
+	return s.stats[fingerprint]
+}
+
+// Fingerprints returns every recorded fingerprint in sorted order.
+func (s *StmtStats) Fingerprints() []string {
+	if s == nil {
+		return nil
+	}
+	out := make([]string, 0, len(s.stats))
+	for fp := range s.stats {
+		out = append(out, fp)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the registry in canonical (sorted) form; two same-seed
+// runs produce byte-identical output.
+func (s *StmtStats) String() string {
+	var b strings.Builder
+	for _, fp := range s.Fingerprints() {
+		st := s.stats[fp]
+		fmt.Fprintf(&b, "%s count=%d errors=%d retries=%d wan=%d latency{%s}\n",
+			fp, st.Count, st.Errors, st.Retries.Sum(), st.WANRPCs.Sum(),
+			st.Latency.Summary())
+	}
+	return b.String()
+}
+
+// ContentionEvent records one transaction blocking on another's intent: the
+// virtual time the wait began, where it happened, who held the lock, who
+// waited, and for how long. Fields use plain types (int64, string) so the
+// kv layer can feed events without obs importing it.
+type ContentionEvent struct {
+	Start    sim.Time
+	NodeID   int64
+	RangeID  int64
+	Key      string // raw key bytes; render with %q
+	Holder   string // holder transaction ID
+	Waiter   string // waiting transaction ID ("0" for non-transactional)
+	Duration sim.Duration
+	IsWrite  bool
+}
+
+// ContentionLog is an append-only record of contention events, fed from the
+// replica intent-wait path. Events append in simulation-event order, so the
+// log is deterministic per seed.
+type ContentionLog struct {
+	events []ContentionEvent
+}
+
+// NewContentionLog returns an empty log.
+func NewContentionLog() *ContentionLog {
+	return &ContentionLog{}
+}
+
+// Record appends one event. Nil-safe.
+func (l *ContentionLog) Record(ev ContentionEvent) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, ev)
+}
+
+// Events returns the recorded events in append order.
+func (l *ContentionLog) Events() []ContentionEvent {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}

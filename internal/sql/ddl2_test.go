@@ -57,7 +57,7 @@ func TestSQLExplainAndShowRanges(t *testing.T) {
 			t.Errorf("GLOBAL table ranges: %v %v", res, err)
 			return
 		}
-		if res.Rows[0][5] != "LEAD" {
+		if res.Rows[0][6] != "LEAD" {
 			t.Errorf("GLOBAL range policy = %v", res.Rows[0][5])
 		}
 	})

@@ -92,12 +92,46 @@ func (s *Session) ExecStmt(p *sim.Proc, stmt Statement) (*Result, error) {
 	sp, done := s.Cluster.Tracer.StartRootIn(p, "sql.exec")
 	sp.SetTag("stmt", strings.TrimPrefix(fmt.Sprintf("%T", stmt), "*sql.")).
 		SetTag("gateway_region", string(s.Region()))
+	// DML against real tables folds into the statement-statistics registry:
+	// virtual-time latency plus the per-statement delta of the coordinator's
+	// restart count and the shared sender's WAN RPC count.
+	record := false
+	var start sim.Time
+	var retries0, wan0 int64
+	switch stmt.(type) {
+	case *Insert, *Update, *Delete, *Select:
+		if !isVirtualStmt(stmt) {
+			record = true
+			start = p.Now()
+			retries0 = s.Coord.Restarts
+			wan0 = s.Coord.Sender.WANRPCs
+		}
+	}
 	res, err := s.execStmt(p, stmt)
 	if err != nil {
 		sp.SetTag("err", err.Error())
 	}
 	done()
+	if record {
+		s.Cluster.StmtStats.Record(Fingerprint(stmt), p.Now().Sub(start),
+			s.Coord.Restarts-retries0, s.Coord.Sender.WANRPCs-wan0, err != nil)
+	}
 	return res, err
+}
+
+// isVirtualStmt reports whether a DML statement targets a virtual table.
+func isVirtualStmt(stmt Statement) bool {
+	switch st := stmt.(type) {
+	case *Select:
+		return IsVirtualTable(st.Table)
+	case *Insert:
+		return IsVirtualTable(st.Table)
+	case *Update:
+		return IsVirtualTable(st.Table)
+	case *Delete:
+		return IsVirtualTable(st.Table)
+	}
+	return false
 }
 
 func (s *Session) execStmt(p *sim.Proc, stmt Statement) (*Result, error) {
@@ -124,6 +158,8 @@ func (s *Session) execStmt(p *sim.Proc, stmt Statement) (*Result, error) {
 		return s.execTruncate(p, st)
 	case *Explain:
 		return s.execExplain(st)
+	case *ExplainAnalyze:
+		return s.execExplainAnalyze(p, st)
 	case *Insert, *Update, *Delete, *Select:
 		return s.execDML(p, stmt)
 	}
@@ -170,6 +206,14 @@ func (s *Session) RunTxn(p *sim.Proc, fn func(tx *txn.Txn) error) error {
 }
 
 func (s *Session) execDML(p *sim.Proc, stmt Statement) (*Result, error) {
+	if isVirtualStmt(stmt) {
+		sel, ok := stmt.(*Select)
+		if !ok {
+			return nil, fmt.Errorf("sql: %s tables are read-only", VirtualSchema)
+		}
+		// Virtual tables read in-memory cluster state; no transaction.
+		return s.execVirtualSelect(sel)
+	}
 	if sel, ok := stmt.(*Select); ok && sel.AsOf != nil {
 		// Stale reads run outside transactions (§5.3).
 		return s.execStaleSelect(p, sel)
@@ -203,6 +247,13 @@ func (s *Session) ExecTxn(p *sim.Proc, tx *txn.Txn, sqlText string) (*Result, er
 }
 
 func (s *Session) execDMLInTxn(p *sim.Proc, tx *txn.Txn, stmt Statement) (*Result, error) {
+	if isVirtualStmt(stmt) {
+		sel, ok := stmt.(*Select)
+		if !ok {
+			return nil, fmt.Errorf("sql: %s tables are read-only", VirtualSchema)
+		}
+		return s.execVirtualSelect(sel)
+	}
 	switch st := stmt.(type) {
 	case *Insert:
 		return s.execInsert(p, tx, st)
@@ -323,7 +374,7 @@ func (s *Session) execShowRanges(st *ShowRanges) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Columns: []string{"index", "partition", "range_id", "leaseholder", "lease_region", "policy", "voters", "non_voters"}}
+	res := &Result{Columns: []string{"index", "partition", "range_id", "leaseholder", "lease_epoch", "lease_region", "policy", "voters", "non_voters"}}
 	for _, idx := range t.Indexes {
 		for _, region := range partitionsOf(t, db) {
 			start, _ := IndexSpan(t, idx.ID, region)
@@ -338,6 +389,7 @@ func (s *Session) execShowRanges(st *ShowRanges) (*Result, error) {
 			}
 			res.Rows = append(res.Rows, []Datum{
 				idx.Name, part, int64(desc.RangeID), int64(desc.Leaseholder),
+				s.leaseEpochOf(desc.Leaseholder, desc.RangeID),
 				string(loc.Region), desc.Policy.String(),
 				fmt.Sprintf("%v", desc.Voters), fmt.Sprintf("%v", desc.NonVoters),
 			})

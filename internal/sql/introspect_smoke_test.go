@@ -1,0 +1,78 @@
+package sql_test
+
+import (
+	"strings"
+	"testing"
+
+	"mrdb/internal/cluster"
+	"mrdb/internal/sim"
+	"mrdb/internal/sql"
+	"mrdb/internal/workload"
+)
+
+// TestIntrospectionSmoke is the CI introspection smoke: a short MovR
+// workload must populate mrdb_internal.statement_statistics, and the
+// table's rendered contents must be byte-identical across two runs with
+// the same seed. This is the end-to-end determinism contract for the whole
+// introspection stack — fingerprinting, histogram accumulation, WAN-trip
+// counting, and virtual-table rendering.
+func TestIntrospectionSmoke(t *testing.T) {
+	runOnce := func() string {
+		c := cluster.New(cluster.Config{
+			Seed:      42,
+			Regions:   cluster.ThreeRegions(),
+			MaxOffset: 250 * sim.Millisecond,
+			Jitter:    0.02,
+		})
+		catalog := sql.NewCatalog()
+		var rendered string
+		c.Sim.Spawn("smoke", func(p *sim.Proc) {
+			defer c.Sim.Stop()
+			m := workload.NewMovr(c, catalog)
+			if err := m.Setup(p); err != nil {
+				t.Errorf("movr setup: %v", err)
+				return
+			}
+			if err := m.Load(p); err != nil {
+				t.Errorf("movr load: %v", err)
+				return
+			}
+			if err := m.Run(p, 1, 5); err != nil {
+				t.Errorf("movr run: %v", err)
+				return
+			}
+			s := sql.NewSession(c, catalog, c.GatewayFor(c.Regions()[0]))
+			res, err := s.Exec(p, `SELECT * FROM mrdb_internal.statement_statistics`)
+			if err != nil {
+				t.Errorf("select statement_statistics: %v", err)
+				return
+			}
+			var b strings.Builder
+			b.WriteString(strings.Join(res.Columns, "|"))
+			b.WriteByte('\n')
+			for _, row := range res.Rows {
+				for i, v := range row {
+					if i > 0 {
+						b.WriteByte('|')
+					}
+					b.WriteString(sql.FormatDatum(v))
+				}
+				b.WriteByte('\n')
+			}
+			rendered = b.String()
+		})
+		c.Sim.RunFor(30 * 60 * sim.Second)
+		if n := c.ApplyErrors(); n != 0 {
+			t.Fatalf("%d command application errors", n)
+		}
+		return rendered
+	}
+	first := runOnce()
+	if strings.Count(first, "\n") < 2 {
+		t.Fatalf("statement_statistics empty after MovR run:\n%s", first)
+	}
+	second := runOnce()
+	if first != second {
+		t.Errorf("statement_statistics differ across same-seed runs:\n%s\nvs\n%s", first, second)
+	}
+}

@@ -207,6 +207,14 @@ type Explain struct {
 	Stmt *Select
 }
 
+// ExplainAnalyze is EXPLAIN ANALYZE <dml>: execute the statement under a
+// trace root and render the plan annotated with trace-derived actuals —
+// RPCs, retries, WAN links crossed, wait times, Raft quorum trips, and
+// commit phases with virtual-time durations.
+type ExplainAnalyze struct {
+	Stmt Statement // *Insert, *Select, *Update or *Delete
+}
+
 // DropTable is DROP TABLE t.
 type DropTable struct {
 	Table string
@@ -230,6 +238,7 @@ func (*SetVar) stmt()             {}
 func (*ShowRegions) stmt()        {}
 func (*ShowRanges) stmt()         {}
 func (*Explain) stmt()            {}
+func (*ExplainAnalyze) stmt()     {}
 func (*DropTable) stmt()          {}
 func (*Truncate) stmt()           {}
 
@@ -453,6 +462,23 @@ func (p *parser) ident() (string, error) {
 	return strings.ToLower(t.text), nil
 }
 
+// tableName parses a possibly schema-qualified table name: "t" or
+// "schema.t" (used by the mrdb_internal virtual tables).
+func (p *parser) tableName() (string, error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.maybePunct(".") {
+		rest, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		name = name + "." + rest
+	}
+	return name, nil
+}
+
 // identOrString accepts a region name as identifier or string literal.
 func (p *parser) identOrString() (string, error) {
 	t := p.cur()
@@ -546,6 +572,17 @@ func (p *parser) parseStatement() (Statement, error) {
 		}
 		return &Truncate{Table: name}, nil
 	case p.maybeKw("EXPLAIN"):
+		if p.maybeKw("ANALYZE") {
+			inner, err := p.parseStatement()
+			if err != nil {
+				return nil, err
+			}
+			switch inner.(type) {
+			case *Insert, *Select, *Update, *Delete:
+				return &ExplainAnalyze{Stmt: inner}, nil
+			}
+			return nil, fmt.Errorf("sql: EXPLAIN ANALYZE supports only DML statements, got %T", inner)
+		}
 		if err := p.expectKw("SELECT"); err != nil {
 			return nil, err
 		}
@@ -875,7 +912,7 @@ func (p *parser) parseInsert(upsert bool) (Statement, error) {
 	if err := p.expectKw("INTO"); err != nil {
 		return nil, err
 	}
-	table, err := p.ident()
+	table, err := p.tableName()
 	if err != nil {
 		return nil, err
 	}
@@ -943,7 +980,7 @@ func (p *parser) parseSelect() (Statement, error) {
 	if err := p.expectKw("FROM"); err != nil {
 		return nil, err
 	}
-	table, err := p.ident()
+	table, err := p.tableName()
 	if err != nil {
 		return nil, err
 	}
@@ -1045,7 +1082,7 @@ func (p *parser) parseWhere() (*Where, error) {
 }
 
 func (p *parser) parseUpdate() (Statement, error) {
-	table, err := p.ident()
+	table, err := p.tableName()
 	if err != nil {
 		return nil, err
 	}
@@ -1084,7 +1121,7 @@ func (p *parser) parseDelete() (Statement, error) {
 	if err := p.expectKw("FROM"); err != nil {
 		return nil, err
 	}
-	table, err := p.ident()
+	table, err := p.tableName()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,195 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"mrdb/internal/kv"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+)
+
+// VirtualSchema is the schema prefix of the read-only introspection tables,
+// mrdb's analogue of crdb_internal. Virtual tables resolve in the planner
+// like ordinary tables — SELECTs over them work from any session, with
+// WHERE, projection and LIMIT — but are backed by in-memory cluster state
+// rather than ranges, so reading them costs nothing in virtual time.
+const VirtualSchema = "mrdb_internal"
+
+// IsVirtualTable reports whether a (qualified) table name resolves in the
+// virtual schema.
+func IsVirtualTable(name string) bool {
+	return strings.HasPrefix(name, VirtualSchema+".")
+}
+
+// execVirtualSelect evaluates a SELECT over a virtual table. It runs
+// outside any transaction: the data is gateway-local cluster state, read at
+// the instant of execution.
+func (s *Session) execVirtualSelect(st *Select) (*Result, error) {
+	if st.AsOf != nil {
+		return nil, fmt.Errorf("sql: AS OF SYSTEM TIME is not supported on virtual tables")
+	}
+	name := strings.TrimPrefix(st.Table, VirtualSchema+".")
+	cols, rows, err := s.virtualTableData(name)
+	if err != nil {
+		return nil, err
+	}
+	colIdx := map[string]int{}
+	for i, c := range cols {
+		colIdx[c] = i
+	}
+	// Filter: every conjunct must match; values are evaluated without a row
+	// context (literals and session functions only).
+	if st.Where != nil {
+		var kept [][]Datum
+		for _, row := range rows {
+			match := true
+			for _, cond := range st.Where.Conds {
+				idx, ok := colIdx[cond.Col]
+				if !ok {
+					return nil, fmt.Errorf("sql: unknown column %q in %s.%s", cond.Col, VirtualSchema, name)
+				}
+				any := false
+				for _, ve := range cond.Vals {
+					v, err := s.evalExpr(ve, nil)
+					if err != nil {
+						return nil, err
+					}
+					if DatumsEqual(row[idx], v) {
+						any = true
+						break
+					}
+				}
+				if !any {
+					match = false
+					break
+				}
+			}
+			if match {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+	// Projection.
+	outCols := cols
+	if st.Columns != nil {
+		outCols = st.Columns
+		var proj [][]Datum
+		idxs := make([]int, len(st.Columns))
+		for i, c := range st.Columns {
+			idx, ok := colIdx[c]
+			if !ok {
+				return nil, fmt.Errorf("sql: unknown column %q in %s.%s", c, VirtualSchema, name)
+			}
+			idxs[i] = idx
+		}
+		for _, row := range rows {
+			out := make([]Datum, len(idxs))
+			for i, idx := range idxs {
+				out[i] = row[idx]
+			}
+			proj = append(proj, out)
+		}
+		rows = proj
+	}
+	if st.Limit > 0 && len(rows) > st.Limit {
+		rows = rows[:st.Limit]
+	}
+	return &Result{Columns: outCols, Rows: rows, RowsAffected: len(rows)}, nil
+}
+
+// virtualTableData materializes one virtual table. Row order is canonical
+// (sorted keys or append order), so same-seed runs render identically.
+func (s *Session) virtualTableData(name string) ([]string, [][]Datum, error) {
+	c := s.Cluster
+	switch name {
+	case "statement_statistics":
+		cols := []string{"fingerprint", "count", "errors", "retries", "wan_rpcs",
+			"latency_p50", "latency_p99", "latency_max"}
+		var rows [][]Datum
+		for _, fp := range c.StmtStats.Fingerprints() {
+			st := c.StmtStats.Get(fp)
+			rows = append(rows, []Datum{
+				fp, st.Count, st.Errors, st.Retries.Sum(), st.WANRPCs.Sum(),
+				sim.Duration(st.Latency.Percentile(0.50)).String(),
+				sim.Duration(st.Latency.Percentile(0.99)).String(),
+				sim.Duration(st.Latency.Max()).String(),
+			})
+		}
+		return cols, rows, nil
+
+	case "contention_events":
+		cols := []string{"ts", "node_id", "range_id", "key", "holder", "waiter",
+			"duration", "is_write"}
+		var rows [][]Datum
+		for _, ev := range c.Contention.Events() {
+			rows = append(rows, []Datum{
+				ev.Start.String(), ev.NodeID, ev.RangeID,
+				fmt.Sprintf("%q", ev.Key), ev.Holder, ev.Waiter,
+				ev.Duration.String(), ev.IsWrite,
+			})
+		}
+		return cols, rows, nil
+
+	case "ranges":
+		cols := []string{"range_id", "start_key", "end_key", "leaseholder",
+			"lease_epoch", "lease_region", "policy", "voters", "non_voters"}
+		var rows [][]Datum
+		for _, desc := range c.Catalog.All() {
+			loc, _ := c.Topo.LocalityOf(desc.Leaseholder)
+			rows = append(rows, []Datum{
+				int64(desc.RangeID),
+				fmt.Sprintf("%q", desc.StartKey), fmt.Sprintf("%q", desc.EndKey),
+				int64(desc.Leaseholder), s.leaseEpochOf(desc.Leaseholder, desc.RangeID),
+				string(loc.Region), desc.Policy.String(),
+				fmt.Sprintf("%v", desc.Voters), fmt.Sprintf("%v", desc.NonVoters),
+			})
+		}
+		return cols, rows, nil
+
+	case "node_liveness":
+		cols := []string{"node_id", "region", "zone", "epoch", "live"}
+		var rows [][]Datum
+		now := c.Sim.Now()
+		for _, id := range c.Topo.Nodes() {
+			loc, _ := c.Topo.LocalityOf(id)
+			rows = append(rows, []Datum{
+				int64(id), string(loc.Region), string(loc.Zone),
+				c.Liveness.Epoch(id), c.Liveness.Live(id, now),
+			})
+		}
+		return cols, rows, nil
+
+	case "net_links":
+		cols := []string{"from_region", "to_region", "rtt", "wan"}
+		var rows [][]Datum
+		regions := c.Topo.Regions()
+		for _, a := range regions {
+			for _, b := range regions {
+				if b < a {
+					continue
+				}
+				rows = append(rows, []Datum{
+					string(a), string(b), c.Topo.RegionRTT(a, b).String(), a != b,
+				})
+			}
+		}
+		return cols, rows, nil
+	}
+	return nil, nil, fmt.Errorf("sql: virtual table %q does not exist in %s", name, VirtualSchema)
+}
+
+// leaseEpochOf reads the lease epoch the leaseholder replica published; 0
+// when the store or replica is gone (e.g. mid-failover).
+func (s *Session) leaseEpochOf(leaseholder simnet.NodeID, id kv.RangeID) int64 {
+	st, ok := s.Cluster.Stores[leaseholder]
+	if !ok {
+		return 0
+	}
+	r, ok := st.Replica(id)
+	if !ok {
+		return 0
+	}
+	return r.LeaseEpoch()
+}
