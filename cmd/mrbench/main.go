@@ -6,8 +6,12 @@
 //	mrbench [-full|-quick] [-trace] [experiment ...]
 //
 // Experiments: table1 table2 fig3 fig4a fig4b fig4c fig5 fig6
-// ablation-commitwait ablation-nonvoters ablation-survivability all
+// ablation-commitwait ablation-nonvoters ablation-survivability batch all
 // (default: all).
+//
+// batch compares the batched per-range KV dispatch against a per-key RPC
+// ablation on a multi-region INSERT + cross-range scan workload and writes
+// the comparison to BENCH_batch.json.
 //
 // -full runs at a scale close to the paper's (minutes per figure); the
 // default quick scale (also spellable as -quick) finishes in seconds per
@@ -67,10 +71,12 @@ func main() {
 		"ablation-survivability": func(w io.Writer) error {
 			return bench.AblationSurvivability(w, scale)
 		},
+		"batch": func(w io.Writer) error { return bench.Batch(w, scale) },
 	}
 	order := []string{
 		"table1", "table2", "fig3", "fig4a", "fig4b", "fig4c", "fig5", "fig6",
 		"ablation-commitwait", "ablation-nonvoters", "ablation-survivability",
+		"batch",
 	}
 
 	var toRun []string

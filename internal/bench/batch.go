@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+	"mrdb/internal/sql"
+	"mrdb/internal/workload"
+)
+
+// BatchOut is where Batch writes its JSON result.
+var BatchOut = "BENCH_batch.json"
+
+// batchVariantResult is one side of the batched-vs-per-key ablation.
+type batchVariantResult struct {
+	InsertP50Ms float64 `json:"insert_p50_ms"`
+	InsertP90Ms float64 `json:"insert_p90_ms"`
+	ScanP50Ms   float64 `json:"scan_p50_ms"`
+	ScanP90Ms   float64 `json:"scan_p90_ms"`
+	KVSent      int64   `json:"kv_rpcs_sent"`
+}
+
+// batchResult is the BENCH_batch.json schema.
+type batchResult struct {
+	Rows          int                `json:"rows_per_insert"`
+	Iterations    int                `json:"iterations"`
+	Batched       batchVariantResult `json:"batched"`
+	PerKey        batchVariantResult `json:"per_key"`
+	InsertSpeedup float64            `json:"insert_speedup_p50"`
+	ScanSpeedup   float64            `json:"scan_speedup_p50"`
+}
+
+func msf(d sim.Duration) float64 { return float64(d) / float64(sim.Millisecond) }
+
+// batchRun executes the multi-range workload on a fresh 3-region cluster:
+// K-row INSERTs whose rows home in all three regions of a REGIONAL BY ROW
+// table (3 ranges), then full-table scans crossing all of them. perKey
+// selects the ablation: dispatch every KV request as its own sequential
+// RPC, the shape of the pre-batching code.
+func batchRun(seed int64, scale Scale, perKey bool) (*batchVariantResult, int, int, error) {
+	const rowsPerInsert = 12
+	iterations := scale.OpsPerClient
+	if iterations > 200 {
+		iterations = 200 // per-key inserts cost seconds of virtual time each
+	}
+	regions := []string{"us-east1", "europe-west2", "asia-northeast1"}
+
+	c := threeRegionCluster(seed, 250*sim.Millisecond)
+	if perKey {
+		for _, ds := range c.Senders {
+			ds.PerKeyDispatch = true
+		}
+	}
+	catalog := newCatalog()
+	inserts := workload.NewLatencyRecorder("insert")
+	scans := workload.NewLatencyRecorder("scan")
+	var sent int64
+	err := runSim(c, 12*3600*sim.Second, func(p *sim.Proc) error {
+		s := sql.NewSession(c, catalog, c.GatewayFor(simnet.USEast1))
+		stmts := []string{
+			`CREATE DATABASE movr PRIMARY REGION "us-east1" REGIONS "europe-west2", "asia-northeast1"`,
+			`CREATE TABLE rides (id INT PRIMARY KEY, info STRING) LOCALITY REGIONAL BY ROW`,
+		}
+		for _, stmt := range stmts {
+			if _, err := s.Exec(p, stmt); err != nil {
+				return fmt.Errorf("%s: %w", stmt, err)
+			}
+		}
+		s.Database = "movr"
+		p.Sleep(2 * sim.Second)
+		for _, ds := range c.Senders {
+			sent -= ds.Sent
+		}
+		id := 0
+		for i := 0; i < iterations; i++ {
+			stmt := `INSERT INTO rides (id, info, crdb_region) VALUES `
+			for r := 0; r < rowsPerInsert; r++ {
+				if r > 0 {
+					stmt += ", "
+				}
+				stmt += fmt.Sprintf("(%d, 'r%d', '%s')", id, id, regions[r%len(regions)])
+				id++
+			}
+			start := p.Now()
+			if _, err := s.Exec(p, stmt); err != nil {
+				return fmt.Errorf("insert %d: %w", i, err)
+			}
+			inserts.Record(p.Now().Sub(start))
+		}
+		// Split every region partition into three ranges so the scans below
+		// exercise the DistSender's cross-range fan-out (the SQL layer
+		// already parallelizes across partitions; the splits make each
+		// per-partition scan itself multi-range).
+		t, ok := catalog.Table("movr", "rides")
+		if !ok {
+			return fmt.Errorf("rides table missing from catalog")
+		}
+		total := int64(iterations * rowsPerInsert)
+		for _, region := range []simnet.Region{"us-east1", "europe-west2", "asia-northeast1"} {
+			partStart, _ := sql.IndexSpan(t, t.Primary().ID, region)
+			desc, err := c.Catalog.Lookup(partStart)
+			if err != nil {
+				return fmt.Errorf("lookup partition %s: %w", region, err)
+			}
+			mid, err := c.Admin.SplitRange(p, desc.RangeID,
+				sql.EncodeIndexKey(t, t.Primary(), region, []sql.Datum{total / 3}))
+			if err != nil {
+				return fmt.Errorf("split %s: %w", region, err)
+			}
+			if _, err := c.Admin.SplitRange(p, mid.RangeID,
+				sql.EncodeIndexKey(t, t.Primary(), region, []sql.Datum{2 * total / 3})); err != nil {
+				return fmt.Errorf("second split %s: %w", region, err)
+			}
+		}
+		p.Sleep(sim.Second)
+		for i := 0; i < iterations; i++ {
+			start := p.Now()
+			res, err := s.Exec(p, `SELECT id FROM rides`)
+			if err != nil {
+				return fmt.Errorf("scan %d: %w", i, err)
+			}
+			if len(res.Rows) != iterations*rowsPerInsert {
+				return fmt.Errorf("scan %d: %d rows, want %d", i, len(res.Rows), iterations*rowsPerInsert)
+			}
+			scans.Record(p.Now().Sub(start))
+		}
+		for _, ds := range c.Senders {
+			sent += ds.Sent
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return &batchVariantResult{
+		InsertP50Ms: msf(inserts.Percentile(50)),
+		InsertP90Ms: msf(inserts.Percentile(90)),
+		ScanP50Ms:   msf(scans.Percentile(50)),
+		ScanP90Ms:   msf(scans.Percentile(90)),
+		KVSent:      sent,
+	}, rowsPerInsert, iterations, nil
+}
+
+// Batch is the multi-range dispatch microbenchmark: the same K-row
+// multi-region INSERT + cross-range scan workload run with batched
+// per-range dispatch (the tentpole) and with the per-key ablation
+// (one sequential RPC per request, the pre-batching shape). Writes the
+// comparison to BENCH_batch.json; errors if batching is not strictly
+// faster at the median on both operations.
+func Batch(w io.Writer, scale Scale) error {
+	header(w, "Batch: per-range batched dispatch vs per-key RPCs (K-row multi-region INSERT + cross-range scan)")
+	batched, rows, iters, err := batchRun(760, scale, false)
+	if err != nil {
+		return err
+	}
+	perKey, _, _, err := batchRun(761, scale, true)
+	if err != nil {
+		return err
+	}
+	res := batchResult{
+		Rows:          rows,
+		Iterations:    iters,
+		Batched:       *batched,
+		PerKey:        *perKey,
+		InsertSpeedup: perKey.InsertP50Ms / batched.InsertP50Ms,
+		ScanSpeedup:   perKey.ScanP50Ms / batched.ScanP50Ms,
+	}
+	fmt.Fprintf(w, "  %-28s insert p50=%-10.2fms p90=%-10.2fms scan p50=%-10.2fms p90=%-10.2fms kv rpcs=%d\n",
+		"batched (per-range)", batched.InsertP50Ms, batched.InsertP90Ms, batched.ScanP50Ms, batched.ScanP90Ms, batched.KVSent)
+	fmt.Fprintf(w, "  %-28s insert p50=%-10.2fms p90=%-10.2fms scan p50=%-10.2fms p90=%-10.2fms kv rpcs=%d\n",
+		"per-key (ablation)", perKey.InsertP50Ms, perKey.InsertP90Ms, perKey.ScanP50Ms, perKey.ScanP90Ms, perKey.KVSent)
+	fmt.Fprintf(w, "  speedup: insert %.1fx, scan %.1fx at p50\n", res.InsertSpeedup, res.ScanSpeedup)
+	data, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(BatchOut, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  written to %s\n", BatchOut)
+	if batched.InsertP50Ms >= perKey.InsertP50Ms {
+		return fmt.Errorf("batch: batched insert p50 %.2fms not below per-key %.2fms", batched.InsertP50Ms, perKey.InsertP50Ms)
+	}
+	if batched.ScanP50Ms >= perKey.ScanP50Ms {
+		return fmt.Errorf("batch: batched scan p50 %.2fms not below per-key %.2fms", batched.ScanP50Ms, perKey.ScanP50Ms)
+	}
+	return nil
+}

@@ -166,7 +166,7 @@ func New(cfg Config) *Cluster {
 				c.Stores[id] = st
 				c.Senders[id] = &kv.DistSender{
 					NodeID: id, Net: c.Net, Topo: topo, Catalog: c.Catalog,
-					Liveness: c.Liveness, Tracer: c.Tracer,
+					Liveness: c.Liveness, Tracer: c.Tracer, Metrics: c.Metrics,
 				}
 				id++
 			}

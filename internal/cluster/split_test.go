@@ -90,6 +90,107 @@ func TestRangeSplit(t *testing.T) {
 	}
 }
 
+// TestScanAcrossSplit is the regression test for the cross-range scan hole:
+// replicas must truncate scans to their range bounds and return a resume
+// key. Before the fix, the left replica's engine (which retains a stale
+// copy of the right half's data from the split) answered for the whole
+// span, so a scan could return rows the range no longer owns and miss
+// writes that landed on the right-hand range after the split.
+func TestScanAcrossSplit(t *testing.T) {
+	c := New(Config{Seed: 43, Regions: ThreeRegions(), MaxOffset: 250 * sim.Millisecond})
+	desc := regionalRange(t, c, "sc")
+	key := func(i int) mvcc.Key { return mvcc.Key(fmt.Sprintf("sc/%03d", i)) }
+	c.Sim.Spawn("test", func(p *sim.Proc) {
+		defer c.Sim.Stop()
+		if err := c.Admin.WaitAllReady(p); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(500 * sim.Millisecond)
+		gw := c.GatewayFor(simnet.USEast1)
+		co := txn.NewCoordinator(c.Stores[gw], c.Senders[gw])
+		for i := 0; i < 12; i++ {
+			if err := co.Run(p, func(tx *txn.Txn) error {
+				return tx.Put(p, key(i), mvcc.Value(fmt.Sprintf("old-%d", i)))
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		// Split twice: [sc/, 004), [004, 008), [008, sc0).
+		mid, err := c.Admin.SplitRange(p, desc.RangeID, key(4))
+		if err != nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		if _, err := c.Admin.SplitRange(p, mid.RangeID, key(8)); err != nil {
+			t.Errorf("second split: %v", err)
+			return
+		}
+		// Overwrite rows on both sides AFTER the splits: the left replica's
+		// engine still holds the pre-split copies of the right-half keys,
+		// so an untruncated scan would return these rows stale.
+		if err := co.Run(p, func(tx *txn.Txn) error {
+			for _, i := range []int{2, 5, 9} {
+				if err := tx.Put(p, key(i), mvcc.Value(fmt.Sprintf("new-%d", i))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		want := func(i int) string {
+			if i == 2 || i == 5 || i == 9 {
+				return fmt.Sprintf("new-%d", i)
+			}
+			return fmt.Sprintf("old-%d", i)
+		}
+		// Full-span scan must return every row exactly once, in order,
+		// with the post-split values.
+		var rows []mvcc.KeyValue
+		if err := co.Run(p, func(tx *txn.Txn) error {
+			var err error
+			rows, err = tx.Scan(p, mvcc.Key("sc/"), mvcc.Key("sc0"), 0)
+			return err
+		}); err != nil {
+			t.Errorf("scan: %v", err)
+			return
+		}
+		if len(rows) != 12 {
+			t.Errorf("scan across splits: got %d rows, want 12", len(rows))
+		}
+		for i, r := range rows {
+			if i < 12 && (string(r.Key) != string(key(i)) || string(r.Value) != want(i)) {
+				t.Errorf("row %d: got %q=%q, want %q=%q", i, r.Key, r.Value, key(i), want(i))
+			}
+		}
+		// MaxRows cutting across the split boundary: 6 rows spans the first
+		// two ranges and must stop exactly at 6.
+		if err := co.Run(p, func(tx *txn.Txn) error {
+			var err error
+			rows, err = tx.Scan(p, mvcc.Key("sc/"), mvcc.Key("sc0"), 6)
+			return err
+		}); err != nil {
+			t.Errorf("limited scan: %v", err)
+			return
+		}
+		if len(rows) != 6 {
+			t.Errorf("limited scan: got %d rows, want 6", len(rows))
+		}
+		for i, r := range rows {
+			if string(r.Key) != string(key(i)) || string(r.Value) != want(i) {
+				t.Errorf("limited row %d: got %q=%q, want %q=%q", i, r.Key, r.Value, key(i), want(i))
+			}
+		}
+	})
+	c.Sim.RunFor(10 * 60 * sim.Second)
+	if n := c.ApplyErrors(); n != 0 {
+		t.Fatalf("%d apply errors", n)
+	}
+}
+
 // TestSplitFollowerReads verifies the right-hand range serves stale reads
 // from followers after a split (closed timestamps carry over).
 func TestSplitFollowerReads(t *testing.T) {

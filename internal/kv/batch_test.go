@@ -1,0 +1,110 @@
+package kv
+
+import (
+	"testing"
+
+	"mrdb/internal/mvcc"
+)
+
+func kvRow(k string) mvcc.KeyValue { return mvcc.KeyValue{Key: mvcc.Key(k)} }
+
+// TestScanBoundsTruncation pins the replica-side scan clamp: a request
+// spanning past the range's bounds is truncated, and the resume key points
+// at the next range. This is the fix for the cross-range scan hole (a
+// post-split engine retains copied right-half data, so an unclamped scan
+// could return rows the range does not own).
+func TestScanBoundsTruncation(t *testing.T) {
+	r := &Replica{desc: &RangeDescriptor{
+		RangeID: 1, StartKey: mvcc.Key("b"), EndKey: mvcc.Key("m"),
+	}}
+
+	// Fully contained: no clamping, no resume.
+	start, end, resume, err := r.scanBounds(&ScanRequest{StartKey: mvcc.Key("c"), EndKey: mvcc.Key("h")})
+	if err != nil || string(start) != "c" || string(end) != "h" || resume != nil {
+		t.Fatalf("contained: %q %q %q %v", start, end, resume, err)
+	}
+
+	// Extends past the range: end clamps to the range bound and the
+	// resume key continues there.
+	start, end, resume, err = r.scanBounds(&ScanRequest{StartKey: mvcc.Key("c"), EndKey: mvcc.Key("z")})
+	if err != nil || string(start) != "c" || string(end) != "m" || string(resume) != "m" {
+		t.Fatalf("overhang: %q %q %q %v", start, end, resume, err)
+	}
+
+	// Unbounded scan clamps the same way.
+	_, end, resume, err = r.scanBounds(&ScanRequest{StartKey: mvcc.Key("c")})
+	if err != nil || string(end) != "m" || string(resume) != "m" {
+		t.Fatalf("unbounded: %q %q %v", end, resume, err)
+	}
+
+	// Start before the range start clamps up (resumed scans land here).
+	start, _, _, err = r.scanBounds(&ScanRequest{StartKey: mvcc.Key("a"), EndKey: mvcc.Key("h")})
+	if err != nil || string(start) != "b" {
+		t.Fatalf("start clamp: %q %v", start, err)
+	}
+
+	// Start at or past the range end is a mismatch.
+	if _, _, _, err = r.scanBounds(&ScanRequest{StartKey: mvcc.Key("m"), EndKey: mvcc.Key("z")}); err == nil {
+		t.Fatal("start past range end accepted")
+	}
+
+	// The last range (nil EndKey) never truncates.
+	last := &Replica{desc: &RangeDescriptor{RangeID: 2, StartKey: mvcc.Key("m")}}
+	_, end, resume, err = last.scanBounds(&ScanRequest{StartKey: mvcc.Key("n"), EndKey: mvcc.Key("z")})
+	if err != nil || string(end) != "z" || resume != nil {
+		t.Fatalf("last range: %q %q %v", end, resume, err)
+	}
+}
+
+// TestScanResumeMaxRows pins resume-key selection after evaluation: a
+// MaxRows cut resumes just past the last returned row and takes precedence
+// over the range-bound resume; a completed scan keeps the range-bound
+// resume (or none).
+func TestScanResumeMaxRows(t *testing.T) {
+	rows := []mvcc.KeyValue{kvRow("c"), kvRow("d")}
+
+	// MaxRows hit short of the clamped end: resume just past the last row.
+	got := scanResume(&ScanRequest{MaxRows: 2}, rows, mvcc.Key("m"), mvcc.Key("m"))
+	if string(got) != "d\x00" {
+		t.Fatalf("maxrows resume %q", got)
+	}
+
+	// MaxRows hit exactly at the end of the clamped span: fall back to the
+	// range-bound resume (continue on the next range).
+	got = scanResume(&ScanRequest{MaxRows: 2}, rows, mvcc.Key("d\x00"), mvcc.Key("m"))
+	if string(got) != "m" {
+		t.Fatalf("boundary resume %q", got)
+	}
+
+	// Under MaxRows: range-bound resume only.
+	got = scanResume(&ScanRequest{MaxRows: 5}, rows, mvcc.Key("m"), mvcc.Key("m"))
+	if string(got) != "m" {
+		t.Fatalf("range resume %q", got)
+	}
+
+	// Under MaxRows, range covers the span: no resume.
+	if got = scanResume(&ScanRequest{MaxRows: 5}, rows, mvcc.Key("m"), nil); got != nil {
+		t.Fatalf("spurious resume %q", got)
+	}
+
+	// Unlimited scan never resumes on row count.
+	if got = scanResume(&ScanRequest{}, rows, mvcc.Key("m"), nil); got != nil {
+		t.Fatalf("unlimited resume %q", got)
+	}
+}
+
+// TestDescContainsAll covers the split-under-batch re-split predicate.
+func TestDescContainsAll(t *testing.T) {
+	d := &RangeDescriptor{StartKey: mvcc.Key("b"), EndKey: mvcc.Key("m")}
+	in := []interface{}{
+		&PutRequest{Key: mvcc.Key("c")},
+		&GetRequest{Key: mvcc.Key("l")},
+	}
+	if !descContainsAll(d, in) {
+		t.Fatal("contained batch rejected")
+	}
+	out := append(in, &PutRequest{Key: mvcc.Key("x")})
+	if descContainsAll(d, out) {
+		t.Fatal("escaped key accepted")
+	}
+}

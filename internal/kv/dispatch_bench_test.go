@@ -1,0 +1,93 @@
+package kv_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mrdb/internal/cluster"
+	"mrdb/internal/kv"
+	"mrdb/internal/mvcc"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+	"mrdb/internal/zones"
+)
+
+// benchCluster builds a three-region cluster with one REGIONAL range split
+// into three, returning the cluster and the us-east1 gateway sender.
+func benchCluster(b *testing.B, seed int64) (*cluster.Cluster, *kv.DistSender) {
+	b.Helper()
+	c := cluster.New(cluster.Config{Seed: seed, Regions: cluster.ThreeRegions(), MaxOffset: 250 * sim.Millisecond})
+	zcfg := zones.Config{
+		NumReplicas: 5, NumVoters: 3,
+		VoterConstraints: map[simnet.Region]int{simnet.USEast1: 3},
+		Constraints:      map[simnet.Region]int{simnet.EuropeW2: 1, simnet.AsiaNE1: 1},
+		LeasePreferences: []simnet.Region{simnet.USEast1},
+	}
+	desc, err := c.CreateRangeWithZoneConfig([]byte("bm/"), []byte("bm0"), zcfg, kv.ClosedTSLag)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Sim.Spawn("setup", func(p *sim.Proc) {
+		if err := c.Admin.WaitAllReady(p); err != nil {
+			b.Error(err)
+			return
+		}
+		p.Sleep(500 * sim.Millisecond)
+		mid, err := c.Admin.SplitRange(p, desc.RangeID, mvcc.Key("bm/004"))
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		if _, err := c.Admin.SplitRange(p, mid.RangeID, mvcc.Key("bm/008")); err != nil {
+			b.Error(err)
+		}
+	})
+	c.Sim.RunFor(5 * sim.Second)
+	return c, c.Senders[c.GatewayFor(simnet.USEast1)]
+}
+
+// BenchmarkDistSenderBatchDispatch measures the wall-clock cost of
+// splitting, fanning out, and merging a 12-request batch across 3 ranges —
+// the hardware-speed floor of the batched dispatch path.
+func BenchmarkDistSenderBatchDispatch(b *testing.B) {
+	c, ds := benchCluster(b, 7)
+	reqs := make([]interface{}, 12)
+	for i := range reqs {
+		reqs[i] = &kv.GetRequest{
+			Key:       mvcc.Key(fmt.Sprintf("bm/%03d", i)),
+			Timestamp: c.Stores[ds.NodeID].Clock.Now(),
+		}
+	}
+	c.Sim.Spawn("bench", func(p *sim.Proc) {
+		defer c.Sim.Stop()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, resp := range ds.SendBatch(p, reqs) {
+				if resp.Err != nil {
+					b.Fatal(resp.Err)
+				}
+			}
+		}
+	})
+	c.Sim.Run()
+}
+
+// BenchmarkDistSenderSingleDispatch is the per-request baseline: one point
+// get through the full route-send-evaluate-reply cycle.
+func BenchmarkDistSenderSingleDispatch(b *testing.B) {
+	c, ds := benchCluster(b, 8)
+	req := &kv.GetRequest{
+		Key:       mvcc.Key("bm/005"),
+		Timestamp: c.Stores[ds.NodeID].Clock.Now(),
+	}
+	c.Sim.Spawn("bench", func(p *sim.Proc) {
+		defer c.Sim.Stop()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if resp := ds.Send(p, req); resp.Err != nil {
+				b.Fatal(resp.Err)
+			}
+		}
+	})
+	c.Sim.Run()
+}

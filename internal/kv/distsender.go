@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -30,16 +31,32 @@ type DistSender struct {
 	// RPCTimeout bounds each attempt. Zero uses the network default.
 	RPCTimeout sim.Duration
 
-	// Tracer, when set, records a "ds.send" span per routed request with a
-	// "ds.rpc" child per replica attempt (target, retries, backoff, and the
-	// error that caused each retry). Optional; nil-safe.
+	// Tracer, when set, records a "ds.send" span per routed per-range RPC
+	// with a "ds.rpc" child per replica attempt (target, retries, backoff,
+	// and the error that caused each retry). Batches additionally get a
+	// "ds.batch" parent and multi-range scans a "ds.scan" parent. Optional;
+	// nil-safe.
 	Tracer *obs.Tracer
+
+	// Metrics, when set, records the batch-size and per-batch range fan-out
+	// distributions ("ds.batch.size", "ds.batch.ranges", "ds.scan.ranges").
+	// Optional; nil-safe.
+	Metrics *obs.Registry
+
+	// PerKeyDispatch is an ablation knob: dispatch one request per RPC,
+	// sequentially, and walk multi-range scans one range at a time via
+	// resume keys instead of fanning out. It models the pre-batching
+	// dispatch so benchmarks can isolate what batching buys.
+	PerKeyDispatch bool
 
 	// Stats.
 	Sent             int64
 	Retries          int64
 	FollowerMisses   int64
 	LeaseholderHints int64
+	// Batches counts SendBatch calls; BatchedReqs the requests they carried.
+	Batches     int64
+	BatchedReqs int64
 	// WANRPCs counts attempts routed to a node in another region; sessions
 	// diff it around a statement to attribute cross-region trips.
 	WANRPCs int64
@@ -167,16 +184,156 @@ func (ds *DistSender) backoff(p *sim.Proc, n int) {
 	p.Sleep(d)
 }
 
+// maxBatchSplitDepth bounds recursive re-splitting of a sub-batch whose
+// range splits underneath it mid-dispatch.
+const maxBatchSplitDepth = 8
+
+// maxScanHops bounds resume-key following on a multi-range scan.
+const maxScanHops = 64
+
 // Send routes req and returns the typed response. It parks p for network
-// and evaluation time.
+// and evaluation time. Scans route through the multi-range scan path;
+// everything else is a single-request batch to one range.
 func (ds *DistSender) Send(p *sim.Proc, req interface{}) Response {
-	key, ok := keyOf(req)
+	if sc, ok := req.(*ScanRequest); ok {
+		return ds.sendScan(p, sc)
+	}
+	return ds.sendToRange(p, []interface{}{req}, 0)[0]
+}
+
+// SendBatch routes a batch of point requests: it groups them by range
+// descriptor, dispatches one RPC per touched range in parallel (virtual
+// latency is the max over ranges, not the sum), and returns responses in
+// request order. Unroutable requests get per-slot errors; the rest of the
+// batch still dispatches.
+func (ds *DistSender) SendBatch(p *sim.Proc, reqs []interface{}) []Response {
+	if len(reqs) == 0 {
+		return nil
+	}
+	sp, finish := ds.Tracer.StartIn(p, "ds.batch")
+	defer finish()
+	sp.SetTag("req", fmt.Sprintf("%T", reqs[0])).SetTagInt("reqs", int64(len(reqs)))
+	resps, ranges := ds.sendBatchInner(p, reqs, 0)
+	sp.SetTagInt("ranges", int64(ranges))
+	ds.Batches++
+	ds.BatchedReqs += int64(len(reqs))
+	if ds.Metrics != nil {
+		ds.Metrics.Histogram("ds.batch.size").Record(int64(len(reqs)))
+		ds.Metrics.Histogram("ds.batch.ranges").Record(int64(ranges))
+	}
+	return resps
+}
+
+// sendBatchInner splits reqs into per-range groups (first-occurrence
+// order) and dispatches them; it returns the merged responses in request
+// order plus the number of ranges touched.
+func (ds *DistSender) sendBatchInner(p *sim.Proc, reqs []interface{}, depth int) ([]Response, int) {
+	resps := make([]Response, len(reqs))
+	groups := map[RangeID][]int{}
+	var order []RangeID
+	for i, req := range reqs {
+		key, ok := keyOf(req)
+		if !ok {
+			resps[i] = Response{Err: fmt.Errorf("kv: cannot route %T", req)}
+			continue
+		}
+		desc, err := ds.Catalog.Lookup(key)
+		if err != nil {
+			resps[i] = Response{Err: err}
+			continue
+		}
+		if _, ok := groups[desc.RangeID]; !ok {
+			order = append(order, desc.RangeID)
+		}
+		groups[desc.RangeID] = append(groups[desc.RangeID], i)
+	}
+	dispatch := func(dp *sim.Proc, idxs []int) {
+		sub := make([]interface{}, len(idxs))
+		for j, i := range idxs {
+			sub[j] = reqs[i]
+		}
+		if ds.PerKeyDispatch {
+			for j, r := range sub {
+				resps[idxs[j]] = ds.sendToRange(dp, []interface{}{r}, depth)[0]
+			}
+			return
+		}
+		out := ds.sendToRange(dp, sub, depth)
+		for j, i := range idxs {
+			resps[i] = out[j]
+		}
+	}
+	switch {
+	case len(order) <= 1:
+		if len(order) == 1 {
+			dispatch(p, groups[order[0]])
+		}
+	case ds.PerKeyDispatch:
+		// Ablation: sequential per-range (and per-key) dispatch, so the
+		// virtual latency is the sum over ranges.
+		for _, rid := range order {
+			dispatch(p, groups[rid])
+		}
+	default:
+		parent := obs.ProcSpan(p)
+		wg := sim.NewWaitGroup(p.Sim())
+		for _, rid := range order {
+			idxs := groups[rid]
+			wg.Add(1)
+			p.Sim().Spawn("ds/batch-range", func(wp *sim.Proc) {
+				obs.SetProcSpan(wp, parent)
+				defer wg.Done()
+				dispatch(wp, idxs)
+			})
+		}
+		wg.Wait(p)
+	}
+	return resps, len(order)
+}
+
+// descContainsAll reports whether d owns the routing key of every request.
+func descContainsAll(d *RangeDescriptor, reqs []interface{}) bool {
+	for _, r := range reqs {
+		key, ok := keyOf(r)
+		if !ok || !d.ContainsKey(key) {
+			return false
+		}
+	}
+	return true
+}
+
+// errResponses fills one error Response per request.
+func errResponses(n int, err error) []Response {
+	resps := make([]Response, n)
+	for i := range resps {
+		resps[i] = Response{Err: err}
+	}
+	return resps
+}
+
+// sendToRange dispatches a per-range sub-batch (usually a singleton) as one
+// RPC, retrying around leaseholder moves, follower-read misses, and range
+// moves. A retriable error on any response retries the whole sub-batch; if
+// a split moved some keys out of the range mid-flight, the sub-batch is
+// re-split through sendBatchInner.
+func (ds *DistSender) sendToRange(p *sim.Proc, reqs []interface{}, depth int) []Response {
+	key, ok := keyOf(reqs[0])
 	if !ok {
-		return Response{Err: fmt.Errorf("kv: cannot route %T", req)}
+		return errResponses(len(reqs), fmt.Errorf("kv: cannot route %T", reqs[0]))
 	}
 	sp, finish := ds.Tracer.StartIn(p, "ds.send")
 	defer finish()
-	sp.SetTag("req", fmt.Sprintf("%T", req)).SetTag("key", string(key))
+	sp.SetTag("req", fmt.Sprintf("%T", reqs[0])).SetTag("key", string(key))
+	if len(reqs) > 1 {
+		sp.SetTagInt("reqs", int64(len(reqs)))
+	}
+	follower := true
+	for _, r := range reqs {
+		if !wantsFollower(r) {
+			follower = false
+			break
+		}
+	}
 	leaseholderHint := simnet.NodeID(0)
 	forceLeaseholder := false
 	backoffs := 0
@@ -193,13 +350,20 @@ func (ds *DistSender) Send(p *sim.Proc, req interface{}) Response {
 		desc, err := ds.Catalog.Lookup(key)
 		if err != nil {
 			sp.SetTag("err", err.Error())
-			return Response{Err: err}
+			return errResponses(len(reqs), err)
+		}
+		if len(reqs) > 1 && depth < maxBatchSplitDepth && !descContainsAll(desc, reqs) {
+			// The range split under the batch: re-split against the fresh
+			// descriptors.
+			sp.SetTag("resplit", "true")
+			resps, _ := ds.sendBatchInner(p, reqs, depth+1)
+			return resps
 		}
 		target := desc.Leaseholder
 		if leaseholderHint != 0 {
 			target = leaseholderHint
 			leaseholderHint = 0
-		} else if wantsFollower(req) && !forceLeaseholder {
+		} else if follower && !forceLeaseholder {
 			target = ds.nearestReplica(desc)
 		} else if !ds.live(target) {
 			// The cached leaseholder's liveness record expired: route to
@@ -214,8 +378,13 @@ func (ds *DistSender) Send(p *sim.Proc, req interface{}) Response {
 		}
 		asp, attemptDone := ds.Tracer.StartIn(p, "ds.rpc")
 		asp.SetTagInt("attempt", int64(attempt)).SetTagInt("target", int64(target))
-		raw, rpcErr := ds.Net.SendRPC(p, ds.NodeID, target,
-			BatchRequest{RangeID: desc.RangeID, Req: req, Trace: asp.Ctx()}, ds.RPCTimeout)
+		env := BatchRequest{RangeID: desc.RangeID, Trace: asp.Ctx()}
+		if len(reqs) == 1 {
+			env.Req = reqs[0]
+		} else {
+			env.Reqs = reqs
+		}
+		raw, rpcErr := ds.Net.SendRPC(p, ds.NodeID, target, env, ds.RPCTimeout)
 		if rpcErr != nil {
 			// Node unreachable: back off and re-route (the descriptor or
 			// lease may move during failover).
@@ -227,49 +396,66 @@ func (ds *DistSender) Send(p *sim.Proc, req interface{}) Response {
 			backoff(asp)
 			continue
 		}
-		resp := raw.(Response)
-		var nle *NotLeaseholderError
-		if errors.As(resp.Err, &nle) {
-			lastErr = resp.Err
-			asp.SetTag("err", resp.Err.Error())
-			ds.Retries++
-			ds.LeaseholderHints++
-			attemptDone()
-			if nle.Leaseholder != 0 && nle.Leaseholder != target && ds.live(nle.Leaseholder) {
-				leaseholderHint = nle.Leaseholder
-			} else {
-				backoff(asp)
-			}
-			continue
+		var resps []Response
+		if br, ok := raw.(BatchResponse); ok {
+			resps = br.Resps
+		} else {
+			resps = []Response{raw.(Response)}
 		}
-		var fru *FollowerReadUnavailableError
-		if errors.As(resp.Err, &fru) {
-			// Paper §5.3.1: reads a follower cannot serve are
-			// redirected to the leaseholder.
-			lastErr = resp.Err
-			asp.SetTag("err", resp.Err.Error())
-			ds.Retries++
-			ds.FollowerMisses++
-			attemptDone()
-			if forceLeaseholder || target == desc.Leaseholder {
-				// The leaseholder itself could not serve (fenced lease
-				// mid-recovery): wait for the lease to move.
-				backoff(asp)
+		// A retriable error on any response retries the whole sub-batch
+		// (requests are idempotent at the MVCC layer: re-evaluating a
+		// write lays down the same intent).
+		retriable := false
+		for _, resp := range resps {
+			var nle *NotLeaseholderError
+			if errors.As(resp.Err, &nle) {
+				lastErr = resp.Err
+				asp.SetTag("err", resp.Err.Error())
+				ds.Retries++
+				ds.LeaseholderHints++
+				attemptDone()
+				if nle.Leaseholder != 0 && nle.Leaseholder != target && ds.live(nle.Leaseholder) {
+					leaseholderHint = nle.Leaseholder
+				} else {
+					backoff(asp)
+				}
+				retriable = true
+				break
 			}
-			forceLeaseholder = true
-			continue
+			var fru *FollowerReadUnavailableError
+			if errors.As(resp.Err, &fru) {
+				// Paper §5.3.1: reads a follower cannot serve are
+				// redirected to the leaseholder.
+				lastErr = resp.Err
+				asp.SetTag("err", resp.Err.Error())
+				ds.Retries++
+				ds.FollowerMisses++
+				attemptDone()
+				if forceLeaseholder || target == desc.Leaseholder {
+					// The leaseholder itself could not serve (fenced lease
+					// mid-recovery): wait for the lease to move.
+					backoff(asp)
+				}
+				forceLeaseholder = true
+				retriable = true
+				break
+			}
+			var rkm *RangeKeyMismatchError
+			if errors.As(resp.Err, &rkm) {
+				lastErr = resp.Err
+				asp.SetTag("err", resp.Err.Error())
+				ds.Retries++
+				attemptDone()
+				backoff(asp)
+				retriable = true
+				break
+			}
 		}
-		var rkm *RangeKeyMismatchError
-		if errors.As(resp.Err, &rkm) {
-			lastErr = resp.Err
-			asp.SetTag("err", resp.Err.Error())
-			ds.Retries++
-			attemptDone()
-			backoff(asp)
+		if retriable {
 			continue
 		}
 		attemptDone()
-		return resp
+		return resps
 	}
 	err := fmt.Errorf("kv: request to %q failed after %d attempts", key, maxSendAttempts)
 	if lastErr != nil {
@@ -277,7 +463,134 @@ func (ds *DistSender) Send(p *sim.Proc, req interface{}) Response {
 			key, maxSendAttempts, lastErr)
 	}
 	sp.SetTag("err", err.Error())
-	return Response{Err: err}
+	return errResponses(len(reqs), err)
+}
+
+// sendScan executes a scan that may span multiple ranges: it looks up every
+// descriptor overlapping the span, clamps a sub-scan to each range's
+// bounds, dispatches the sub-scans in parallel, and merges rows in range
+// order up to MaxRows. When a replica returns a resume key (its copy of the
+// range was smaller than the catalog promised, or a MaxRows cut), the
+// DistSender follows it until MaxRows or span exhaustion.
+func (ds *DistSender) sendScan(p *sim.Proc, req *ScanRequest) Response {
+	sp, finish := ds.Tracer.StartIn(p, "ds.scan")
+	defer finish()
+	sp.SetTag("key", string(req.StartKey))
+	var rows []mvcc.KeyValue
+	served := simnet.NodeID(0)
+	cursor := req.StartKey
+	ranges := 0
+	for hops := 0; ; hops++ {
+		if hops >= maxScanHops {
+			err := fmt.Errorf("kv: scan from %q exceeded %d range hops", req.StartKey, maxScanHops)
+			sp.SetTag("err", err.Error())
+			return Response{Err: err}
+		}
+		remaining := 0
+		if req.MaxRows > 0 {
+			remaining = req.MaxRows - len(rows)
+			if remaining <= 0 {
+				break
+			}
+		}
+		descs := ds.Catalog.LookupSpan(cursor, req.EndKey)
+		if len(descs) == 0 {
+			d, err := ds.Catalog.Lookup(cursor)
+			if err != nil {
+				sp.SetTag("err", err.Error())
+				return Response{Err: err}
+			}
+			descs = []*RangeDescriptor{d}
+		}
+		if ds.PerKeyDispatch && len(descs) > 1 {
+			// Ablation: walk one range at a time via resume keys.
+			descs = descs[:1]
+		}
+		subs := make([]interface{}, len(descs))
+		var lastEnd mvcc.Key
+		for i, d := range descs {
+			sub := *req
+			sub.StartKey = cursor
+			if bytes.Compare(d.StartKey, sub.StartKey) > 0 {
+				sub.StartKey = d.StartKey
+			}
+			sub.EndKey = req.EndKey
+			if d.EndKey != nil && (sub.EndKey == nil || bytes.Compare(d.EndKey, sub.EndKey) < 0) {
+				sub.EndKey = d.EndKey
+			}
+			sub.MaxRows = remaining
+			subs[i] = &sub
+			lastEnd = sub.EndKey
+		}
+		var resps []Response
+		if len(subs) == 1 {
+			resps = []Response{ds.sendToRange(p, subs[:1], 0)[0]}
+		} else {
+			resps = make([]Response, len(subs))
+			parent := obs.ProcSpan(p)
+			wg := sim.NewWaitGroup(p.Sim())
+			for i := range subs {
+				i := i
+				wg.Add(1)
+				p.Sim().Spawn("ds/scan-range", func(wp *sim.Proc) {
+					obs.SetProcSpan(wp, parent)
+					defer wg.Done()
+					resps[i] = ds.sendToRange(wp, subs[i:i+1], 0)[0]
+				})
+			}
+			wg.Wait(p)
+		}
+		var resume mvcc.Key
+		full := false
+		for _, resp := range resps {
+			if resp.Err != nil {
+				sp.SetTag("err", resp.Err.Error())
+				return resp
+			}
+			ranges++
+			sr := resp.Scan
+			if served == 0 {
+				served = sr.ServedBy
+			}
+			for _, kvr := range sr.Rows {
+				rows = append(rows, kvr)
+				if req.MaxRows > 0 && len(rows) >= req.MaxRows {
+					full = true
+					break
+				}
+			}
+			if full {
+				break
+			}
+			if sr.ResumeKey != nil {
+				// The replica served less than we asked of it: continue
+				// from its resume key and discard any later ranges'
+				// results (they may overlap the resumed span).
+				resume = sr.ResumeKey
+				break
+			}
+		}
+		if full {
+			break
+		}
+		if resume != nil {
+			cursor = resume
+			continue
+		}
+		// All dispatched sub-scans completed. If the catalog's coverage
+		// stopped short of the requested span (or the ablation only took
+		// the first range), continue from the last covered key.
+		if lastEnd != nil && (req.EndKey == nil || bytes.Compare(lastEnd, req.EndKey) < 0) {
+			cursor = lastEnd
+			continue
+		}
+		break
+	}
+	sp.SetTagInt("ranges", int64(ranges)).SetTagInt("rows", int64(len(rows)))
+	if ds.Metrics != nil {
+		ds.Metrics.Histogram("ds.scan.ranges").Record(int64(ranges))
+	}
+	return Response{Scan: &ScanResponse{Rows: rows, ServedBy: served}}
 }
 
 // Get is a convenience wrapper returning the value for key.

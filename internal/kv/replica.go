@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strings"
@@ -144,6 +145,30 @@ func (r *Replica) evaluate(p *sim.Proc, req interface{}) Response {
 	}
 }
 
+// evaluateBatch evaluates a per-range sub-batch. The requests run as
+// concurrent procs (they contend on latches like independent RPCs would),
+// and the responses come back in request order.
+func (r *Replica) evaluateBatch(p *sim.Proc, reqs []interface{}) []Response {
+	resps := make([]Response, len(reqs))
+	if len(reqs) == 1 {
+		resps[0] = r.evaluate(p, reqs[0])
+		return resps
+	}
+	parent := obs.ProcSpan(p)
+	wg := sim.NewWaitGroup(p.Sim())
+	for i, req := range reqs {
+		i, req := i, req
+		wg.Add(1)
+		p.Sim().Spawn("replica/batch-req", func(wp *sim.Proc) {
+			obs.SetProcSpan(wp, parent)
+			defer wg.Done()
+			resps[i] = r.evaluate(wp, req)
+		})
+	}
+	wg.Wait(p)
+	return resps
+}
+
 func (r *Replica) getOpts(txn *Txn, uncertainty bool) mvcc.GetOptions {
 	opts := mvcc.GetOptions{}
 	if txn != nil {
@@ -262,14 +287,53 @@ func (r *Replica) evalFollowerGet(p *sim.Proc, req *GetRequest) Response {
 	}
 }
 
+// scanBounds clamps a requested scan span to this replica's range bounds.
+// resume is the key where the remainder of the request's span continues on
+// another range (the range's end key), or nil when the range covers the
+// rest of the span. Post-split engines can retain copied right-hand data,
+// so evaluating an unclamped span would silently read keys the range does
+// not own — and miss newer writes that landed on their true owner.
+func (r *Replica) scanBounds(req *ScanRequest) (start, end, resume mvcc.Key, err error) {
+	start, end = req.StartKey, req.EndKey
+	if bytes.Compare(start, r.desc.StartKey) < 0 {
+		start = r.desc.StartKey
+	}
+	if !r.desc.ContainsKey(start) {
+		return nil, nil, nil, &RangeKeyMismatchError{RequestedKey: start}
+	}
+	if r.desc.EndKey != nil && (end == nil || bytes.Compare(r.desc.EndKey, end) < 0) {
+		end = r.desc.EndKey
+		resume = append(mvcc.Key(nil), r.desc.EndKey...)
+	}
+	return start, end, resume, nil
+}
+
+// scanResume computes the resume key of a completed scan: after a MaxRows
+// cut the scan continues just past the last returned row; otherwise it
+// continues on the next range (rangeResume) if the span extends past this
+// one.
+func scanResume(req *ScanRequest, rows []mvcc.KeyValue, end, rangeResume mvcc.Key) mvcc.Key {
+	if req.MaxRows > 0 && len(rows) >= req.MaxRows {
+		next := append(append(mvcc.Key(nil), rows[len(rows)-1].Key...), 0)
+		if end == nil || bytes.Compare(next, end) < 0 {
+			return next
+		}
+	}
+	return rangeResume
+}
+
 func (r *Replica) evalScan(p *sim.Proc, req *ScanRequest) Response {
+	start, end, rangeResume, berr := r.scanBounds(req)
+	if berr != nil {
+		return Response{Err: berr}
+	}
 	if r.checkLease() != nil {
 		if r.closed.closed.Less(req.Timestamp) {
 			r.RedirectsToLH++
 			return Response{Err: &FollowerReadUnavailableError{
 				RangeID: r.desc.RangeID, ClosedTS: r.closed.closed, ReadTS: req.Timestamp}}
 		}
-		rows, err := r.engine.Scan(req.StartKey, req.EndKey, req.Timestamp, req.MaxRows, r.getOpts(req.Txn, req.Uncertainty))
+		rows, err := r.engine.Scan(start, end, req.Timestamp, req.MaxRows, r.getOpts(req.Txn, req.Uncertainty))
 		if err != nil {
 			r.RedirectsToLH++
 			return Response{Err: &FollowerReadUnavailableError{
@@ -277,11 +341,12 @@ func (r *Replica) evalScan(p *sim.Proc, req *ScanRequest) Response {
 		}
 		r.FollowerReads++
 		obs.ProcSpan(p).SetTag("follower_read", "true")
-		return Response{Scan: &ScanResponse{Rows: rows, ServedBy: r.store.NodeID}}
+		return Response{Scan: &ScanResponse{Rows: rows, ServedBy: r.store.NodeID,
+			ResumeKey: scanResume(req, rows, end, rangeResume)}}
 	}
 	opts := r.getOpts(req.Txn, req.Uncertainty)
 	for {
-		rows, err := r.engine.Scan(req.StartKey, req.EndKey, req.Timestamp, req.MaxRows, opts)
+		rows, err := r.engine.Scan(start, end, req.Timestamp, req.MaxRows, opts)
 		var wie *mvcc.WriteIntentError
 		if errors.As(err, &wie) {
 			if werr := r.waitOnIntent(p, wie.Key, wie.Txn, req.Txn, false); werr != nil {
@@ -292,8 +357,9 @@ func (r *Replica) evalScan(p *sim.Proc, req *ScanRequest) Response {
 		if err != nil {
 			return Response{Err: err}
 		}
-		r.tscache.RecordReadSpan(req.StartKey, req.EndKey, req.Timestamp)
-		return Response{Scan: &ScanResponse{Rows: rows, ServedBy: r.store.NodeID}}
+		r.tscache.RecordReadSpan(start, end, req.Timestamp)
+		return Response{Scan: &ScanResponse{Rows: rows, ServedBy: r.store.NodeID,
+			ResumeKey: scanResume(req, rows, end, rangeResume)}}
 	}
 }
 

@@ -116,11 +116,32 @@ func (s *Store) handleMessage(m simnet.Message) {
 		}
 		r, ok := s.replicas[batch.RangeID]
 		if !ok {
+			if batch.Reqs != nil {
+				resps := make([]Response, len(batch.Reqs))
+				for i := range resps {
+					resps[i] = Response{Err: &RangeKeyMismatchError{}}
+				}
+				payload.Reply(BatchResponse{Resps: resps})
+				return
+			}
 			payload.Reply(Response{Err: &RangeKeyMismatchError{}})
 			return
 		}
 		s.Sim.Spawn(fmt.Sprintf("n%d/r%d/eval", s.NodeID, batch.RangeID), func(p *sim.Proc) {
 			sp := s.Obs.StartSpan("replica.eval", batch.Trace)
+			if batch.Reqs != nil {
+				if sp != nil {
+					sp.SetTagInt("node", int64(s.NodeID)).
+						SetTagInt("range", int64(batch.RangeID)).
+						SetTag("req", fmt.Sprintf("%T", batch.Reqs[0])).
+						SetTagInt("reqs", int64(len(batch.Reqs)))
+					obs.SetProcSpan(p, sp)
+				}
+				resps := r.evaluateBatch(p, batch.Reqs)
+				sp.Finish()
+				payload.Reply(BatchResponse{Resps: resps})
+				return
+			}
 			if sp != nil {
 				sp.SetTagInt("node", int64(s.NodeID)).
 					SetTagInt("range", int64(batch.RangeID)).

@@ -166,10 +166,15 @@ type ScanRequest struct {
 	FollowerRead     bool
 }
 
-// ScanResponse carries scan results.
+// ScanResponse carries scan results. A replica truncates the scan to its
+// own range bounds; ResumeKey, when set, is where the remainder of the
+// requested span continues (on the next range, or — after a MaxRows cut —
+// later in this one). The DistSender follows resume keys until MaxRows or
+// span exhaustion.
 type ScanResponse struct {
-	Rows     []mvcc.KeyValue
-	ServedBy simnet.NodeID
+	Rows      []mvcc.KeyValue
+	ServedBy  simnet.NodeID
+	ResumeKey mvcc.Key
 }
 
 // PutRequest writes a provisional value (intent) for a transaction, or a
@@ -365,13 +370,24 @@ type Response struct {
 	Err         error
 }
 
-// BatchRequest is the RPC envelope dispatched to a Replica.
+// BatchRequest is the RPC envelope dispatched to a Replica. It carries
+// either a single request (Req) or a per-range sub-batch (Reqs) the
+// DistSender split out of a larger batch; a replica evaluates the
+// sub-batch's requests concurrently and replies with a BatchResponse whose
+// responses are in request order.
 type BatchRequest struct {
 	RangeID RangeID
 	Req     interface{}
+	Reqs    []interface{}
 	// Trace carries the sender's span context to the serving replica, so
 	// server-side evaluation spans join the request's trace.
 	Trace obs.SpanContext
+}
+
+// BatchResponse is the reply to a multi-request BatchRequest: one Response
+// per request, in request order.
+type BatchResponse struct {
+	Resps []Response
 }
 
 // RaftEnvelope carries a Raft message for one range between stores.

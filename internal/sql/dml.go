@@ -150,7 +150,12 @@ func (s *Session) execInsert(p *sim.Proc, tx *txn.Txn, st *Insert) (*Result, err
 			cols = append(cols, c.Name)
 		}
 	}
-	inserted := 0
+	type insRow struct {
+		vals        map[ColumnID]Datum
+		fromDefault map[ColumnID]bool
+		region      simnet.Region
+	}
+	var rows []insRow
 	for _, rowExprs := range st.Rows {
 		if len(rowExprs) != len(cols) {
 			return nil, fmt.Errorf("sql: %d values for %d columns", len(rowExprs), len(cols))
@@ -159,16 +164,147 @@ func (s *Session) execInsert(p *sim.Proc, tx *txn.Txn, st *Insert) (*Result, err
 		if err != nil {
 			return nil, err
 		}
-		if st.Upsert {
-			if err := s.upsertRow(p, tx, t, db, vals); err != nil {
-				return nil, err
-			}
-		} else if err := s.insertRow(p, tx, t, db, vals, fromDefault); err != nil {
+		region, err := rowRegion(t, vals)
+		if err != nil {
 			return nil, err
 		}
-		inserted++
+		rows = append(rows, insRow{vals: vals, fromDefault: fromDefault, region: region})
 	}
-	return &Result{RowsAffected: inserted}, nil
+	if st.Upsert {
+		for _, r := range rows {
+			if err := s.upsertRow(p, tx, t, db, r.vals); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{RowsAffected: len(rows)}, nil
+	}
+	// Uniqueness checks (paper §4.1) for the whole statement at once:
+	// same-statement duplicates are caught against the pending write set
+	// (the keys earlier rows will lay down), and all remaining partition
+	// probes go out as one batched read — one KV RPC per touched range
+	// instead of one per row.
+	var probeKeys []mvcc.Key
+	type probeRef struct {
+		idx    *Index
+		region simnet.Region
+	}
+	var probeRefs []probeRef
+	pending := map[string]bool{}
+	for _, r := range rows {
+		for _, idx := range t.Indexes {
+			if !idx.Unique {
+				continue
+			}
+			var tuple []Datum
+			for _, cid := range idx.Cols {
+				tuple = append(tuple, r.vals[cid])
+			}
+			for _, pr := range uniqueProbeRegions(t, db, idx, r.region, r.fromDefault, s.UniquenessChecks) {
+				key := EncodeIndexKey(t, idx, pr, tuple)
+				if pending[string(key)] {
+					return nil, fmt.Errorf("sql: duplicate key value violates unique constraint %q (region %s)", idx.Name, pr)
+				}
+				probeKeys = append(probeKeys, key)
+				probeRefs = append(probeRefs, probeRef{idx: idx, region: pr})
+			}
+		}
+		for _, key := range uniqueWriteKeys(t, r.region, r.vals) {
+			pending[string(key)] = true
+		}
+	}
+	if len(probeKeys) > 0 {
+		found, err := tx.GetParallel(p, probeKeys)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range found {
+			if v != nil {
+				return nil, fmt.Errorf("sql: duplicate key value violates unique constraint %q (region %s)", probeRefs[i].idx.Name, probeRefs[i].region)
+			}
+		}
+	}
+	// All rows' index entries go out as one batch: the DistSender splits it
+	// by range and the statement pays the max, not the sum, of per-range
+	// round trips.
+	var kvs []mvcc.KeyValue
+	for _, r := range rows {
+		kvs = append(kvs, rowKVs(t, r.region, r.vals)...)
+	}
+	if err := tx.PutParallel(p, kvs); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: len(rows)}, nil
+}
+
+// uniqueProbeRegions returns the partitions a unique-index check must probe
+// for a row homed in region: the local partition always, plus every remote
+// partition unless the check can be elided (paper §4.1): the value came
+// from gen_random_uuid() (case 1), the region column is part of the index
+// (case 2), or the region is computed from the indexed columns (case 3).
+func uniqueProbeRegions(t *Table, db *core.Database, idx *Index, region simnet.Region, fromDefault map[ColumnID]bool, remoteChecks bool) []simnet.Region {
+	checkRegions := []simnet.Region{region}
+	if !t.IsPartitioned() || !remoteChecks {
+		return checkRegions
+	}
+	elide := false
+	// §4.1 (1): generated UUIDs never collide; skip remote checks.
+	if len(idx.Cols) == 1 && fromDefault[idx.Cols[0]] {
+		elide = true
+	}
+	// §4.1 (2): the region column is part of the unique constraint.
+	for _, cid := range idx.Cols {
+		if cid == t.RegionColumn {
+			elide = true
+		}
+	}
+	// §4.1 (3): the region is computed from the unique columns, so
+	// per-partition uniqueness implies global uniqueness.
+	if regionCol, ok := t.ColumnByID(t.RegionColumn); ok && regionCol.Computed != nil {
+		deps := exprColumnDeps(regionCol.Computed)
+		idxNames := map[string]bool{}
+		for _, cid := range idx.Cols {
+			c, _ := t.ColumnByID(cid)
+			idxNames[c.Name] = true
+		}
+		covered := true
+		for _, d := range deps {
+			if !idxNames[d] {
+				covered = false
+			}
+		}
+		if covered && len(deps) > 0 {
+			elide = true
+		}
+	}
+	if !elide {
+		for _, r := range db.Regions() {
+			if r != region {
+				checkRegions = append(checkRegions, r)
+			}
+		}
+	}
+	return checkRegions
+}
+
+// uniqueWriteKeys lists the unique-index keys a row write lays down, using
+// the same per-index region logic as rowKVs.
+func uniqueWriteKeys(t *Table, region simnet.Region, vals map[ColumnID]Datum) []mvcc.Key {
+	var keys []mvcc.Key
+	for _, idx := range t.Indexes {
+		if !idx.Unique {
+			continue
+		}
+		idxRegion := region
+		if idx.PinnedRegion != "" && !t.IsPartitioned() {
+			idxRegion = ""
+		}
+		var tuple []Datum
+		for _, cid := range idx.Cols {
+			tuple = append(tuple, vals[cid])
+		}
+		keys = append(keys, EncodeIndexKey(t, idx, idxRegion, tuple))
+	}
+	return keys
 }
 
 // buildRowValues evaluates provided expressions, fills defaults, computes
@@ -270,104 +406,33 @@ func (s *Session) upsertRow(p *sim.Proc, tx *txn.Txn, t *Table, db *core.Databas
 	return s.writeRow(p, tx, t, "", vals)
 }
 
-func (s *Session) insertRow(p *sim.Proc, tx *txn.Txn, t *Table, db *core.Database, vals map[ColumnID]Datum, fromDefault map[ColumnID]bool) error {
-	region, err := rowRegion(t, vals)
-	if err != nil {
-		return err
-	}
-	// Uniqueness checks (paper §4.1) for every unique index.
-	for _, idx := range t.Indexes {
-		if !idx.Unique {
-			continue
-		}
-		if err := s.uniquenessCheck(p, tx, t, db, idx, region, vals, fromDefault, nil); err != nil {
-			return err
-		}
-	}
-	return s.writeRow(p, tx, t, region, vals)
-}
-
 // uniquenessCheck verifies no other row has the same values for a unique
 // index. The local partition is always checked (the write itself needs it);
-// remote partitions are probed in parallel unless the check can be elided:
-// the value came from gen_random_uuid() (§4.1 case 1), the region column is
-// part of the index (§4.1 case 2), or the region is computed from the
-// indexed columns (§4.1 case 3). excludePK skips a row with the same
-// primary key (for UPDATEs rewriting themselves).
+// remote partitions are probed in one batched read unless the check can be
+// elided (see uniqueProbeRegions). Absence must hold everywhere, so unlike
+// LOS there is no early exit (the latency is the max RTT). excludePK skips
+// a row with the same primary key (for UPDATEs rewriting themselves).
 func (s *Session) uniquenessCheck(p *sim.Proc, tx *txn.Txn, t *Table, db *core.Database, idx *Index, region simnet.Region, vals map[ColumnID]Datum, fromDefault map[ColumnID]bool, excludePK []Datum) error {
 	var tuple []Datum
 	for _, cid := range idx.Cols {
 		tuple = append(tuple, vals[cid])
 	}
-	checkRegions := []simnet.Region{region}
-	if t.IsPartitioned() && s.UniquenessChecks {
-		elide := false
-		// §4.1 (1): generated UUIDs never collide; skip remote checks.
-		if len(idx.Cols) == 1 && fromDefault[idx.Cols[0]] {
-			elide = true
-		}
-		// §4.1 (2): the region column is part of the unique constraint.
-		for _, cid := range idx.Cols {
-			if cid == t.RegionColumn {
-				elide = true
-			}
-		}
-		// §4.1 (3): the region is computed from the unique columns, so
-		// per-partition uniqueness implies global uniqueness.
-		if regionCol, ok := t.ColumnByID(t.RegionColumn); ok && regionCol.Computed != nil {
-			deps := exprColumnDeps(regionCol.Computed)
-			idxNames := map[string]bool{}
-			for _, cid := range idx.Cols {
-				c, _ := t.ColumnByID(cid)
-				idxNames[c.Name] = true
-			}
-			covered := true
-			for _, d := range deps {
-				if !idxNames[d] {
-					covered = false
-				}
-			}
-			if covered && len(deps) > 0 {
-				elide = true
-			}
-		}
-		if !elide {
-			for _, r := range db.Regions() {
-				if r != region {
-					checkRegions = append(checkRegions, r)
-				}
-			}
-		}
-	}
-	// Probe all partitions in parallel: absence must hold everywhere, so
-	// unlike LOS there is no early exit (the latency is the max RTT).
-	type res struct {
-		val mvcc.Value
-		err error
-	}
-	slots := make([]res, len(checkRegions))
-	wg := sim.NewWaitGroup(p.Sim())
+	checkRegions := uniqueProbeRegions(t, db, idx, region, fromDefault, s.UniquenessChecks)
+	keys := make([]mvcc.Key, len(checkRegions))
 	for i, r := range checkRegions {
-		i, r := i, r
-		wg.Add(1)
-		p.Sim().Spawn("sql/unique-check", func(wp *sim.Proc) {
-			defer wg.Done()
-			key := EncodeIndexKey(t, idx, r, tuple)
-			v, err := tx.Get(wp, key)
-			slots[i] = res{val: v, err: err}
-		})
+		keys[i] = EncodeIndexKey(t, idx, r, tuple)
 	}
-	wg.Wait(p)
-	for i, r := range slots {
-		if r.err != nil {
-			return r.err
-		}
-		if r.val == nil {
+	found, err := tx.GetParallel(p, keys)
+	if err != nil {
+		return err
+	}
+	for i, val := range found {
+		if val == nil {
 			continue
 		}
 		// Same-row exemption for UPDATE.
 		if excludePK != nil {
-			existing, err := DecodeRow(r.val)
+			existing, err := DecodeRow(val)
 			if err == nil {
 				same := true
 				for j, cid := range t.Primary().Cols {
@@ -386,8 +451,13 @@ func (s *Session) uniquenessCheck(p *sim.Proc, tx *txn.Txn, t *Table, db *core.D
 	return nil
 }
 
-// writeRow writes the primary row and every index entry, in parallel.
+// writeRow writes the primary row and every index entry as one batch.
 func (s *Session) writeRow(p *sim.Proc, tx *txn.Txn, t *Table, region simnet.Region, vals map[ColumnID]Datum) error {
+	return tx.PutParallel(p, rowKVs(t, region, vals))
+}
+
+// rowKVs builds the primary-row and index-entry writes for one row.
+func rowKVs(t *Table, region simnet.Region, vals map[ColumnID]Datum) []mvcc.KeyValue {
 	var kvs []mvcc.KeyValue
 	primary := t.Primary()
 	var pkTuple []Datum
@@ -421,11 +491,16 @@ func (s *Session) writeRow(p *sim.Proc, tx *txn.Txn, t *Table, region simnet.Reg
 		}
 		kvs = append(kvs, mvcc.KeyValue{Key: key, Value: val})
 	}
-	return tx.PutParallel(p, kvs)
+	return kvs
 }
 
 // deleteRow removes the primary row and index entries.
 func (s *Session) deleteRow(p *sim.Proc, tx *txn.Txn, t *Table, region simnet.Region, vals map[ColumnID]Datum) error {
+	return tx.PutParallel(p, deleteKVs(t, region, vals))
+}
+
+// deleteKVs builds the tombstone writes removing one row.
+func deleteKVs(t *Table, region simnet.Region, vals map[ColumnID]Datum) []mvcc.KeyValue {
 	var kvs []mvcc.KeyValue
 	primary := t.Primary()
 	var pkTuple []Datum
@@ -447,7 +522,7 @@ func (s *Session) deleteRow(p *sim.Proc, tx *txn.Txn, t *Table, region simnet.Re
 		}
 		kvs = append(kvs, mvcc.KeyValue{Key: key, Value: nil})
 	}
-	return tx.PutParallel(p, kvs)
+	return kvs
 }
 
 // --- UPDATE ---
@@ -645,10 +720,13 @@ func (s *Session) execDelete(p *sim.Proc, tx *txn.Txn, st *Delete) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	// All rows' tombstones go out as one per-range-batched write.
+	var kvs []mvcc.KeyValue
 	for _, row := range rows {
-		if err := s.deleteRow(p, tx, t, row.region, row.vals); err != nil {
-			return nil, err
-		}
+		kvs = append(kvs, deleteKVs(t, row.region, row.vals)...)
+	}
+	if err := tx.PutParallel(p, kvs); err != nil {
+		return nil, err
 	}
 	return &Result{RowsAffected: len(rows)}, nil
 }

@@ -36,7 +36,8 @@ func (s *Session) execExplainAnalyze(p *sim.Proc, st *ExplainAnalyze) (*Result, 
 
 	// Aggregate the span forest into per-kind counts and durations.
 	var (
-		batches, rpcs, retries, wanRPCs   int64
+		batches, kvReqs, rpcs, retries    int64
+		wanRPCs                           int64
 		quorumTrips, wanQuorumTrips       int64
 		latchWait, closedWait, intentWait sim.Duration
 		phases                            = map[string]sim.Duration{}
@@ -47,6 +48,14 @@ func (s *Session) execExplainAnalyze(p *sim.Proc, st *ExplainAnalyze) (*Result, 
 		switch span.Name {
 		case "ds.send":
 			batches++
+			// Each per-range batch carries >= 1 request; the "reqs" tag is
+			// set only on multi-request batches.
+			kvReqs++
+			if v, ok := span.Tag("reqs"); ok {
+				if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 1 {
+					kvReqs += n - 1
+				}
+			}
 		case "ds.rpc":
 			rpcs++
 			if _, failed := span.Tag("err"); failed {
@@ -99,6 +108,7 @@ func (s *Session) execExplainAnalyze(p *sim.Proc, st *ExplainAnalyze) (*Result, 
 	add("rows", fmt.Sprintf("%d", len(inner.Rows)))
 	add("rows affected", fmt.Sprintf("%d", inner.RowsAffected))
 	add("execution time", elapsed.String())
+	add("kv requests", fmt.Sprintf("%d", kvReqs))
 	add("kv batches", fmt.Sprintf("%d", batches))
 	add("kv rpcs", fmt.Sprintf("%d", rpcs))
 	add("kv retries", fmt.Sprintf("%d", retries))

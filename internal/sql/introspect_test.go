@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -274,4 +275,60 @@ func TestFingerprintNormalization(t *testing.T) {
 	if want := "UPDATE users SET name = _ WHERE id = _"; up != want {
 		t.Errorf("update fingerprint = %q, want %q", up, want)
 	}
+}
+
+// TestExplainAnalyzeBatchedMultiRangeInsert is the acceptance check for the
+// batched, range-aware dispatch: a 10-row INSERT spanning all three
+// partitions of a REGIONAL BY ROW table reports KV batches and RPCs bounded
+// by touched ranges per phase — not by row count — while "kv requests"
+// still reflects the per-row work carried inside those batches.
+func TestExplainAnalyzeBatchedMultiRangeInsert(t *testing.T) {
+	h := newSQLHarness(507)
+	h.run(t, func(p *sim.Proc) {
+		s := h.setupMovrSurvivable(t, p)
+		s.UniquenessChecks = false // local PK probes remain; no remote fan-out
+		res, err := s.Exec(p, `EXPLAIN ANALYZE INSERT INTO users (id, email, name, crdb_region) VALUES
+			(1, '1@x', 'a', 'us-east1'), (2, '2@x', 'b', 'europe-west2'), (3, '3@x', 'c', 'asia-northeast1'),
+			(4, '4@x', 'd', 'us-east1'), (5, '5@x', 'e', 'europe-west2'), (6, '6@x', 'f', 'asia-northeast1'),
+			(7, '7@x', 'g', 'us-east1'), (8, '8@x', 'h', 'europe-west2'), (9, '9@x', 'i', 'asia-northeast1'),
+			(10, '10@x', 'j', 'us-east1')`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := eaField(t, res, "rows affected"); got != "10" {
+			t.Errorf("rows affected = %s, want 10", got)
+		}
+		num := func(field string) int {
+			v, err := strconv.Atoi(eaField(t, res, field))
+			if err != nil {
+				t.Fatalf("%s = %q, want a number", field, eaField(t, res, field))
+			}
+			return v
+		}
+		// Per-row work is still all there: >= 60 requests (20 uniqueness
+		// probes, 20 index-entry writes, 20 intent proofs, plus commit) ...
+		if reqs := num("kv requests"); reqs < 60 {
+			t.Errorf("kv requests = %d, want >= 60 (per-row work carried in batches)", reqs)
+		}
+		// ... but it rides in at most phases x touched-ranges batches: the
+		// statement touches 6 ranges (3 row partitions + 3 email-index
+		// ranges), so probes, writes, and intent proofs cost 6 RPCs each
+		// plus 1 commit = 19. Before batching, every request was its own
+		// RPC (>= 60).
+		if batches := num("kv batches"); batches > 19 {
+			t.Errorf("kv batches = %d, want <= 19 (bounded by touched ranges)", batches)
+		}
+		if rpcs := num("kv rpcs"); rpcs > 22 {
+			t.Errorf("kv rpcs = %d, want <= 22 (bounded by touched ranges, not rows)", rpcs)
+		}
+		// A scan over the split table fans out across the partitions and
+		// merges every row back in key order.
+		sel, err := s.Exec(p, `SELECT id, name FROM users`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sel.Rows) != 10 {
+			t.Errorf("post-insert scan: %d rows, want 10", len(sel.Rows))
+		}
+	})
 }

@@ -326,33 +326,17 @@ func (t *Txn) PutParallel(p *sim.Proc, kvs []mvcc.KeyValue) error {
 	if len(t.writes) == 0 {
 		t.kv.Meta.Key = append(mvcc.Key(nil), kvs[0].Key...)
 	}
-	s := p.Sim()
-	wg := sim.NewWaitGroup(s)
-	wg.Add(len(kvs))
-	errs := make([]error, len(kvs))
-	results := make([]hlc.Timestamp, len(kvs))
-	parent := obs.ProcSpan(p)
+	reqs := make([]interface{}, len(kvs))
 	for i, pair := range kvs {
-		i, pair := i, pair
-		s.Spawn("txn/put", func(wp *sim.Proc) {
-			defer wg.Done()
-			obs.SetProcSpan(wp, parent)
-			req := &kv.PutRequest{Key: pair.Key, Value: pair.Value, Timestamp: t.kv.Meta.WriteTimestamp, Txn: t.kv, Pipelined: t.co.PipelineWrites}
-			resp := t.co.Sender.Send(wp, req)
-			if resp.Err != nil {
-				errs[i] = resp.Err
-				return
-			}
-			results[i] = resp.Put.WriteTimestamp
-		})
+		reqs[i] = &kv.PutRequest{Key: pair.Key, Value: pair.Value, Timestamp: t.kv.Meta.WriteTimestamp, Txn: t.kv, Pipelined: t.co.PipelineWrites}
 	}
-	wg.Wait(p)
-	for i := range kvs {
-		if errs[i] != nil {
-			return errs[i]
+	resps := t.co.Sender.SendBatch(p, reqs)
+	for i, resp := range resps {
+		if resp.Err != nil {
+			return resp.Err
 		}
-		if t.kv.Meta.WriteTimestamp.Less(results[i]) {
-			t.kv.Meta.WriteTimestamp = results[i]
+		if t.kv.Meta.WriteTimestamp.Less(resp.Put.WriteTimestamp) {
+			t.kv.Meta.WriteTimestamp = resp.Put.WriteTimestamp
 		}
 		t.writes = append(t.writes, append(mvcc.Key(nil), kvs[i].Key...))
 		if t.co.PipelineWrites {
@@ -370,35 +354,27 @@ func (t *Txn) GetParallel(p *sim.Proc, keys []mvcc.Key) ([]mvcc.Value, error) {
 	}
 	out := make([]mvcc.Value, len(keys))
 	var firstErr error
-	s := p.Sim()
-	wg := sim.NewWaitGroup(s)
-	wg.Add(len(keys))
 	canBump := len(t.reads) == 0 && len(keys) == 1
-	parent := obs.ProcSpan(p)
+	reqs := make([]interface{}, len(keys))
 	for i, key := range keys {
-		i, key := i, key
-		s.Spawn("txn/get", func(wp *sim.Proc) {
-			defer wg.Done()
-			obs.SetProcSpan(wp, parent)
-			req := &kv.GetRequest{
-				Key: key, Timestamp: t.kv.ReadTimestamp, Txn: t.kv,
-				Uncertainty: true, FollowerRead: t.followerOK(key),
-				CanBumpReadTS: canBump,
-			}
-			resp := t.co.Sender.Send(wp, req)
-			if resp.Err != nil {
-				if firstErr == nil {
-					firstErr = resp.Err
-				}
-				return
-			}
-			if !resp.Get.BumpedTS.IsEmpty() && t.kv.ReadTimestamp.Less(resp.Get.BumpedTS) {
-				t.adoptReadTS(resp.Get.BumpedTS)
-			}
-			out[i] = resp.Get.Value
-		})
+		reqs[i] = &kv.GetRequest{
+			Key: key, Timestamp: t.kv.ReadTimestamp, Txn: t.kv,
+			Uncertainty: true, FollowerRead: t.followerOK(key),
+			CanBumpReadTS: canBump,
+		}
 	}
-	wg.Wait(p)
+	for i, resp := range t.co.Sender.SendBatch(p, reqs) {
+		if resp.Err != nil {
+			if firstErr == nil {
+				firstErr = resp.Err
+			}
+			continue
+		}
+		if !resp.Get.BumpedTS.IsEmpty() && t.kv.ReadTimestamp.Less(resp.Get.BumpedTS) {
+			t.adoptReadTS(resp.Get.BumpedTS)
+		}
+		out[i] = resp.Get.Value
+	}
 	if firstErr != nil {
 		if err := t.handleReadErr(p, firstErr); err != nil {
 			return nil, err
@@ -555,32 +531,20 @@ func (t *Txn) proveWrites(p *sim.Proc) error {
 	sp, done := t.co.tracer().StartIn(p, "txn.prove")
 	defer done()
 	sp.SetTagInt("writes", int64(len(t.pipelined)))
-	s := t.co.Store.Sim
-	wg := sim.NewWaitGroup(s)
-	wg.Add(len(t.pipelined))
-	missing := false
-	var firstErr error
-	for _, key := range t.pipelined {
-		key := key
-		s.Spawn("txn/query-intent", func(wp *sim.Proc) {
-			defer wg.Done()
-			obs.SetProcSpan(wp, sp)
-			resp := t.co.Sender.Send(wp, &kv.QueryIntentRequest{
-				Key: key, TxnID: t.kv.Meta.ID, Epoch: t.kv.Meta.Epoch,
-			})
-			switch {
-			case resp.Err != nil:
-				if firstErr == nil {
-					firstErr = resp.Err
-				}
-			case !resp.QueryIntent.Found:
-				missing = true
-			}
-		})
+	reqs := make([]interface{}, len(t.pipelined))
+	for i, key := range t.pipelined {
+		reqs[i] = &kv.QueryIntentRequest{
+			Key: key, TxnID: t.kv.Meta.ID, Epoch: t.kv.Meta.Epoch,
+		}
 	}
-	wg.Wait(p)
-	if firstErr != nil {
-		return firstErr
+	missing := false
+	for _, resp := range t.co.Sender.SendBatch(p, reqs) {
+		if resp.Err != nil {
+			return resp.Err
+		}
+		if !resp.QueryIntent.Found {
+			missing = true
+		}
 	}
 	if missing {
 		return t.restartError("pipelined write lost", t.kv.Meta.WriteTimestamp)
@@ -640,24 +604,29 @@ func (t *Txn) commitWait(p *sim.Proc, ts hlc.Timestamp) {
 	}
 }
 
-// asyncResolve spawns parallel intent resolution for every written key. The
-// resolutions join the transaction's trace (under a "txn.resolve" span) but
-// run concurrently with — never on — the caller's latency path.
+// asyncResolve spawns intent resolution for every written key as one batch
+// (one RPC per touched range). The resolution joins the transaction's trace
+// (under a "txn.resolve" span) but runs concurrently with — never on — the
+// caller's latency path.
 func (t *Txn) asyncResolve(p *sim.Proc, status mvcc.TxnStatus, commitTS hlc.Timestamp) {
+	if len(t.writes) == 0 {
+		return
+	}
 	s := t.co.Store.Sim
 	id := t.kv.Meta.ID
 	parent := obs.ProcSpan(p)
-	for _, key := range t.writes {
-		key := key
-		s.Spawn("txn/resolve", func(rp *sim.Proc) {
-			sp := t.co.tracer().StartChild("txn.resolve", parent)
-			obs.SetProcSpan(rp, sp)
-			t.co.Sender.Send(rp, &kv.ResolveIntentRequest{
-				Key: key, TxnID: id, Status: status, CommitTS: commitTS,
-			})
-			sp.Finish()
-		})
+	reqs := make([]interface{}, len(t.writes))
+	for i, key := range t.writes {
+		reqs[i] = &kv.ResolveIntentRequest{
+			Key: key, TxnID: id, Status: status, CommitTS: commitTS,
+		}
 	}
+	s.Spawn("txn/resolve", func(rp *sim.Proc) {
+		sp := t.co.tracer().StartChild("txn.resolve", parent)
+		obs.SetProcSpan(rp, sp)
+		t.co.Sender.SendBatch(rp, reqs)
+		sp.Finish()
+	})
 }
 
 // Abort rolls the transaction back, resolving its intents as aborted.
