@@ -29,16 +29,18 @@ func main() {
 	verbose := flag.Bool("v", false, "print events as they are injected")
 	verify := flag.Bool("verify", false, "run twice and verify determinism")
 	metrics := flag.Bool("metrics", false, "dump the full metrics registry into the report (covered by -verify)")
+	crashes := flag.Bool("crashes", false, "restrict the nemesis to crash/restart-from-disk faults")
 	flag.Parse()
 
 	opts := chaos.Options{
-		Seed:      *seed,
-		Faults:    *faults,
-		MeanHold:  *hold,
-		MeanPause: *pause,
-		Movers:    *movers,
-		Metrics:   *metrics,
-		Verbose:   *verbose,
+		Seed:        *seed,
+		Faults:      *faults,
+		MeanHold:    *hold,
+		MeanPause:   *pause,
+		Movers:      *movers,
+		Metrics:     *metrics,
+		CrashesOnly: *crashes,
+		Verbose:     *verbose,
 	}
 	rep, err := chaos.Run(opts)
 	if err != nil {

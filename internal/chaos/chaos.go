@@ -48,6 +48,9 @@ type Options struct {
 	// Metrics dumps the full metrics registry into the report, making it
 	// part of the -verify determinism comparison.
 	Metrics bool
+	// CrashesOnly restricts the nemesis to crash/restart pairs, exercising
+	// the restart-from-disk path on every single fault.
+	CrashesOnly bool
 	// Verbose prints events as they are injected.
 	Verbose bool
 }
@@ -168,6 +171,12 @@ type harness struct {
 
 	linReads  []linRead
 	linWrites int
+
+	// closedLast holds the closed-timestamp monitor's per-replica high-water
+	// baselines. Crashing a node deletes its entries: the recovered replica
+	// restarts from its last checkpoint, legitimately below the pre-crash
+	// value, and monotonicity is per process incarnation.
+	closedLast map[string]hlc.Timestamp
 }
 
 // Run executes a chaos schedule and returns the report. The error is only
@@ -181,11 +190,15 @@ func Run(opts Options) (*Report, error) {
 		// Tracing is passive over virtual time, so it cannot perturb the
 		// fault schedule; the span-tree hash doubles as a determinism check.
 		Tracing: true,
+		// Crashes are honest: a crashed node loses its volatile state and
+		// restarts from its simulated disk (WAL + checkpoints).
+		Durability: true,
 	})
 	h := &harness{
 		opts:       opts,
 		c:          c,
 		activeKind: -1,
+		closedLast: map[string]hlc.Timestamp{},
 		rep: &Report{
 			Seed:         opts.Seed,
 			BankExpected: opts.Accounts * opts.InitialBalance,
@@ -229,6 +242,9 @@ func Run(opts Options) (*Report, error) {
 	h.rep.LeaseAcquisitions = h.leaseAcquisitions()
 	h.rep.EpochBumps = c.Liveness.EpochBumps
 	h.rep.SpanHash = c.Tracer.Hash()
+	if h.rep.Restarts > 0 {
+		h.rep.RestartRecovery = c.Metrics.Histogram("recovery.duration").Summary()
+	}
 	for _, name := range c.Metrics.Histograms() {
 		if strings.HasPrefix(name, "chaos.rto.") {
 			h.rep.RTOByFault = append(h.rep.RTOByFault,
@@ -360,7 +376,11 @@ func (h *harness) nemesis(p *sim.Proc) {
 	for i := 0; i < opts.Faults; i++ {
 		p.Sleep(uniformAround(rng, opts.MeanPause))
 		var fault, heal Event
-		switch rng.Intn(5) {
+		pick := rng.Intn(5)
+		if opts.CrashesOnly {
+			pick = 0
+		}
+		switch pick {
 		case 0:
 			n := nodes[rng.Intn(len(nodes))]
 			fault = Event{Kind: EvCrashNode, A: n}
@@ -403,10 +423,23 @@ func (h *harness) apply(p *sim.Proc, e Event) {
 	e.At = p.Now()
 	switch e.Kind {
 	case EvCrashNode:
-		h.c.Net.CrashNode(e.A)
+		h.c.CrashNode(e.A)
+		// The node's replicas are reborn from their checkpoints, which may
+		// trail the pre-crash closed timestamps; re-baseline the monitor.
+		for _, d := range h.c.Catalog.All() {
+			delete(h.closedLast, fmt.Sprintf("n%d/r%d", e.A, d.RangeID))
+		}
 		h.activeKind, h.activeNode = e.Kind, e.A
 	case EvRestartNode:
-		h.c.Net.RestartNode(e.A)
+		stats, err := h.c.RestartNode(p, e.A)
+		if err != nil {
+			// Unrecoverable disk state is a harness invariant violation,
+			// not a tolerated fault; report it loudly.
+			h.rep.RecoveryFailures++
+		} else {
+			h.rep.Restarts++
+			h.rep.RecoveryTimes = append(h.rep.RecoveryTimes, stats.Duration)
+		}
 		h.activeKind = -1
 	case EvFailRegion:
 		h.c.Net.FailRegion(e.Region)
@@ -651,7 +684,7 @@ func (h *harness) spawnAuditor(wg *sim.WaitGroup) {
 // startClosedTSMonitor samples every replica's closed timestamp and counts
 // regressions (closed timestamps must be monotonic per replica).
 func (h *harness) startClosedTSMonitor() (stop func()) {
-	last := map[string]hlc.Timestamp{}
+	last := h.closedLast
 	return h.c.Sim.Ticker(1*sim.Second, func() {
 		for _, id := range h.c.Topo.Nodes() {
 			st := h.c.Stores[id]

@@ -55,6 +55,15 @@ type Report struct {
 	// Recovery machinery counters.
 	LeaseAcquisitions int64
 	EpochBumps        int64
+
+	// Honest restarts: nodes rebooted from their simulated disks, the
+	// virtual time each recovery charged, a pre-rendered histogram summary
+	// of those durations, and recoveries that failed outright (corrupt or
+	// inconsistent durable state — always an invariant violation).
+	Restarts         int
+	RecoveryTimes    []sim.Duration
+	RestartRecovery  string
+	RecoveryFailures int
 }
 
 // Schedule renders the fault schedule as one canonical line per event;
@@ -82,7 +91,7 @@ func (r *Report) MaxRTO() sim.Duration {
 // OK reports whether every invariant held.
 func (r *Report) OK() bool {
 	return r.FinalAuditOK && r.BankAuditBad == 0 && r.LinViolations == 0 &&
-		r.ClosedTSRegressions == 0
+		r.ClosedTSRegressions == 0 && r.RecoveryFailures == 0
 }
 
 // String renders a human-readable summary.
@@ -111,6 +120,10 @@ func (r *Report) String() string {
 	}
 	fmt.Fprintf(&b, "  recovery: lease-acquisitions=%d epoch-bumps=%d region-failures=%d\n",
 		r.LeaseAcquisitions, r.EpochBumps, r.RegionFailures)
+	if r.Restarts > 0 || r.RecoveryFailures > 0 {
+		fmt.Fprintf(&b, "  restarts: %d from disk (failed=%d) recovery %s\n",
+			r.Restarts, r.RecoveryFailures, r.RestartRecovery)
+	}
 	fmt.Fprintf(&b, "  invariants: %s\n", map[bool]string{true: "OK", false: "VIOLATED"}[r.OK()])
 	return b.String()
 }

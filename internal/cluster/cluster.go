@@ -12,6 +12,7 @@ import (
 	"mrdb/internal/obs"
 	"mrdb/internal/sim"
 	"mrdb/internal/simnet"
+	"mrdb/internal/storage"
 	"mrdb/internal/zones"
 )
 
@@ -54,6 +55,15 @@ type Config struct {
 	// or any latency — so it can also be switched on later with
 	// EnableTracing.
 	Tracing bool
+	// Durability gives every node a simulated disk: Raft state persists
+	// through checksummed WALs (with fsync latency on the virtual clock),
+	// checkpoints truncate the logs, and Cluster.CrashNode/RestartNode
+	// model honest power loss plus recovery from disk. Off by default so
+	// the in-memory fast path (and its golden outputs) stays untouched.
+	Durability bool
+	// CheckpointInterval overrides the checkpoint/truncation cadence of
+	// durable stores (default kv.DefaultCheckpointInterval).
+	CheckpointInterval sim.Duration
 }
 
 // Cluster is a running simulated deployment.
@@ -67,6 +77,10 @@ type Cluster struct {
 	Liveness *kv.NodeLiveness
 	Stores   map[simnet.NodeID]*kv.Store
 	Senders  map[simnet.NodeID]*kv.DistSender
+
+	// Disks holds each node's simulated durable device when Durability is
+	// on (empty otherwise).
+	Disks map[simnet.NodeID]*storage.Disk
 
 	// Tracer and Metrics are the cluster-wide observability sinks, shared
 	// by the network, every DistSender, and every Store. The tracer starts
@@ -132,6 +146,7 @@ func New(cfg Config) *Cluster {
 		Catalog:   kv.NewRangeCatalog(),
 		Stores:    map[simnet.NodeID]*kv.Store{},
 		Senders:   map[simnet.NodeID]*kv.DistSender{},
+		Disks:     map[simnet.NodeID]*storage.Disk{},
 		MaxOffset: cfg.MaxOffset,
 	}
 	c.Tracer = obs.NewTracer(s)
@@ -162,7 +177,17 @@ func New(cfg Config) *Cluster {
 				st.Catalog = c.Catalog
 				st.Obs = c.Tracer
 				st.Contention = c.Contention
+				if cfg.Durability {
+					// The disk's fault RNG is seeded per node off the run
+					// seed, isolated from the simulation's random stream.
+					disk := storage.NewDisk(s, cfg.Seed*1_000_003+int64(id), c.Metrics)
+					st.Disk = disk
+					c.Disks[id] = disk
+				}
 				st.StartLiveness(c.Liveness)
+				if cfg.Durability {
+					st.StartCheckpoints(cfg.CheckpointInterval)
+				}
 				c.Stores[id] = st
 				c.Senders[id] = &kv.DistSender{
 					NodeID: id, Net: c.Net, Topo: topo, Catalog: c.Catalog,
@@ -189,6 +214,33 @@ func New(cfg Config) *Cluster {
 
 // EnableTracing switches span recording on for subsequent requests.
 func (c *Cluster) EnableTracing() { c.Tracer.SetEnabled(true) }
+
+// CrashNode fails a node honestly: it becomes unreachable AND loses all
+// volatile state (replicas, latches, tscache, un-fsynced WAL tails). With
+// Durability off this degrades to the historical network-only crash, since
+// there is no disk to recover from.
+func (c *Cluster) CrashNode(id simnet.NodeID) {
+	c.Net.CrashNode(id)
+	if st := c.Stores[id]; st != nil && st.Disk != nil {
+		st.Crash()
+	}
+}
+
+// RestartNode boots a crashed node. Durable nodes recover from their disk
+// first — blocking p for the recovery's virtual duration — and only then
+// rejoin the network, so no traffic ever observes a half-recovered store.
+func (c *Cluster) RestartNode(p *sim.Proc, id simnet.NodeID) (kv.RecoveryStats, error) {
+	st := c.Stores[id]
+	var stats kv.RecoveryStats
+	if st != nil && st.Disk != nil {
+		var err error
+		if stats, err = st.Recover(p); err != nil {
+			return stats, err
+		}
+	}
+	c.Net.RestartNode(id)
+	return stats, nil
+}
 
 // Regions returns the cluster's regions in creation order.
 func (c *Cluster) Regions() []simnet.Region { return c.regions }

@@ -125,13 +125,19 @@ func (a *Admin) TransferLease(p *sim.Proc, rangeID RangeID, target simnet.NodeID
 	desc.Leaseholder = target
 	desc.Generation++
 	// The transfer command carries the old leaseholder's clock reading
-	// (plus max offset) as the new tscache low-water mark, and the old
-	// closed-timestamp promise floor.
+	// (plus max offset) as the new tscache low-water mark, the old
+	// closed-timestamp promise floor, and the target's liveness epoch the
+	// new lease binds to.
+	var epoch int64
+	if nl := r.store.Liveness(); nl != nil {
+		epoch = nl.Epoch(target)
+	}
 	cmd := Command{
-		Kind:     CmdLeaseTransfer,
-		Desc:     desc,
-		Ts:       r.store.Clock.Now().Add(a.MaxOffset),
-		ClosedTS: r.closed.issued,
+		Kind:       CmdLeaseTransfer,
+		Desc:       desc,
+		Ts:         r.store.Clock.Now().Add(a.MaxOffset),
+		ClosedTS:   r.closed.issued,
+		LeaseEpoch: epoch,
 	}
 	if err := r.propose(p, cmd); err != nil {
 		return err

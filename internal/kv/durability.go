@@ -1,0 +1,443 @@
+package kv
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"mrdb/internal/hlc"
+	"mrdb/internal/mvcc"
+	"mrdb/internal/raft"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+	"mrdb/internal/storage"
+)
+
+// This file is the durability glue between a Store and its simulated Disk
+// (internal/storage). Per range, the node keeps:
+//
+//   - a WAL "r<id>/raft" of walRecord frames: every Raft persist() call
+//     appends one record carrying the hard state (term, vote) and the batch
+//     of new log entries, then fsyncs before Raft acks its peers;
+//   - a checkpoint blob "r<id>/ckpt": the applied MVCC engine contents plus
+//     replica metadata (descriptor, closed/issued timestamps, lease epoch)
+//     at a known applied index. Checkpoints let the WAL be truncated — at
+//     checkpoint time the Raft log is compacted to the applied index and the
+//     WAL is atomically rewritten to hold only the remaining tail.
+//
+// Node-wide blobs: "manifest" lists the ranges with replicas on this node,
+// and "nodemeta" persists the liveness epoch so a restarted node can never
+// resurrect a pre-crash epoch (and with it a fenced lease).
+//
+// Recovery (Store.Recover) reverses the pipeline: for each manifest range,
+// load the checkpoint, parse the WAL (discarding a torn tail, failing loudly
+// on mid-log corruption), drop entries at or below the checkpoint, and prime
+// a fresh Raft node with the hard state and tail. Entries beyond the
+// checkpoint are NOT applied directly — they re-commit through Raft once a
+// leader emerges, so recovery can never apply an uncommitted suffix.
+
+// DefaultCheckpointInterval is the cadence of the per-store checkpoint and
+// Raft-log-truncation loop.
+const DefaultCheckpointInterval = 5 * sim.Second
+
+// walName and ckptName locate a range's durable state on the node's disk.
+func walName(id RangeID) string  { return fmt.Sprintf("r%d/raft", id) }
+func ckptName(id RangeID) string { return fmt.Sprintf("r%d/ckpt", id) }
+
+// walRecord is one durable Raft persist batch.
+type walRecord struct {
+	HS      hardStateRec
+	Entries []walEntryRec
+}
+
+// hardStateRec mirrors raft.HardState for the wire format.
+type hardStateRec struct {
+	Term uint64
+	Vote simnet.NodeID
+}
+
+// walEntryRec is one Raft log entry in the WAL. Entry payloads are either
+// nil (leader no-ops) or kv.Command values; gob cannot encode a nil
+// interface, so the payload is a concrete *Command that is nil for no-ops.
+type walEntryRec struct {
+	Term  uint64
+	Index uint64
+	Cmd   *Command
+	Conf  *raft.ConfChange
+}
+
+// checkpointRec is the atomically-written per-range checkpoint blob.
+type checkpointRec struct {
+	AppliedIndex uint64
+	AppliedTerm  uint64
+	Desc         RangeDescriptor
+	Closed       hlc.Timestamp
+	Issued       hlc.Timestamp
+	LeaseEpoch   int64
+	MaxOffset    sim.Duration
+	Engine       []mvcc.SnapshotKey
+}
+
+// nodeMetaRec is the node-wide metadata blob.
+type nodeMetaRec struct {
+	Epoch int64
+}
+
+// rangeSnapshot is the in-memory snapshot a leader ships to a peer whose
+// log tail was truncated away (raft MsgSnap payload). It never crosses a
+// process boundary in the simulator, so it stays a Go value.
+type rangeSnapshot struct {
+	Desc   *RangeDescriptor
+	Closed hlc.Timestamp
+	Issued hlc.Timestamp
+	Engine []mvcc.SnapshotKey
+}
+
+func gobEncode(v interface{}) []byte {
+	// A fresh encoder per record keeps every frame self-describing and
+	// byte-deterministic (no shared type-dictionary state across records).
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("kv: durability encode: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func gobDecode(data []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+func toWALEntries(entries []raft.Entry) []walEntryRec {
+	out := make([]walEntryRec, len(entries))
+	for i, e := range entries {
+		out[i] = walEntryRec{Term: e.Term, Index: e.Index, Conf: e.Conf}
+		if e.Data != nil {
+			cmd, ok := e.Data.(Command)
+			if !ok {
+				panic(fmt.Sprintf("kv: cannot persist entry payload %T", e.Data))
+			}
+			c := cmd
+			out[i].Cmd = &c
+		}
+	}
+	return out
+}
+
+func fromWALEntry(rec walEntryRec) raft.Entry {
+	e := raft.Entry{Term: rec.Term, Index: rec.Index, Conf: rec.Conf}
+	if rec.Cmd != nil {
+		e.Data = *rec.Cmd
+	}
+	return e
+}
+
+// replicaStorage adapts one range's WAL to the raft.Storage interface.
+type replicaStorage struct {
+	wal *storage.WAL
+}
+
+func (rs *replicaStorage) Append(hs raft.HardState, entries []raft.Entry, done func()) {
+	rs.wal.Append(gobEncode(walRecord{HS: hardStateRec(hs), Entries: toWALEntries(entries)}))
+	rs.wal.Sync(done)
+}
+
+func (rs *replicaStorage) Compact(index, term uint64, tail []raft.Entry, hs raft.HardState) {
+	// Log rotation: the WAL shrinks to a single record holding the current
+	// hard state plus the post-checkpoint tail.
+	rs.wal.ResetDurable([][]byte{gobEncode(walRecord{HS: hardStateRec(hs), Entries: toWALEntries(tail)})})
+}
+
+func (rs *replicaStorage) Reset(index, term uint64, hs raft.HardState) {
+	rs.wal.ResetDurable([][]byte{gobEncode(walRecord{HS: hardStateRec(hs)})})
+}
+
+// replayRaftWAL folds parsed WAL records into the final hard state and log
+// tail. Hard state is last-writer-wins. Entry batches replay in append
+// order; a batch whose first index overlaps previously staged entries
+// supersedes the overlapped suffix — that is how a leader-change truncation
+// looks on disk, since Raft rewrites the conflicting suffix by re-appending.
+func replayRaftWAL(payloads [][]byte) (raft.HardState, []raft.Entry, error) {
+	var hs raft.HardState
+	var entries []raft.Entry
+	for i, p := range payloads {
+		var rec walRecord
+		if err := gobDecode(p, &rec); err != nil {
+			return hs, nil, fmt.Errorf("kv: wal record %d: %w", i, err)
+		}
+		hs = raft.HardState(rec.HS)
+		for _, er := range rec.Entries {
+			for len(entries) > 0 && entries[len(entries)-1].Index >= er.Index {
+				entries = entries[:len(entries)-1]
+			}
+			entries = append(entries, fromWALEntry(er))
+		}
+	}
+	return hs, entries, nil
+}
+
+// --- Store-side checkpointing ---
+
+func (s *Store) sortedRangeIDs() []RangeID {
+	ids := make([]RangeID, 0, len(s.replicas))
+	for id := range s.replicas {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// writeCheckpoint persists a replica's applied state at its current applied
+// index.
+func (s *Store) writeCheckpoint(r *Replica) {
+	s.writeCheckpointAt(r, r.raft.Applied(), r.raft.AppliedTerm())
+}
+
+// writeCheckpointAt persists a replica's applied state, declaring it current
+// as of the given log position. The blob write is atomic (temp + rename), so
+// a crash between checkpoint and WAL truncation leaves a recoverable pair:
+// the WAL simply still holds entries at or below the checkpoint, which
+// recovery filters out.
+func (s *Store) writeCheckpointAt(r *Replica, index, term uint64) {
+	rec := checkpointRec{
+		AppliedIndex: index,
+		AppliedTerm:  term,
+		Desc:         *r.desc.Clone(),
+		Closed:       r.closed.closed,
+		Issued:       r.closed.issued,
+		LeaseEpoch:   r.leaseEpoch,
+		MaxOffset:    r.maxOffset,
+		Engine:       r.engine.Snapshot(),
+	}
+	s.Disk.PutBlob(ckptName(rec.Desc.RangeID), gobEncode(rec))
+}
+
+// persistManifest records which ranges have replicas here.
+func (s *Store) persistManifest() {
+	s.Disk.PutBlob("manifest", gobEncode(s.sortedRangeIDs()))
+}
+
+// persistNodeMeta records the node's liveness epoch.
+func (s *Store) persistNodeMeta(epoch int64) {
+	s.Disk.PutBlob("nodemeta", gobEncode(nodeMetaRec{Epoch: epoch}))
+}
+
+// CheckpointNow checkpoints every replica on this store, then truncates
+// their Raft logs up to the checkpointed indexes. All engines snapshot
+// before any log shrinks, and within one scheduler step: writes a replica
+// forwarded into a sibling's engine during a split are therefore captured by
+// the sibling's checkpoint before the forwarding replica's log entry can be
+// truncated away.
+func (s *Store) CheckpointNow() {
+	if s.Disk == nil {
+		return
+	}
+	ids := s.sortedRangeIDs()
+	for _, id := range ids {
+		s.writeCheckpoint(s.replicas[id])
+	}
+	for _, id := range ids {
+		r := s.replicas[id]
+		r.raft.Compact(r.raft.Applied())
+	}
+}
+
+// StartCheckpoints begins the periodic checkpoint/truncation loop. The loop
+// stops on Crash and resumes automatically after Recover.
+func (s *Store) StartCheckpoints(interval sim.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = DefaultCheckpointInterval
+	}
+	s.ckptInterval = interval
+	s.startCkptTicker()
+	return func() {
+		if s.ckptStop != nil {
+			s.ckptStop()
+			s.ckptStop = nil
+		}
+		s.ckptInterval = 0
+	}
+}
+
+func (s *Store) startCkptTicker() {
+	s.ckptStop = s.Sim.Ticker(s.ckptInterval, func() { s.CheckpointNow() })
+}
+
+// --- Crash and recovery ---
+
+// Crash wipes the node's volatile state, exactly as power loss would: every
+// replica (engine, tscache, latches, unapplied Raft state) is discarded, the
+// checkpoint loop dies with the process, and the disk loses its un-fsynced
+// WAL tails. The network handler and liveness ticker survive as objects but
+// are inert while the node is partitioned off by simnet.CrashNode; Recover
+// rebuilds the node from the disk alone.
+func (s *Store) Crash() {
+	if s.ckptStop != nil {
+		s.ckptStop()
+		s.ckptStop = nil
+	}
+	for _, id := range s.sortedRangeIDs() {
+		s.replicas[id].raft.Stop()
+	}
+	s.replicas = map[RangeID]*Replica{}
+	s.lastAck = 0
+	s.ackEpoch = 0
+	if s.Disk != nil {
+		s.Disk.Crash()
+	}
+}
+
+// RecoveryStats summarizes one node restart from disk.
+type RecoveryStats struct {
+	Ranges          int
+	ReplayedEntries int
+	WALBytes        int
+	// Duration is the virtual time the restart charged on the clock.
+	Duration sim.Duration
+}
+
+// recoveryDuration models restart cost deterministically: process boot plus
+// per-range checkpoint loading plus per-entry replay plus WAL scan
+// bandwidth. Being a pure function of recovered state, it keeps same-seed
+// runs byte-identical.
+func recoveryDuration(st RecoveryStats) sim.Duration {
+	return 10*sim.Millisecond +
+		sim.Duration(st.Ranges)*2*sim.Millisecond +
+		sim.Duration(st.ReplayedEntries)*100*sim.Microsecond +
+		sim.Duration(st.WALBytes/1024)*20*sim.Microsecond
+}
+
+// Recover boots the node from its disk: every manifest range is rebuilt
+// from its checkpoint plus the WAL tail, the liveness epoch is bumped past
+// the persisted one (fencing any pre-crash lease), and the restart cost is
+// charged on the virtual clock before the method returns. The caller heals
+// the network afterwards — recovery happens while the node is still
+// unreachable, so no traffic observes a half-recovered store.
+func (s *Store) Recover(p *sim.Proc) (RecoveryStats, error) {
+	var stats RecoveryStats
+	if s.Disk == nil {
+		return stats, fmt.Errorf("kv: node n%d has no disk to recover from", s.NodeID)
+	}
+	if len(s.replicas) != 0 {
+		return stats, fmt.Errorf("kv: node n%d recovering over %d live replicas", s.NodeID, len(s.replicas))
+	}
+	var ids []RangeID
+	if b, ok := s.Disk.GetBlob("manifest"); ok {
+		if err := gobDecode(b, &ids); err != nil {
+			return stats, fmt.Errorf("kv: manifest: %w", err)
+		}
+	}
+	for _, rid := range ids {
+		b, ok := s.Disk.GetBlob(ckptName(rid))
+		if !ok {
+			return stats, fmt.Errorf("kv: r%d in manifest but checkpoint missing", rid)
+		}
+		var ckpt checkpointRec
+		if err := gobDecode(b, &ckpt); err != nil {
+			return stats, fmt.Errorf("kv: r%d checkpoint: %w", rid, err)
+		}
+		wal := s.Disk.WAL(walName(rid))
+		payloads, err := wal.Records() // truncates a torn tail; *ErrCorrupt on bit rot
+		if err != nil {
+			return stats, fmt.Errorf("kv: r%d: %w", rid, err)
+		}
+		stats.WALBytes += wal.Size()
+		hs, entries, err := replayRaftWAL(payloads)
+		if err != nil {
+			return stats, fmt.Errorf("kv: r%d: %w", rid, err)
+		}
+		// Entries at or below the checkpoint are already reflected in the
+		// engine snapshot; only the tail beyond it is live log.
+		tail := entries[:0:0]
+		for _, e := range entries {
+			if e.Index > ckpt.AppliedIndex {
+				tail = append(tail, e)
+			}
+		}
+		if len(tail) > 0 && tail[0].Index != ckpt.AppliedIndex+1 {
+			return stats, fmt.Errorf("kv: r%d: wal gap: checkpoint at %d, first tail entry %d",
+				rid, ckpt.AppliedIndex, tail[0].Index)
+		}
+		s.recoverReplica(ckpt, hs, tail)
+		stats.Ranges++
+		stats.ReplayedEntries += len(tail)
+	}
+	// Fence the past: bump the liveness epoch past the persisted one so no
+	// lease bound to a pre-crash epoch can ever be considered valid again,
+	// and persist the bump before serving anything.
+	if s.liveness != nil {
+		var meta nodeMetaRec
+		if b, ok := s.Disk.GetBlob("nodemeta"); ok {
+			if err := gobDecode(b, &meta); err != nil {
+				return stats, fmt.Errorf("kv: nodemeta: %w", err)
+			}
+		}
+		s.persistNodeMeta(s.liveness.SelfRestart(s.NodeID, meta.Epoch))
+	}
+	// The node must not believe it is live until a peer acks a fresh
+	// heartbeat under the new epoch.
+	s.lastAck = 0
+	s.ackEpoch = 0
+	stats.Duration = recoveryDuration(stats)
+	p.Sleep(stats.Duration)
+	m := s.Disk.Metrics()
+	m.Counter("recovery.replay.entries").Add(int64(stats.ReplayedEntries))
+	m.Histogram("recovery.duration").RecordDuration(stats.Duration)
+	if s.ckptInterval > 0 {
+		s.startCkptTicker()
+	}
+	return stats, nil
+}
+
+// recoverReplica rebuilds one replica from its durable state. The Raft node
+// is primed with commit = applied = the checkpoint index even if the tail
+// holds committed entries; they re-commit through the normal Raft flow, so
+// recovery never applies a suffix the cluster may have truncated.
+func (s *Store) recoverReplica(ckpt checkpointRec, hs raft.HardState, tail []raft.Entry) *Replica {
+	desc := ckpt.Desc.Clone()
+	r := s.buildReplica(desc, ckpt.MaxOffset)
+	r.engine.LoadSnapshot(ckpt.Engine)
+	r.closed.advance(ckpt.Closed)
+	r.closed.issued = ckpt.Issued
+	r.leaseEpoch = ckpt.LeaseEpoch
+	// The recovered node no longer remembers pre-crash reads: ratchet the
+	// tscache low-water past restart time plus the clock uncertainty so a
+	// recovered leaseholder cannot permit a write under a forgotten read.
+	r.tscache.SetLowWater(s.Clock.Now().Add(s.Clock.MaxOffset()))
+	r.raft.Restore(hs, ckpt.AppliedIndex, ckpt.AppliedTerm, tail)
+	s.replicas[desc.RangeID] = r
+	r.raft.Start()
+	return r
+}
+
+// snapshotData packages this replica's applied state for a lagging peer
+// whose needed log prefix was truncated (raft Config.Snapshot hook; the
+// leader calls it at its applied index).
+func (r *Replica) snapshotData() interface{} {
+	return &rangeSnapshot{
+		Desc:   r.desc.Clone(),
+		Closed: r.closed.closed,
+		Issued: r.closed.issued,
+		Engine: r.engine.Snapshot(),
+	}
+}
+
+// applySnapshotData installs a leader snapshot (raft Config.ApplySnapshot
+// hook): the engine is rebuilt from the snapshot contents and the follower's
+// durable checkpoint advances to the snapshot position, after which Raft
+// resets its log and the WAL.
+func (r *Replica) applySnapshotData(data interface{}, index, term uint64) {
+	snap := data.(*rangeSnapshot)
+	s := r.store
+	r.engine = mvcc.NewEngine(s.engineSeed + int64(r.desc.RangeID))
+	r.engine.LoadSnapshot(snap.Engine)
+	r.setDesc(snap.Desc.Clone())
+	r.closed.advance(snap.Closed)
+	if r.closed.issued.Less(snap.Issued) {
+		r.closed.issued = snap.Issued
+	}
+	r.tscache.SetLowWater(snap.Closed)
+	if s.Disk != nil {
+		s.writeCheckpointAt(r, index, term)
+	}
+}

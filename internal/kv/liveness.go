@@ -107,6 +107,30 @@ func (nl *NodeLiveness) IncrementEpoch(id simnet.NodeID, now sim.Time) bool {
 	return true
 }
 
+// SelfRestart re-registers a node booting from disk after a crash. The
+// epoch advances unconditionally past both the registry's view and the
+// node's own persisted epoch, so every lease bound to any pre-crash epoch is
+// fenced forever — even if no peer noticed the outage and IncrementEpoch
+// never ran. The record gets a registration-style grace period; leases
+// remain unacquirable until a peer acks a heartbeat under the new epoch.
+// It returns the new epoch for the caller to persist.
+func (nl *NodeLiveness) SelfRestart(id simnet.NodeID, persistedEpoch int64) int64 {
+	rec, ok := nl.recs[id]
+	if !ok {
+		nl.Register(id)
+		rec = nl.recs[id]
+	}
+	if persistedEpoch > rec.Epoch {
+		rec.Epoch = persistedEpoch
+	}
+	rec.Epoch++
+	nl.EpochBumps++
+	if exp := nl.sim.Now().Add(LivenessTTL); exp > rec.Expiration {
+		rec.Expiration = exp
+	}
+	return rec.Epoch
+}
+
 // livenessPing is a store's periodic heartbeat to a peer: "my record is good
 // through Expiration". The receiver applies it to the shared record set.
 type livenessPing struct {

@@ -863,6 +863,13 @@ func (r *Replica) applySplit(cmd Command) {
 		if newDesc.Leaseholder == r.store.NodeID {
 			nr.raft.Campaign()
 		}
+		if r.store.Disk != nil {
+			// Re-checkpoint the right half now that the copied data is in:
+			// its own log is empty, so without this a crash before the next
+			// checkpoint tick would lose the copy if the left half's split
+			// entry has already been truncated away.
+			r.store.writeCheckpointAt(nr, 0, 0)
+		}
 	}
 	r.setDesc(cmd.Desc.Clone())
 }
@@ -880,13 +887,13 @@ func (r *Replica) applyLeaseTransfer(cmd Command) {
 	if r.desc.Leaseholder == r.store.NodeID {
 		// Fresh leaseholder: assume everything was read up to the
 		// transfer timestamp (tscache low-water ratchet), and carry the
-		// closed-timestamp promise floor forward. The lease binds to this
-		// node's current liveness epoch.
+		// closed-timestamp promise floor forward. The lease binds to the
+		// epoch recorded in the command at proposal time.
 		r.tscache.SetLowWater(cmd.Ts)
 		if r.closed.issued.Less(cmd.ClosedTS) {
 			r.closed.issued = cmd.ClosedTS
 		}
-		r.leaseEpoch = r.store.CurrentEpoch()
+		r.leaseEpoch = cmd.LeaseEpoch
 		if r.store.Catalog != nil {
 			// Publish the new routing so gateways converge without an
 			// admin in the loop.
@@ -953,10 +960,11 @@ func (r *Replica) maybeAcquireLease(p *sim.Proc) {
 		nd.Leaseholder = r.store.NodeID
 		nd.Generation++
 		cmd := Command{
-			Kind:     CmdLeaseTransfer,
-			Desc:     nd,
-			Ts:       r.store.Clock.Now().Add(r.maxOffset),
-			ClosedTS: r.closed.issued,
+			Kind:       CmdLeaseTransfer,
+			Desc:       nd,
+			Ts:         r.store.Clock.Now().Add(r.maxOffset),
+			ClosedTS:   r.closed.issued,
+			LeaseEpoch: r.store.CurrentEpoch(),
 		}
 		f, err := r.raft.Propose(cmd)
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 	"mrdb/internal/raft"
 	"mrdb/internal/sim"
 	"mrdb/internal/simnet"
+	"mrdb/internal/storage"
 )
 
 // Store is the per-node container of replicas. It owns the node's HLC
@@ -39,9 +40,19 @@ type Store struct {
 	// nil-safe.
 	Contention *obs.ContentionLog
 
+	// Disk, when set, is the node's simulated durable device: Raft state
+	// persists through per-range WALs, checkpoints truncate them, and
+	// Crash/Recover model honest restarts. Nil keeps the historical fully
+	// in-memory behavior.
+	Disk *storage.Disk
+
 	replicas map[RangeID]*Replica
 	// engineSeed derives per-replica skiplist seeds deterministically.
 	engineSeed int64
+
+	// checkpoint loop state (durable stores only).
+	ckptInterval sim.Duration
+	ckptStop     func()
 
 	// liveness state: the shared registry plus this node's view of its own
 	// record, maintained from peer acks.
@@ -169,6 +180,9 @@ func (s *Store) StartLiveness(nl *NodeLiveness) (stop func()) {
 	nl.Register(s.NodeID)
 	s.lastAck = s.Sim.Now()
 	s.ackEpoch = nl.Epoch(s.NodeID)
+	if s.Disk != nil {
+		s.persistNodeMeta(s.ackEpoch)
+	}
 	return s.Sim.Ticker(LivenessHeartbeatInterval, func() {
 		exp := s.Sim.Now().Add(LivenessTTL)
 		for _, peer := range nl.Nodes() {
@@ -219,6 +233,21 @@ func (s *Store) CreateReplica(desc *RangeDescriptor, maxOffset sim.Duration) *Re
 	if _, ok := s.replicas[desc.RangeID]; ok {
 		panic(fmt.Sprintf("kv: replica of r%d already on n%d", desc.RangeID, s.NodeID))
 	}
+	r := s.buildReplica(desc, maxOffset)
+	s.replicas[desc.RangeID] = r
+	if s.Disk != nil {
+		// Seed the durable pair before the replica can make any promise:
+		// an empty checkpoint at log position zero plus the manifest entry.
+		s.writeCheckpointAt(r, 0, 0)
+		s.persistManifest()
+	}
+	r.raft.Start()
+	return r
+}
+
+// buildReplica constructs a replica and its Raft node without registering
+// or starting them, so recovery can prime engine and log state first.
+func (s *Store) buildReplica(desc *RangeDescriptor, maxOffset sim.Duration) *Replica {
 	r := &Replica{
 		store:         s,
 		desc:          desc.Clone(),
@@ -251,9 +280,12 @@ func (s *Store) CreateReplica(desc *RangeDescriptor, maxOffset sim.Duration) *Re
 		// side-transport cadence the lead target accounts for.
 		rcfg.HeartbeatInterval = SideTransportInterval
 	}
+	if s.Disk != nil {
+		rcfg.Storage = &replicaStorage{wal: s.Disk.WAL(walName(desc.RangeID))}
+		rcfg.Snapshot = r.snapshotData
+		rcfg.ApplySnapshot = r.applySnapshotData
+	}
 	r.raft = raft.NewNode(rcfg)
-	s.replicas[desc.RangeID] = r
-	r.raft.Start()
 	return r
 }
 
@@ -280,5 +312,10 @@ func (s *Store) RemoveReplica(id RangeID) {
 	if r, ok := s.replicas[id]; ok {
 		r.raft.Stop()
 		delete(s.replicas, id)
+		if s.Disk != nil {
+			s.Disk.RemoveWAL(walName(id))
+			s.Disk.DeleteBlob(ckptName(id))
+			s.persistManifest()
+		}
 	}
 }

@@ -418,6 +418,12 @@ type Command struct {
 	Desc *RangeDescriptor
 	// SplitDesc is the right-hand descriptor of a CmdSplit.
 	SplitDesc *RangeDescriptor
+
+	// LeaseEpoch, on CmdLeaseTransfer, is the liveness epoch the new lease
+	// binds to — fixed at proposal time so that replaying the entry (e.g.
+	// during crash recovery) rebinds the lease to the epoch it was granted
+	// under, never to whatever epoch the applier currently observes.
+	LeaseEpoch int64
 }
 
 // CommandKind discriminates Command.

@@ -92,6 +92,13 @@ type Message struct {
 	// uses it for closed-timestamp propagation, paper §5.1.1).
 	Payload interface{}
 
+	// Snapshot install (leader → peer whose needed entries were compacted
+	// away). Snapshot is opaque to raft; the kv layer serializes its
+	// applied state at SnapIndex/SnapTerm.
+	SnapIndex uint64
+	SnapTerm  uint64
+	Snapshot  interface{}
+
 	// TimeoutNow triggers an immediate campaign (leadership transfer).
 }
 
@@ -105,7 +112,37 @@ const (
 	MsgApp
 	MsgAppResp
 	MsgTimeoutNow
+	MsgSnap
 )
+
+// HardState is the durable core of a replica's consensus state: the pair
+// that must survive a crash for Raft's voting rules to stay safe.
+type HardState struct {
+	Term uint64
+	Vote simnet.NodeID
+}
+
+// Storage persists Raft state for one replica. A nil Storage in Config
+// preserves the historical fully-synchronous in-memory behavior: done
+// callbacks run before the call returns and nothing survives a crash.
+//
+// Implementations must provide FIFO durability: when the done callback of
+// one Append fires, every earlier Append's data is durable too.
+type Storage interface {
+	// Append stages the hard state and entries (appended at their Index;
+	// a batch whose first index overlaps previously staged entries
+	// supersedes the overlapped suffix) and invokes done once durable.
+	// done may never fire (crash); callers must not rely on it.
+	Append(hs HardState, entries []Entry, done func())
+	// Compact atomically rewrites the durable log so it holds exactly the
+	// given tail of entries, with everything at or before (index, term)
+	// owned by the latest checkpoint.
+	Compact(index, term uint64, tail []Entry, hs HardState)
+	// Reset atomically replaces the durable log after a snapshot install
+	// at (index, term); the snapshot itself was persisted by the
+	// ApplySnapshot callback before Reset is called.
+	Reset(index, term uint64, hs HardState)
+}
 
 // Transport sends a message to a peer; implementations add network latency
 // and drop traffic to failed nodes.
@@ -139,6 +176,20 @@ type Config struct {
 	HeartbeatPayload func() interface{}
 	// OnHeartbeat, if set, receives payloads on followers/learners.
 	OnHeartbeat func(from simnet.NodeID, payload interface{})
+
+	// Storage, if set, persists hard state and log entries; promises to
+	// peers (votes, append acks, the leader's own match index) are then
+	// withheld until the corresponding fsync completes. Nil keeps the
+	// historical synchronous in-memory behavior exactly.
+	Storage Storage
+	// Snapshot, if set, returns an opaque serialization of the applied
+	// state machine, consistent at this node's applied index. The leader
+	// calls it when a peer needs entries that were compacted away.
+	Snapshot func() interface{}
+	// ApplySnapshot installs an incoming snapshot at (index, term),
+	// replacing the applied state machine. Called before the log is reset
+	// around the snapshot; implementations should persist the snapshot.
+	ApplySnapshot func(data interface{}, index, term uint64)
 }
 
 // ErrNotLeader is returned by Propose on non-leaders.
@@ -175,9 +226,16 @@ type Node struct {
 	votedFor simnet.NodeID
 	leader   simnet.NodeID
 
-	log         []Entry // log[0] is a sentinel at index 0
+	// log[0] is a sentinel carrying the index/term of the last entry
+	// subsumed by a checkpoint or snapshot (index 0 before any
+	// compaction); real entries follow at ascending indices.
+	log         []Entry
 	commitIndex uint64
 	applied     uint64
+	// durableIndex is the highest log index known fsynced locally; the
+	// node never tells a leader it matched an entry beyond it. With nil
+	// Storage it tracks LastIndex.
+	durableIndex uint64
 
 	voters   map[simnet.NodeID]bool
 	learners map[simnet.NodeID]bool
@@ -260,6 +318,48 @@ func (n *Node) CommitIndex() uint64 { return n.commitIndex }
 // LastIndex returns the highest appended log index.
 func (n *Node) LastIndex() uint64 { return n.log[len(n.log)-1].Index }
 
+// FirstIndex returns the index of the log sentinel: everything at or below
+// it has been folded into a checkpoint/snapshot.
+func (n *Node) FirstIndex() uint64 { return n.offset() }
+
+// DurableIndex returns the highest locally-fsynced log index.
+func (n *Node) DurableIndex() uint64 { return n.durableIndex }
+
+// Applied returns the highest applied log index.
+func (n *Node) Applied() uint64 { return n.applied }
+
+// AppliedTerm returns the term of the highest applied entry.
+func (n *Node) AppliedTerm() uint64 { return n.at(n.applied).Term }
+
+// offset is the sentinel's index; log position of index i is i-offset.
+func (n *Node) offset() uint64 { return n.log[0].Index }
+
+// at returns the entry at log index idx; idx must be in [offset, LastIndex].
+func (n *Node) at(idx uint64) Entry { return n.log[idx-n.offset()] }
+
+// persist stages the current hard state plus entries and runs done once
+// durable. With nil Storage it completes synchronously, preserving the
+// historical in-memory semantics event-for-event.
+func (n *Node) persist(entries []Entry, done func()) {
+	if n.cfg.Storage == nil {
+		n.durableIndex = n.LastIndex()
+		done()
+		return
+	}
+	n.cfg.Storage.Append(HardState{Term: n.term, Vote: n.votedFor}, entries, done)
+}
+
+// markDurable advances durableIndex to idx, clamped to the current log end
+// (a conflicting truncation may have discarded a suffix that was syncing).
+func (n *Node) markDurable(idx uint64) {
+	if last := n.LastIndex(); idx > last {
+		idx = last
+	}
+	if idx > n.durableIndex {
+		n.durableIndex = idx
+	}
+}
+
 // Voters returns the current voter set.
 func (n *Node) Voters() []simnet.NodeID {
 	out := make([]simnet.NodeID, 0, len(n.voters))
@@ -324,17 +424,25 @@ func (n *Node) Campaign() {
 	n.leader = 0
 	n.votes = map[simnet.NodeID]bool{n.cfg.ID: true}
 	n.lastHeard = n.cfg.Sim.Now()
-	last := n.log[len(n.log)-1]
-	for _, v := range n.sortedVoters() {
-		if v == n.cfg.ID {
-			continue
+	// The incremented term and self-vote must be durable before they are
+	// announced, or a crash could let this node vote twice in the term.
+	term := n.term
+	n.persist(nil, func() {
+		if n.stopped || n.term != term || n.role != Candidate {
+			return
 		}
-		n.cfg.Transport.Send(v, Message{
-			Kind: MsgVote, Term: n.term, From: n.cfg.ID,
-			LastLogIndex: last.Index, LastLogTerm: last.Term,
-		})
-	}
-	n.maybeWinElection()
+		last := n.log[len(n.log)-1]
+		for _, v := range n.sortedVoters() {
+			if v == n.cfg.ID {
+				continue
+			}
+			n.cfg.Transport.Send(v, Message{
+				Kind: MsgVote, Term: term, From: n.cfg.ID,
+				LastLogIndex: last.Index, LastLogTerm: last.Term,
+			})
+		}
+		n.maybeWinElection()
+	})
 }
 
 func (n *Node) maybeWinElection() {
@@ -360,7 +468,8 @@ func (n *Node) becomeLeader() {
 		n.nextIndex[id] = last + 1
 		n.matchIndex[id] = 0
 	}
-	n.matchIndex[n.cfg.ID] = last
+	// The leader may only count its own log up to what is fsynced.
+	n.matchIndex[n.cfg.ID] = n.durableIndex
 	if n.cfg.OnLeaderChange != nil {
 		n.cfg.OnLeaderChange(n.cfg.ID, n.term)
 	}
@@ -461,9 +570,22 @@ func (n *Node) appendLocal(e Entry) uint64 {
 	e.Term = n.term
 	e.Index = n.LastIndex() + 1
 	n.log = append(n.log, e)
-	n.matchIndex[n.cfg.ID] = e.Index
-	n.maybeCommit()
-	return e.Index
+	idx, term := e.Index, n.term
+	// The leader's own vote for the entry (its match index) counts toward
+	// quorum only once the entry is on disk.
+	n.persist([]Entry{e}, func() {
+		if n.stopped {
+			return
+		}
+		n.markDurable(idx)
+		if n.role == Leader && n.term == term {
+			if idx > n.matchIndex[n.cfg.ID] {
+				n.matchIndex[n.cfg.ID] = idx
+			}
+			n.maybeCommit()
+		}
+	})
+	return idx
 }
 
 // Propose replicates data, returning a future resolved once the entry
@@ -506,10 +628,16 @@ func (n *Node) sendAppend(to simnet.NodeID) {
 		next = 1
 		n.nextIndex[to] = 1
 	}
-	prev := n.log[next-1]
+	if next <= n.offset() {
+		// The entries the peer needs were compacted into a checkpoint;
+		// ship a snapshot of the applied state instead.
+		n.sendSnapshot(to)
+		return
+	}
+	prev := n.at(next - 1)
 	var entries []Entry
 	for i := next; i <= n.LastIndex() && len(entries) < maxBatch; i++ {
-		entries = append(entries, n.log[i])
+		entries = append(entries, n.at(i))
 	}
 	msg := Message{
 		Kind: MsgApp, Term: n.term, From: n.cfg.ID,
@@ -522,12 +650,28 @@ func (n *Node) sendAppend(to simnet.NodeID) {
 	n.cfg.Transport.Send(to, msg)
 }
 
+// sendSnapshot ships the leader's applied state to a peer that fell behind
+// the compacted log (paper §5.2: lagging replicas catch up via snapshots).
+func (n *Node) sendSnapshot(to simnet.NodeID) {
+	if n.cfg.Snapshot == nil {
+		return // not snapshot-capable; the peer stays behind
+	}
+	idx := n.applied
+	msg := Message{
+		Kind: MsgSnap, Term: n.term, From: n.cfg.ID,
+		SnapIndex: idx, SnapTerm: n.at(idx).Term,
+		Snapshot: n.cfg.Snapshot(), LeaderCommit: n.commitIndex,
+	}
+	n.nextIndex[to] = idx + 1
+	n.cfg.Transport.Send(to, msg)
+}
+
 func (n *Node) maybeCommit() {
 	if n.role != Leader {
 		return
 	}
-	for idx := n.LastIndex(); idx > n.commitIndex; idx-- {
-		if n.log[idx].Term != n.term {
+	for idx := n.LastIndex(); idx > n.commitIndex && idx > n.offset(); idx-- {
+		if n.at(idx).Term != n.term {
 			break // only commit entries from the current term by counting
 		}
 		count := 0
@@ -561,7 +705,7 @@ func (n *Node) ackSet(idx uint64) []simnet.NodeID {
 func (n *Node) applyCommitted() {
 	for n.applied < n.commitIndex {
 		n.applied++
-		e := n.log[n.applied]
+		e := n.at(n.applied)
 		if e.Conf != nil {
 			n.applyConfChange(*e.Conf)
 		}
@@ -631,6 +775,8 @@ func (n *Node) Step(msg Message) {
 		n.handleApp(msg)
 	case MsgAppResp:
 		n.handleAppResp(msg)
+	case MsgSnap:
+		n.handleSnap(msg)
 	case MsgTimeoutNow:
 		if msg.Term >= n.term && n.role != Learner {
 			n.Campaign()
@@ -650,9 +796,23 @@ func (n *Node) handleVote(msg Message) {
 			n.lastHeard = n.cfg.Sim.Now()
 		}
 	}
-	n.cfg.Transport.Send(msg.From, Message{
-		Kind: MsgVoteResp, Term: n.term, From: n.cfg.ID, VoteGranted: granted,
-	})
+	term := n.term
+	reply := func() {
+		n.cfg.Transport.Send(msg.From, Message{
+			Kind: MsgVoteResp, Term: term, From: n.cfg.ID, VoteGranted: granted,
+		})
+	}
+	if granted {
+		// A vote is a promise: it must survive a crash, or the node could
+		// vote for a different candidate in the same term after restart.
+		n.persist(nil, func() {
+			if !n.stopped {
+				reply()
+			}
+		})
+		return
+	}
+	reply()
 }
 
 func (n *Node) handleVoteResp(msg Message) {
@@ -680,8 +840,20 @@ func (n *Node) handleApp(msg Message) {
 			n.cfg.OnLeaderChange(msg.From, msg.Term)
 		}
 	}
+	// Entries at or below our checkpoint sentinel are already applied;
+	// realign the leader's prev to the sentinel and skip them.
+	if msg.PrevLogIndex < n.offset() {
+		skip := n.offset() - msg.PrevLogIndex
+		if uint64(len(msg.Entries)) <= skip {
+			msg.Entries = nil
+		} else {
+			msg.Entries = msg.Entries[skip:]
+		}
+		msg.PrevLogIndex = n.log[0].Index
+		msg.PrevLogTerm = n.log[0].Term
+	}
 	// Log matching.
-	if msg.PrevLogIndex > n.LastIndex() || n.log[msg.PrevLogIndex].Term != msg.PrevLogTerm {
+	if msg.PrevLogIndex > n.LastIndex() || n.at(msg.PrevLogIndex).Term != msg.PrevLogTerm {
 		n.cfg.Transport.Send(msg.From, Message{
 			Kind: MsgAppResp, Term: n.term, From: n.cfg.ID, Success: false,
 			MatchIndex: min64(msg.PrevLogIndex-1, n.LastIndex()),
@@ -689,14 +861,23 @@ func (n *Node) handleApp(msg Message) {
 		return
 	}
 	// Append, truncating conflicts.
+	var appended []Entry
 	for _, e := range msg.Entries {
+		if e.Index <= n.offset() {
+			continue
+		}
 		if e.Index <= n.LastIndex() {
-			if n.log[e.Index].Term != e.Term {
-				n.log = n.log[:e.Index]
+			if n.at(e.Index).Term != e.Term {
+				n.log = n.log[:e.Index-n.offset()]
+				if n.durableIndex > n.LastIndex() {
+					n.durableIndex = n.LastIndex()
+				}
 				n.log = append(n.log, e)
+				appended = append(appended, e)
 			}
 		} else {
 			n.log = append(n.log, e)
+			appended = append(appended, e)
 		}
 	}
 	if msg.LeaderCommit > n.commitIndex {
@@ -706,10 +887,102 @@ func (n *Node) handleApp(msg Message) {
 	if n.cfg.OnHeartbeat != nil && msg.Payload != nil {
 		n.cfg.OnHeartbeat(msg.From, msg.Payload)
 	}
+	// The ack promises the leader these entries are stable here, so it is
+	// withheld until they are fsynced. Syncs are FIFO, so acking the
+	// captured tail index is safe even if later appends are still in
+	// flight. The term is captured too: if a new leader truncates our log
+	// while the fsync is pending, the stale ack must not be credited.
+	last, term, from := n.LastIndex(), n.term, msg.From
+	n.persist(appended, func() {
+		if n.stopped || n.term != term {
+			return
+		}
+		n.markDurable(last)
+		n.cfg.Transport.Send(from, Message{
+			Kind: MsgAppResp, Term: term, From: n.cfg.ID, Success: true,
+			MatchIndex: n.durableIndex,
+		})
+	})
+}
+
+// handleSnap installs a leader-shipped snapshot, replacing the applied
+// state machine and restarting the log at the snapshot index.
+func (n *Node) handleSnap(msg Message) {
+	if msg.Term < n.term {
+		n.cfg.Transport.Send(msg.From, Message{
+			Kind: MsgAppResp, Term: n.term, From: n.cfg.ID, Success: false,
+		})
+		return
+	}
+	n.lastHeard = n.cfg.Sim.Now()
+	if n.role == Candidate {
+		n.role = Follower
+	}
+	if n.leader != msg.From {
+		n.leader = msg.From
+		if n.cfg.OnLeaderChange != nil {
+			n.cfg.OnLeaderChange(msg.From, msg.Term)
+		}
+	}
+	if msg.SnapIndex <= n.commitIndex {
+		// Stale or redundant snapshot; report what we actually hold.
+		n.cfg.Transport.Send(msg.From, Message{
+			Kind: MsgAppResp, Term: n.term, From: n.cfg.ID, Success: true,
+			MatchIndex: n.durableIndex,
+		})
+		return
+	}
+	if n.cfg.ApplySnapshot != nil {
+		n.cfg.ApplySnapshot(msg.Snapshot, msg.SnapIndex, msg.SnapTerm)
+	}
+	n.log = []Entry{{Index: msg.SnapIndex, Term: msg.SnapTerm}}
+	n.commitIndex = msg.SnapIndex
+	n.applied = msg.SnapIndex
+	n.durableIndex = msg.SnapIndex
+	if n.cfg.Storage != nil {
+		// ApplySnapshot persisted the checkpoint; now the durable log is
+		// reset around it (both atomic, so the ack below is safe).
+		n.cfg.Storage.Reset(msg.SnapIndex, msg.SnapTerm, HardState{Term: n.term, Vote: n.votedFor})
+	}
 	n.cfg.Transport.Send(msg.From, Message{
 		Kind: MsgAppResp, Term: n.term, From: n.cfg.ID, Success: true,
-		MatchIndex: n.LastIndex(),
+		MatchIndex: msg.SnapIndex,
 	})
+}
+
+// Compact trims the in-memory log through upTo (clamped to the applied
+// index), leaving the sentinel at upTo, and rewrites the durable log to
+// match. The caller must already have checkpointed the applied state at or
+// beyond upTo.
+func (n *Node) Compact(upTo uint64) {
+	if upTo > n.applied {
+		upTo = n.applied
+	}
+	if upTo <= n.offset() {
+		return
+	}
+	term := n.at(upTo).Term
+	tail := append([]Entry(nil), n.log[upTo-n.offset()+1:]...)
+	n.log = append([]Entry{{Index: upTo, Term: term}}, tail...)
+	if n.cfg.Storage != nil {
+		n.cfg.Storage.Compact(upTo, term, tail, HardState{Term: n.term, Vote: n.votedFor})
+		// The rewrite persists the whole remaining tail at once.
+		n.durableIndex = n.LastIndex()
+	}
+}
+
+// Restore primes a freshly-constructed node from recovered durable state:
+// hard state, the checkpoint position (which becomes the log sentinel and
+// the applied/commit floor), and the surviving log tail. Call before Start.
+// Entries beyond the checkpoint are NOT applied here; they re-commit
+// through the normal Raft flow once a leader confirms them.
+func (n *Node) Restore(hs HardState, ckptIndex, ckptTerm uint64, tail []Entry) {
+	n.term = hs.Term
+	n.votedFor = hs.Vote
+	n.log = append([]Entry{{Index: ckptIndex, Term: ckptTerm}}, tail...)
+	n.commitIndex = ckptIndex
+	n.applied = ckptIndex
+	n.durableIndex = n.LastIndex()
 }
 
 func (n *Node) handleAppResp(msg Message) {
