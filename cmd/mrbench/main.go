@@ -6,12 +6,17 @@
 //	mrbench [-full|-quick] [-trace] [experiment ...]
 //
 // Experiments: table1 table2 fig3 fig4a fig4b fig4c fig5 fig6
-// ablation-commitwait ablation-nonvoters ablation-survivability batch all
-// (default: all).
+// ablation-commitwait ablation-nonvoters ablation-survivability batch
+// elastic all (default: all).
 //
 // batch compares the batched per-range KV dispatch against a per-key RPC
 // ablation on a multi-region INSERT + cross-range scan workload and writes
 // the comparison to BENCH_batch.json.
+//
+// elastic runs the dynamic scenarios (follow-the-sun region rotation,
+// migrating hotspot, online region add/drop) against the load-based
+// allocator and writes the latency trajectories to BENCH_elastic.json,
+// gating only on each trajectory re-converging to the pre-shift shape.
 //
 // -full runs at a scale close to the paper's (minutes per figure); the
 // default quick scale (also spellable as -quick) finishes in seconds per
@@ -71,12 +76,13 @@ func main() {
 		"ablation-survivability": func(w io.Writer) error {
 			return bench.AblationSurvivability(w, scale)
 		},
-		"batch": func(w io.Writer) error { return bench.Batch(w, scale) },
+		"batch":   func(w io.Writer) error { return bench.Batch(w, scale) },
+		"elastic": func(w io.Writer) error { return bench.Elastic(w, scale) },
 	}
 	order := []string{
 		"table1", "table2", "fig3", "fig4a", "fig4b", "fig4c", "fig5", "fig6",
 		"ablation-commitwait", "ablation-nonvoters", "ablation-survivability",
-		"batch",
+		"batch", "elastic",
 	}
 
 	var toRun []string

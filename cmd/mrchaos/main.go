@@ -30,7 +30,22 @@ func main() {
 	verify := flag.Bool("verify", false, "run twice and verify determinism")
 	metrics := flag.Bool("metrics", false, "dump the full metrics registry into the report (covered by -verify)")
 	crashes := flag.Bool("crashes", false, "restrict the nemesis to crash/restart-from-disk faults")
+	elastic := flag.Bool("elastic", false, "enable the load-based allocator and replica migrator (nemesis-free unless -faults is set)")
 	flag.Parse()
+
+	if *elastic {
+		// Elastic runs default to nemesis-free so placement invariants are
+		// checked in isolation; an explicit -faults combines both.
+		explicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "faults" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			*faults = 0
+		}
+	}
 
 	opts := chaos.Options{
 		Seed:        *seed,
@@ -40,6 +55,7 @@ func main() {
 		Movers:      *movers,
 		Metrics:     *metrics,
 		CrashesOnly: *crashes,
+		Elastic:     *elastic,
 		Verbose:     *verbose,
 	}
 	rep, err := chaos.Run(opts)

@@ -51,13 +51,25 @@ type Options struct {
 	// CrashesOnly restricts the nemesis to crash/restart pairs, exercising
 	// the restart-from-disk path on every single fault.
 	CrashesOnly bool
+	// Elastic enables the load-based allocator and the elastic workloads:
+	// a hot single-region range that must attract load splits and a lease
+	// move, plus a migrator that relocates the bank range back and forth so
+	// the placement checker observes live replica migrations. With Elastic
+	// set, Faults: 0 really means a nemesis-free run (no default kicks in).
+	Elastic bool
+	// ElasticRun is how long the elastic workloads run after the nemesis
+	// finishes (default 90s; only meaningful with Elastic).
+	ElasticRun sim.Duration
 	// Verbose prints events as they are injected.
 	Verbose bool
 }
 
 func (o Options) withDefaults() Options {
-	if o.Faults == 0 {
+	if o.Faults == 0 && !o.Elastic {
 		o.Faults = 10
+	}
+	if o.ElasticRun == 0 {
+		o.ElasticRun = 90 * sim.Second
 	}
 	if o.MeanHold == 0 {
 		o.MeanHold = 4 * sim.Second
@@ -172,6 +184,10 @@ type harness struct {
 	linReads  []linRead
 	linWrites int
 
+	// bankRange is the bank range's ID; the elastic migrator relocates it
+	// back and forth so the placement checker sees live migrations.
+	bankRange kv.RangeID
+
 	// closedLast holds the closed-timestamp monitor's per-replica high-water
 	// baselines. Crashing a node deletes its entries: the recovered replica
 	// restarts from its last checkpoint, legitimately below the pre-crash
@@ -193,6 +209,13 @@ func Run(opts Options) (*Report, error) {
 		// Crashes are honest: a crashed node loses its volatile state and
 		// restarts from its simulated disk (WAL + checkpoints).
 		Durability: true,
+		// Elastic runs add the load-based split/merge/rebalance queue, tuned
+		// hot enough that the chaos-scale traffic actually triggers it.
+		LoadBased: opts.Elastic,
+		Load: kv.LoadConfig{
+			Interval: 5 * sim.Second, HalfLife: 10 * sim.Second,
+			SplitQPS: 30, MergeQPS: 2, MergeTicks: 2,
+		},
 	})
 	h := &harness{
 		opts:       opts,
@@ -214,9 +237,11 @@ func Run(opts Options) (*Report, error) {
 		},
 		LeasePreferences: []simnet.Region{simnet.USEast1},
 	}
-	if _, err := c.CreateRangeWithZoneConfig([]byte("acct/"), []byte("acct0"), bankCfg, kv.ClosedTSLag); err != nil {
+	bankDesc, err := c.CreateRangeWithZoneConfig([]byte("acct/"), []byte("acct0"), bankCfg, kv.ClosedTSLag)
+	if err != nil {
 		return nil, err
 	}
+	h.bankRange = bankDesc.RangeID
 	// Linearizability register: same survivability, home in Europe so the
 	// two ranges fail over in different fault scenarios.
 	linCfg := zones.Config{
@@ -228,6 +253,19 @@ func Run(opts Options) (*Report, error) {
 	}
 	if _, err := c.CreateRangeWithZoneConfig([]byte("lin/"), []byte("lin0"), linCfg, kv.ClosedTSLag); err != nil {
 		return nil, err
+	}
+	if opts.Elastic {
+		// Elastic range: one voter per region, NO lease preferences, so the
+		// load queue is free to chase its traffic with the lease.
+		elasCfg := zones.Config{
+			NumReplicas: 3, NumVoters: 3,
+			VoterConstraints: map[simnet.Region]int{
+				simnet.USEast1: 1, simnet.EuropeW2: 1, simnet.AsiaNE1: 1,
+			},
+		}
+		if _, err := c.CreateRangeWithZoneConfig([]byte("elas/"), []byte("elas0"), elasCfg, kv.ClosedTSLag); err != nil {
+			return nil, err
+		}
 	}
 
 	var setupErr error
@@ -242,6 +280,10 @@ func Run(opts Options) (*Report, error) {
 	h.rep.LeaseAcquisitions = h.leaseAcquisitions()
 	h.rep.EpochBumps = c.Liveness.EpochBumps
 	h.rep.SpanHash = c.Tracer.Hash()
+	h.rep.LoadSplits = c.Admin.LoadSplits
+	h.rep.LoadMerges = c.Admin.Merges
+	h.rep.LeaseMoves = c.Admin.LeaseMoves
+	h.rep.ReplicaMoves = c.Admin.ReplicaMoves
 	if h.rep.Restarts > 0 {
 		h.rep.RestartRecovery = c.Metrics.Histogram("recovery.duration").Summary()
 	}
@@ -319,13 +361,24 @@ func (h *harness) run(p *sim.Proc) error {
 	h.spawnProber(wg)
 	h.spawnAuditor(wg)
 	stopMon := h.startClosedTSMonitor()
+	stopPlacement := h.startPlacementMonitor()
+	if opts.Elastic {
+		h.spawnElasticWriters(wg)
+		h.spawnMigrator(wg)
+	}
 
 	h.nemesis(p)
+	if opts.Elastic {
+		// Keep the elastic workloads (and the placement checker watching
+		// their migrations) running past the nemesis window.
+		p.Sleep(opts.ElasticRun)
+	}
 
 	p.Sleep(opts.Settle)
 	h.stopped = true
 	wg.Wait(p)
 	stopMon()
+	stopPlacement()
 
 	// Final audit from a fresh coordinator; everything is healed, so this
 	// must succeed (with a little patience for stragglers).
@@ -700,6 +753,109 @@ func (h *harness) startClosedTSMonitor() (stop func()) {
 					h.rep.ClosedTSRegressions++
 				}
 				last[key] = ts
+			}
+		}
+	})
+}
+
+// startPlacementMonitor samples every range with a registered zone config
+// and validates its placement with the mid-migration relaxation: replica
+// counts and region constraints must hold at every instant, including while
+// a relocation is adding and removing replicas.
+func (h *harness) startPlacementMonitor() (stop func()) {
+	checker := &zones.Allocator{Topo: h.c.Topo}
+	return h.c.Sim.Ticker(1*sim.Second, func() {
+		for _, d := range h.c.Catalog.All() {
+			cfg, ok := h.c.Catalog.ZoneConfig(d.RangeID)
+			if !ok {
+				continue
+			}
+			pl := zones.Placement{
+				Voters:      d.Voters,
+				NonVoters:   d.NonVoters,
+				Leaseholder: d.Leaseholder,
+			}
+			h.rep.PlacementChecks++
+			if err := checker.CheckPlacementDuring(cfg, pl); err != nil {
+				h.rep.PlacementViolations++
+				if h.rep.PlacementFirstBad == "" {
+					h.rep.PlacementFirstBad = fmt.Sprintf("t=%v r%d: %v", h.c.Sim.Now(), d.RangeID, err)
+				}
+			}
+		}
+	})
+}
+
+// spawnElasticWriters drives hot single-region traffic at the elastic
+// range: every operation comes from Europe, so the load queue must split
+// the range under load and move its lease toward the traffic.
+func (h *harness) spawnElasticWriters(wg *sim.WaitGroup) {
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		h.c.Sim.Spawn(fmt.Sprintf("chaos/elastic%d", w), func(p *sim.Proc) {
+			defer wg.Done()
+			gw := h.c.GatewayFor(simnet.EuropeW2)
+			co := h.coordAt(gw)
+			rng := p.Rand()
+			for !h.stopped {
+				key := mvcc.Key(fmt.Sprintf("elas/%03d", rng.Intn(60)))
+				err := co.Run(p, func(tx *txn.Txn) error {
+					return tx.Put(p, key, mvcc.Value(fmt.Sprintf("%d", rng.Intn(1000))))
+				})
+				if err != nil {
+					p.Sleep(200 * sim.Millisecond)
+				} else {
+					p.Sleep(20 * sim.Millisecond)
+				}
+			}
+		})
+	}
+}
+
+// spawnMigrator relocates the bank range back and forth between two
+// placements that both satisfy its zone config (swapping which Europe nodes
+// hold its two Europe voters), so replicas migrate while the movers keep
+// transferring money and the placement monitor watches every intermediate
+// state.
+func (h *harness) spawnMigrator(wg *sim.WaitGroup) {
+	wg.Add(1)
+	h.c.Sim.Spawn("chaos/migrator", func(p *sim.Proc) {
+		defer wg.Done()
+		us := h.c.Topo.NodesInRegion(simnet.USEast1)
+		eu := h.c.Topo.NodesInRegion(simnet.EuropeW2)
+		asia := h.c.Topo.NodesInRegion(simnet.AsiaNE1)
+		if len(us) < 2 || len(eu) < 3 || len(asia) < 1 {
+			return
+		}
+		placements := []zones.Placement{
+			{Voters: []simnet.NodeID{us[0], us[1], eu[0], eu[1], asia[0]}, Leaseholder: us[0]},
+			{Voters: []simnet.NodeID{us[0], us[1], eu[1], eu[2], asia[0]}, Leaseholder: us[0]},
+		}
+		for i := 0; !h.stopped; i++ {
+			p.Sleep(8 * sim.Second)
+			if h.stopped {
+				return
+			}
+			pl := placements[(i+1)%2]
+			// Skip while any involved node is down; relocation under faults
+			// is not what this workload measures.
+			down := false
+			for _, id := range pl.Replicas() {
+				if h.c.Net.NodeDown(id) || !h.c.Liveness.Live(id, p.Now()) {
+					down = true
+					break
+				}
+			}
+			if down {
+				continue
+			}
+			desc, ok := h.c.Catalog.LookupByID(h.bankRange)
+			if !ok {
+				return
+			}
+			if err := h.c.Admin.Relocate(p, h.bankRange, pl, desc.Policy); err == nil {
+				h.rep.Relocations++
 			}
 		}
 	})

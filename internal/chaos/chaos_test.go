@@ -61,6 +61,63 @@ func TestChaosSmoke(t *testing.T) {
 	}
 }
 
+// TestElasticPlacementInvariants is the rebalancer-invariants check: a
+// nemesis-free run where the load queue chases hot single-region traffic
+// (splits + a lease move) while a migrator relocates the bank range's
+// replicas back and forth under live transfer traffic. The placement
+// monitor samples every configured range each virtual second and must never
+// observe a placement below its zone config's constraints — replica counts
+// and region survivability hold at every instant of every migration.
+func TestElasticPlacementInvariants(t *testing.T) {
+	rep, err := Run(Options{Seed: 23, Elastic: true, Faults: 0})
+	if err != nil {
+		t.Fatalf("elastic chaos run failed: %v", err)
+	}
+	t.Logf("\n%s", rep)
+	if len(rep.Events) != 0 {
+		t.Fatalf("nemesis-free run injected %d events", len(rep.Events))
+	}
+	if rep.PlacementChecks == 0 {
+		t.Fatal("placement monitor never sampled")
+	}
+	if rep.PlacementViolations != 0 {
+		t.Fatalf("placement violated %d times (first: %s)",
+			rep.PlacementViolations, rep.PlacementFirstBad)
+	}
+	if rep.Relocations < 2 {
+		t.Fatalf("only %d migrations completed, want >= 2", rep.Relocations)
+	}
+	if rep.LoadSplits == 0 {
+		t.Fatal("hot elastic traffic produced no load-based splits")
+	}
+	if rep.LeaseMoves == 0 {
+		t.Fatal("single-region traffic never attracted the lease")
+	}
+	if !rep.OK() {
+		t.Fatalf("invariants violated:\n%s", rep)
+	}
+}
+
+// TestElasticDeterminism replays the elastic run and requires bit-identical
+// reports: the load queue's decisions and the migrator's schedule are all
+// driven by the virtual clock and the seeded RNG.
+func TestElasticDeterminism(t *testing.T) {
+	run := func() *Report {
+		rep, err := Run(Options{Seed: 29, Elastic: true, Faults: 0, ElasticRun: 60 * sim.Second})
+		if err != nil {
+			t.Fatalf("elastic chaos run failed: %v", err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.String() != b.String() {
+		t.Fatalf("elastic reports differ for same seed:\n--- run 1:\n%s--- run 2:\n%s", a, b)
+	}
+	if !a.OK() {
+		t.Fatalf("invariants violated:\n%s", a)
+	}
+}
+
 // TestSeedsDiffer sanity-checks that different seeds actually produce
 // different schedules (the RNG is being consulted, not a fixed script).
 func TestSeedsDiffer(t *testing.T) {

@@ -35,6 +35,21 @@ type Report struct {
 	ClosedTSSamples     int64
 	ClosedTSRegressions int64
 
+	// Placement invariants: every sampled range with a zone config must
+	// satisfy its constraints (with the mid-migration relaxation: counts may
+	// exceed but never drop below the configured minimums).
+	PlacementChecks     int64
+	PlacementViolations int64
+	PlacementFirstBad   string
+
+	// Elastic activity (Options.Elastic): load-queue decisions plus the
+	// migrator's completed bank-range relocations.
+	LoadSplits   int64
+	LoadMerges   int64
+	LeaseMoves   int64
+	ReplicaMoves int64
+	Relocations  int
+
 	// Availability probes and measured recovery intervals (virtual time).
 	ProbesOK     int64
 	ProbesFailed int64
@@ -91,7 +106,8 @@ func (r *Report) MaxRTO() sim.Duration {
 // OK reports whether every invariant held.
 func (r *Report) OK() bool {
 	return r.FinalAuditOK && r.BankAuditBad == 0 && r.LinViolations == 0 &&
-		r.ClosedTSRegressions == 0 && r.RecoveryFailures == 0
+		r.ClosedTSRegressions == 0 && r.RecoveryFailures == 0 &&
+		r.PlacementViolations == 0
 }
 
 // String renders a human-readable summary.
@@ -106,6 +122,17 @@ func (r *Report) String() string {
 		r.LinWrites, r.LinReads, r.LinViolations)
 	fmt.Fprintf(&b, "  closed-ts: samples=%d regressions=%d\n",
 		r.ClosedTSSamples, r.ClosedTSRegressions)
+	if r.PlacementChecks > 0 {
+		fmt.Fprintf(&b, "  placement: checks=%d violations=%d\n",
+			r.PlacementChecks, r.PlacementViolations)
+		if r.PlacementFirstBad != "" {
+			fmt.Fprintf(&b, "    first: %s\n", r.PlacementFirstBad)
+		}
+	}
+	if r.LoadSplits+r.LoadMerges+r.LeaseMoves+r.ReplicaMoves+int64(r.Relocations) > 0 {
+		fmt.Fprintf(&b, "  elastic: load-splits=%d merges=%d lease-moves=%d replica-moves=%d relocations=%d\n",
+			r.LoadSplits, r.LoadMerges, r.LeaseMoves, r.ReplicaMoves, r.Relocations)
+	}
 	fmt.Fprintf(&b, "  probes: ok=%d failed=%d outages=%d max-rto=%v\n",
 		r.ProbesOK, r.ProbesFailed, len(r.Recoveries), r.MaxRTO())
 	for _, line := range r.RTOByFault {

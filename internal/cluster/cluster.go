@@ -50,6 +50,16 @@ type Config struct {
 	// AutoSplitKeys, when non-zero, starts the split queue: ranges whose
 	// leaseholder holds more live keys are divided.
 	AutoSplitKeys int
+	// SplitQueueInterval overrides the size-based split queue's cadence
+	// (default 5s).
+	SplitQueueInterval sim.Duration
+	// LoadBased enables the load-based allocator: per-range QPS tracking
+	// fed by every DistSender, plus the split/merge/rebalance queue that
+	// splits hot ranges at a load-weighted key, merges cold neighbors, and
+	// moves leases and replicas toward traffic.
+	LoadBased bool
+	// Load tunes the load-based queue (zero fields take defaults).
+	Load kv.LoadConfig
 	// Tracing enables span recording from the start. Tracing is purely
 	// passive over virtual time — it never changes the simulation schedule
 	// or any latency — so it can also be switched on later with
@@ -159,6 +169,10 @@ func New(cfg Config) *Cluster {
 	c.Net.Metrics = c.Metrics
 	c.Registry = kv.NewTxnRegistry(s, topo)
 	c.Liveness = kv.NewNodeLiveness(s)
+	var loadTracker *kv.RangeLoadTracker
+	if cfg.LoadBased {
+		loadTracker = kv.NewRangeLoadTracker(s, cfg.Load.HalfLife)
+	}
 
 	id := simnet.NodeID(1)
 	for _, rs := range cfg.Regions {
@@ -192,6 +206,7 @@ func New(cfg Config) *Cluster {
 				c.Senders[id] = &kv.DistSender{
 					NodeID: id, Net: c.Net, Topo: topo, Catalog: c.Catalog,
 					Liveness: c.Liveness, Tracer: c.Tracer, Metrics: c.Metrics,
+					Load: loadTracker,
 				}
 				id++
 			}
@@ -199,7 +214,7 @@ func New(cfg Config) *Cluster {
 	}
 	c.Admin = &kv.Admin{
 		Sim: s, Topo: topo, Catalog: c.Catalog, Stores: c.Stores,
-		MaxOffset: cfg.MaxOffset,
+		MaxOffset: cfg.MaxOffset, Load: loadTracker,
 	}
 	if cfg.GCTTL > 0 {
 		for _, id := range topo.Nodes() {
@@ -207,7 +222,10 @@ func New(cfg Config) *Cluster {
 		}
 	}
 	if cfg.AutoSplitKeys > 0 {
-		c.Admin.StartSplitQueue(cfg.AutoSplitKeys, 5*sim.Second)
+		c.Admin.StartSplitQueue(cfg.AutoSplitKeys, cfg.SplitQueueInterval)
+	}
+	if cfg.LoadBased {
+		c.Admin.StartLoadQueue(cfg.Load)
 	}
 	return c
 }
@@ -275,12 +293,18 @@ func (c *Cluster) ApplyErrors() int {
 	return n
 }
 
-// CreateRangeWithZoneConfig allocates a placement for zcfg and creates a
-// range covering [start, end) with it.
+// CreateRangeWithZoneConfig allocates a placement for zcfg, creates a
+// range covering [start, end) with it, and registers the config in the
+// catalog so the load queue and placement checkers can honor it.
 func (c *Cluster) CreateRangeWithZoneConfig(start, end []byte, zcfg zones.Config, policy kv.ClosedTSPolicy) (*kv.RangeDescriptor, error) {
 	placement, err := c.Allocator().Allocate(zcfg)
 	if err != nil {
 		return nil, err
 	}
-	return c.Admin.CreateRange(start, end, placement, policy)
+	desc, err := c.Admin.CreateRange(start, end, placement, policy)
+	if err != nil {
+		return nil, err
+	}
+	c.Catalog.SetZoneConfig(desc.RangeID, zcfg)
+	return desc, nil
 }

@@ -23,8 +23,23 @@ type Admin struct {
 	Stores    map[simnet.NodeID]*Store
 	MaxOffset sim.Duration
 
-	// Splits counts ranges divided by the split queue.
+	// Load, when set, is the per-range traffic tracker the load-based
+	// queue consults (the DistSenders feed it).
+	Load *RangeLoadTracker
+
+	// Splits counts ranges divided by the size-based split queue.
 	Splits int64
+	// Aggregate load-queue decision counters.
+	LoadSplits   int64
+	Merges       int64
+	LeaseMoves   int64
+	ReplicaMoves int64
+
+	// splitMaxKeys remembers the size-based split threshold so the merge
+	// path refuses merges that would immediately re-split on size.
+	splitMaxKeys int
+	// decisions holds per-range load-queue decision counts.
+	decisions map[RangeID]*RangeDecisions
 }
 
 // CreateRange instantiates a range over [start, end) with the given
@@ -167,6 +182,10 @@ func (a *Admin) TransferLease(p *sim.Proc, rangeID RangeID, target simnet.NodeID
 // removing replicas and finally transferring the lease if needed. This is
 // the mechanism behind locality changes (paper §2.4.2).
 func (a *Admin) Relocate(p *sim.Proc, rangeID RangeID, placement zones.Placement, policy ClosedTSPolicy) error {
+	return a.relocate(p, rangeID, placement, policy, nil)
+}
+
+func (a *Admin) relocate(p *sim.Proc, rangeID RangeID, placement zones.Placement, policy ClosedTSPolicy, cfg *zones.Config) error {
 	r, err := a.leaseholderReplica(rangeID)
 	if err != nil {
 		return err
@@ -241,6 +260,12 @@ func (a *Admin) Relocate(p *sim.Proc, rangeID RangeID, placement zones.Placement
 		return err
 	}
 	a.Catalog.Update(newDesc)
+	if cfg != nil {
+		// The new zone config becomes authoritative in the same scheduler
+		// step as the descriptor that satisfies it, so placement checkers
+		// never pair a new config with the old placement or vice versa.
+		a.Catalog.SetZoneConfig(rangeID, *cfg)
+	}
 
 	// 4. Move the lease (and Raft leadership) if the leaseholder is
 	// changing — this must precede demoting the old leader.
@@ -344,6 +369,10 @@ func (a *Admin) SplitRange(p *sim.Proc, rangeID RangeID, splitKey mvcc.Key) (*Ra
 	if err := a.Catalog.Insert(newDesc); err != nil {
 		return nil, err
 	}
+	// The right half inherits the left's zone config.
+	if cfg, ok := a.Catalog.ZoneConfig(rangeID); ok {
+		a.Catalog.SetZoneConfig(newDesc.RangeID, cfg)
+	}
 	// The right half's replicas appear as the split applies on each
 	// store, so the leaseholder's initial campaign can race replica
 	// creation and lose to a timeout election elsewhere. Align Raft
@@ -387,6 +416,7 @@ func (a *Admin) StartSplitQueue(maxKeys int, interval sim.Duration) (stop func()
 	if interval <= 0 {
 		interval = 5 * sim.Second
 	}
+	a.splitMaxKeys = maxKeys
 	running := false
 	return a.Sim.Ticker(interval, func() {
 		if running {

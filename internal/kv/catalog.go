@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"mrdb/internal/mvcc"
+	"mrdb/internal/zones"
 )
 
 // RangeCatalog is the authoritative map from keyspace to range
@@ -18,10 +19,31 @@ type RangeCatalog struct {
 	// descs is sorted by StartKey; ranges must not overlap.
 	descs  []*RangeDescriptor
 	nextID RangeID
+	// configs holds the zone config each range was placed under, keyed by
+	// range ID. Configs live here rather than on the descriptor because
+	// descriptors are gob-encoded into WALs and checkpoints, and
+	// zones.Config contains maps whose gob encoding is not byte-stable.
+	configs map[RangeID]zones.Config
 }
 
 // NewRangeCatalog returns an empty catalog.
-func NewRangeCatalog() *RangeCatalog { return &RangeCatalog{} }
+func NewRangeCatalog() *RangeCatalog {
+	return &RangeCatalog{configs: map[RangeID]zones.Config{}}
+}
+
+// SetZoneConfig records the zone config a range is placed under. The load
+// queue and the placement invariant checker consult it; ranges without a
+// registered config are exempt from constraint checking (and from
+// constraint-aware rebalancing).
+func (c *RangeCatalog) SetZoneConfig(id RangeID, cfg zones.Config) {
+	c.configs[id] = cfg.Clone()
+}
+
+// ZoneConfig returns the registered zone config for a range, if any.
+func (c *RangeCatalog) ZoneConfig(id RangeID) (zones.Config, bool) {
+	cfg, ok := c.configs[id]
+	return cfg, ok
+}
 
 // NextRangeID allocates a fresh range ID.
 func (c *RangeCatalog) NextRangeID() RangeID {
@@ -53,8 +75,9 @@ func (c *RangeCatalog) Insert(d *RangeDescriptor) error {
 	return nil
 }
 
-// Remove deletes the descriptor for a range ID.
+// Remove deletes the descriptor (and any zone config) for a range ID.
 func (c *RangeCatalog) Remove(id RangeID) {
+	delete(c.configs, id)
 	for i, d := range c.descs {
 		if d.RangeID == id {
 			c.descs = append(c.descs[:i], c.descs[i+1:]...)

@@ -43,6 +43,11 @@ type DistSender struct {
 	// Optional; nil-safe.
 	Metrics *obs.Registry
 
+	// Load, when set, is the shared per-range traffic tracker feeding the
+	// load-based split/merge/rebalance queue. Each routed sub-batch is
+	// charged once, attributed to this gateway's region. Optional; nil-safe.
+	Load *RangeLoadTracker
+
 	// PerKeyDispatch is an ablation knob: dispatch one request per RPC,
 	// sequentially, and walk multi-range scans one range at a time via
 	// resume keys instead of fanning out. It models the pre-batching
@@ -358,6 +363,12 @@ func (ds *DistSender) sendToRange(p *sim.Proc, reqs []interface{}, depth int) []
 			sp.SetTag("resplit", "true")
 			resps, _ := ds.sendBatchInner(p, reqs, depth+1)
 			return resps
+		}
+		if attempt == 0 && ds.Load != nil {
+			// Charge the sub-batch to the range once (not per retry),
+			// attributed to this gateway's region.
+			loc, _ := ds.Topo.LocalityOf(ds.NodeID)
+			ds.Load.Record(desc.RangeID, key, loc.Region, len(reqs))
 		}
 		target := desc.Leaseholder
 		if leaseholderHint != 0 {

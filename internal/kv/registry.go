@@ -94,6 +94,14 @@ func (r *TxnRegistry) TryCommit(id mvcc.TxnID, commitTS hlc.Timestamp) error {
 	case mvcc.Aborted:
 		return &TxnAbortedError{TxnID: id}
 	case mvcc.Committed:
+		if rec.commitTS == commitTS {
+			// Idempotent retry: the commit claim succeeded but the claiming
+			// request's replication failed retryably (lease or leadership
+			// moved, range subsumed for a merge), so the coordinator re-sent
+			// it. Only this transaction's coordinator commits it, so an
+			// equal-timestamp re-claim is the same commit.
+			return nil
+		}
 		return fmt.Errorf("kv: txn %d committed twice", id)
 	}
 	rec.status = mvcc.Committed
@@ -116,6 +124,10 @@ func (r *TxnRegistry) TryStage(id mvcc.TxnID, commitTS hlc.Timestamp) error {
 	case mvcc.Aborted:
 		return &TxnAbortedError{TxnID: id}
 	case mvcc.Committed:
+		if rec.commitTS == commitTS {
+			// Idempotent retry of a staged commit already finalized.
+			return nil
+		}
 		return fmt.Errorf("kv: txn %d committed twice", id)
 	}
 	rec.staging = true

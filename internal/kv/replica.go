@@ -47,6 +47,12 @@ type Replica struct {
 	// this stays zero.
 	applyErrors int
 
+	// subsumed marks the right-hand range of an in-progress merge: once
+	// CmdSubsume applies, the replica rejects all evaluation and proposals
+	// with RangeKeyMismatchError so senders re-route through the catalog to
+	// the widened left-hand range.
+	subsumed bool
+
 	// maxOffset sizes lease-start timestamps on failover acquisition.
 	maxOffset sim.Duration
 	// leaseEpoch is the liveness epoch the current lease (if held here) is
@@ -123,6 +129,9 @@ func (r *Replica) checkLease() error {
 // evaluate dispatches a request, blocking p as needed; it returns the
 // response or a protocol error.
 func (r *Replica) evaluate(p *sim.Proc, req interface{}) Response {
+	if r.subsumed {
+		return Response{Err: &RangeKeyMismatchError{RequestedKey: r.desc.StartKey}}
+	}
 	switch q := req.(type) {
 	case *GetRequest:
 		return r.evalGet(p, q)
@@ -552,6 +561,11 @@ func (r *Replica) checkPut(key mvcc.Key, ts hlc.Timestamp, txn *mvcc.TxnMeta) (h
 
 // propose pushes cmd through Raft and parks p until it applies locally.
 func (r *Replica) propose(p *sim.Proc, cmd Command) error {
+	if r.subsumed {
+		// The range was frozen for a merge while this request was in
+		// flight; nothing may land after the subsume entry.
+		return &RangeKeyMismatchError{RequestedKey: cmd.Key}
+	}
 	sp := r.store.Obs.StartChild("raft.replicate", obs.ProcSpan(p))
 	sp.SetTagInt("range", int64(r.desc.RangeID))
 	f, err := r.raft.Propose(cmd)
@@ -841,6 +855,10 @@ func (r *Replica) apply(e raft.Entry) {
 		r.applyLeaseTransfer(cmd)
 	case CmdSplit:
 		r.applySplit(cmd)
+	case CmdSubsume:
+		r.subsumed = true
+	case CmdMerge:
+		r.applyMerge(cmd, e)
 	}
 }
 
@@ -872,6 +890,36 @@ func (r *Replica) applySplit(cmd Command) {
 		}
 	}
 	r.setDesc(cmd.Desc.Clone())
+}
+
+// applyMerge executes a range merge on this replica: the local subsumed
+// right-hand replica's data is copied into this engine and the descriptor
+// widens. Because the merge rides the left range's Raft log, every replica
+// performs it at the same log position; the prior Subsume plus quiesce
+// guarantee the right-hand data is complete and immutable by now.
+func (r *Replica) applyMerge(cmd Command, e raft.Entry) {
+	rhs := cmd.SplitDesc
+	if other, ok := r.store.Replica(rhs.RangeID); ok {
+		other.engine.CopyTo(r.engine, rhs.StartKey, rhs.EndKey)
+	}
+	// The merged leaseholder assumes everything in the absorbed span was
+	// read up to the merge timestamp, and its closed timestamp must not
+	// regress below the right-hand side's promises.
+	r.tscache.SetLowWater(cmd.Ts)
+	r.advanceClosed(cmd.SubsumeClosedTS)
+	if r.closed.issued.Less(cmd.SubsumeClosedTS) {
+		r.closed.issued = cmd.SubsumeClosedTS
+	}
+	r.setDesc(cmd.Desc.Clone())
+	if r.store.Disk != nil {
+		// Persist the widened range with the absorbed data before the
+		// right-hand replica's WAL and checkpoint are deleted below; a
+		// crash in between leaves at worst an inert extra range on disk.
+		r.store.writeCheckpointAt(r, e.Index, e.Term)
+	}
+	if _, ok := r.store.Replica(rhs.RangeID); ok {
+		r.store.RemoveReplica(rhs.RangeID)
+	}
 }
 
 func (r *Replica) setDesc(desc *RangeDescriptor) {

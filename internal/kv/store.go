@@ -280,10 +280,14 @@ func (s *Store) buildReplica(desc *RangeDescriptor, maxOffset sim.Duration) *Rep
 		// side-transport cadence the lead target accounts for.
 		rcfg.HeartbeatInterval = SideTransportInterval
 	}
+	// Snapshot hooks are wired unconditionally: besides catching lagging
+	// replicas up past a compacted log, they initialize replicas added by
+	// relocation, whose engines must receive state (bulk loads, merged-in
+	// data) the raft log never carried.
+	rcfg.Snapshot = r.snapshotData
+	rcfg.ApplySnapshot = r.applySnapshotData
 	if s.Disk != nil {
 		rcfg.Storage = &replicaStorage{wal: s.Disk.WAL(walName(desc.RangeID))}
-		rcfg.Snapshot = r.snapshotData
-		rcfg.ApplySnapshot = r.applySnapshotData
 	}
 	r.raft = raft.NewNode(rcfg)
 	return r

@@ -424,6 +424,12 @@ type Command struct {
 	// during crash recovery) rebinds the lease to the epoch it was granted
 	// under, never to whatever epoch the applier currently observes.
 	LeaseEpoch int64
+
+	// SubsumeClosedTS, on CmdMerge, is the right-hand range's closed
+	// timestamp at subsumption; the merged range's closed timestamp must
+	// not regress below it or follower reads over the absorbed span could
+	// miss the RHS's latest writes.
+	SubsumeClosedTS hlc.Timestamp
 }
 
 // CommandKind discriminates Command.
@@ -439,6 +445,13 @@ const (
 	// CmdSplit divides a range: the left half shrinks to Desc, the right
 	// half becomes the new range SplitDesc with copied data.
 	CmdSplit
+	// CmdSubsume freezes the right-hand range of a merge: once applied, a
+	// replica rejects all evaluation with RangeKeyMismatchError so senders
+	// re-route to the (widened) left-hand range.
+	CmdSubsume
+	// CmdMerge widens the left-hand range to Desc, absorbing the data of
+	// the subsumed right-hand range SplitDesc.
+	CmdMerge
 )
 
 // PlacementFromZoneConfig is re-exported glue so higher layers can go from

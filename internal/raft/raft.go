@@ -625,6 +625,13 @@ const maxBatch = 256
 func (n *Node) sendAppend(to simnet.NodeID) {
 	next := n.nextIndex[to]
 	if next == 0 {
+		// A replica added by conf change after this range accumulated state:
+		// initialize it with a snapshot (see applyConfChange). Replaying the
+		// log from index 1 would miss state the log never carried.
+		if n.cfg.Snapshot != nil {
+			n.sendSnapshot(to)
+			return
+		}
 		next = 1
 		n.nextIndex[to] = 1
 	}
@@ -748,7 +755,16 @@ func (n *Node) applyConfChange(cc ConfChange) {
 	}
 	if n.role == Leader {
 		if _, ok := n.nextIndex[cc.Node]; !ok {
-			n.nextIndex[cc.Node] = 1
+			if n.cfg.Snapshot != nil {
+				// A brand-new replica initializes from a snapshot of the
+				// applied state, never by replaying the log from scratch:
+				// the log cannot reproduce state that predates it (bulk
+				// loads, data absorbed by merges). 0 is the sentinel
+				// sendAppend turns into an initial snapshot.
+				n.nextIndex[cc.Node] = 0
+			} else {
+				n.nextIndex[cc.Node] = 1
+			}
 			n.matchIndex[cc.Node] = 0
 		}
 		n.maybeCommit()

@@ -209,7 +209,7 @@ func (s *Session) reconfigureAllTables(p *sim.Proc, db *core.Database) error {
 				if err != nil {
 					return err
 				}
-				if err := s.Cluster.Admin.Relocate(p, desc.RangeID, placement, tp.Policy); err != nil {
+				if err := s.Cluster.Admin.RelocateWithConfig(p, desc.RangeID, placement, tp.Policy, &cfg); err != nil {
 					return err
 				}
 			}

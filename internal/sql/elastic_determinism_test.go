@@ -1,0 +1,192 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mrdb/internal/cluster"
+	"mrdb/internal/kv"
+	"mrdb/internal/mvcc"
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+	"mrdb/internal/txn"
+	"mrdb/internal/zones"
+)
+
+// elasticLoopResult is everything one elastic-loop run produces that must be
+// bit-identical across same-seed runs.
+type elasticLoopResult struct {
+	ranges     string // canonical mrdb_internal.ranges rendering
+	spanHash   uint64 // full-run span-tree hash
+	loadSplits int64
+	merges     int64
+	leaseMoves int64
+}
+
+// runElasticLoop drives the full elastic cycle on one cluster: hot SQL
+// traffic that load-splits a table partition, a region added and dropped
+// mid-run, single-region KV traffic that attracts a lease move, and a cold
+// tail in which the split remnants merge back.
+func runElasticLoop(t *testing.T, seed int64) elasticLoopResult {
+	t.Helper()
+	c := cluster.New(cluster.Config{
+		Seed:      seed,
+		Regions:   cluster.ThreeRegions(),
+		MaxOffset: 250 * sim.Millisecond,
+		Jitter:    0.02,
+		Tracing:   true,
+		LoadBased: true,
+		Load: kv.LoadConfig{
+			Interval: 5 * sim.Second, HalfLife: 5 * sim.Second,
+			SplitQPS: 20, MergeQPS: 2, MergeTicks: 2,
+		},
+	})
+	catalog := NewCatalog()
+	us := NewSession(c, catalog, c.GatewayFor(simnet.USEast1))
+	var out elasticLoopResult
+	c.Sim.Spawn("test", func(p *sim.Proc) {
+		defer c.Sim.Stop()
+		p.Sleep(100 * sim.Millisecond)
+		for _, stmt := range []string{
+			`CREATE DATABASE movr PRIMARY REGION "us-east1" REGIONS "europe-west2"`,
+			`CREATE TABLE users (id INT PRIMARY KEY, name STRING) LOCALITY REGIONAL BY ROW`,
+			`CREATE TABLE promo_codes (code STRING PRIMARY KEY, description STRING) LOCALITY GLOBAL`,
+		} {
+			if _, err := us.Exec(p, stmt); err != nil {
+				t.Errorf("%s: %v", stmt, err)
+				return
+			}
+		}
+		us.Database = "movr"
+		const userCount = 40
+		var values []string
+		for i := 0; i < userCount; i++ {
+			values = append(values, fmt.Sprintf("(%d, 'u%d')", i, i))
+		}
+		if _, err := us.Exec(p, `INSERT INTO users (id, name) VALUES `+strings.Join(values, ", ")); err != nil {
+			t.Errorf("seed users: %v", err)
+			return
+		}
+		if _, err := us.Exec(p, `INSERT INTO promo_codes (code, description) VALUES ('GO', 'x')`); err != nil {
+			t.Errorf("seed promo: %v", err)
+			return
+		}
+		// A raw KV range with no lease preferences: the only range the lease
+		// mover is allowed to chase (SQL tables pin their leases home).
+		rbCfg := zones.Config{
+			NumReplicas: 3, NumVoters: 3,
+			VoterConstraints: map[simnet.Region]int{
+				simnet.USEast1: 1, simnet.EuropeW2: 1, simnet.AsiaNE1: 1,
+			},
+		}
+		if _, err := c.CreateRangeWithZoneConfig([]byte("rb/"), []byte("rb0"), rbCfg, kv.ClosedTSLag); err != nil {
+			t.Errorf("rb range: %v", err)
+			return
+		}
+		p.Sleep(500 * sim.Millisecond)
+
+		// Phase 1 — hot: point reads hammer the us-east users partition
+		// until the load queue splits it.
+		deadline := p.Now().Add(30 * sim.Second)
+		for i := 0; p.Now() < deadline; i++ {
+			q := fmt.Sprintf(`SELECT name FROM users WHERE id = %d AND crdb_region = 'us-east1'`, i%userCount)
+			if _, err := us.Exec(p, q); err != nil {
+				t.Errorf("hot read: %v", err)
+				return
+			}
+			p.Sleep(10 * sim.Millisecond)
+		}
+
+		// Phase 2 — topology change under way: add a region, keep reading,
+		// then drop it again.
+		if _, err := us.Exec(p, `ALTER DATABASE movr ADD REGION "asia-northeast1"`); err != nil {
+			t.Errorf("add region: %v", err)
+			return
+		}
+		deadline = p.Now().Add(10 * sim.Second)
+		for i := 0; p.Now() < deadline; i++ {
+			q := fmt.Sprintf(`SELECT name FROM users WHERE id = %d AND crdb_region = 'us-east1'`, i%userCount)
+			if _, err := us.Exec(p, q); err != nil {
+				t.Errorf("read during region add: %v", err)
+				return
+			}
+			p.Sleep(50 * sim.Millisecond)
+		}
+		if _, err := us.Exec(p, `ALTER DATABASE movr DROP REGION "asia-northeast1"`); err != nil {
+			t.Errorf("drop region: %v", err)
+			return
+		}
+
+		// Phase 3 — rebalance: single-region KV traffic from Europe must
+		// attract the rb range's lease.
+		euGW := c.GatewayFor(simnet.EuropeW2)
+		co := txn.NewCoordinator(c.Stores[euGW], c.Senders[euGW])
+		deadline = p.Now().Add(20 * sim.Second)
+		for i := 0; p.Now() < deadline; i++ {
+			key := mvcc.Key(fmt.Sprintf("rb/%03d", i%30))
+			if err := co.Run(p, func(tx *txn.Txn) error {
+				return tx.Put(p, key, mvcc.Value(fmt.Sprintf("v%d", i)))
+			}); err != nil {
+				t.Errorf("rb write: %v", err)
+				return
+			}
+			p.Sleep(20 * sim.Millisecond)
+		}
+
+		// Phase 4 — cold: traffic stops, rates decay, remnants merge back.
+		p.Sleep(60 * sim.Second)
+
+		res, err := us.Exec(p, `SELECT * FROM mrdb_internal.ranges`)
+		if err != nil {
+			t.Errorf("ranges: %v", err)
+			return
+		}
+		out.ranges = renderResult(res)
+	})
+	c.Sim.RunFor(20 * 60 * sim.Second)
+	if n := c.ApplyErrors(); n != 0 {
+		t.Fatalf("%d apply errors", n)
+	}
+	out.spanHash = c.Tracer.Hash()
+	out.loadSplits = c.Admin.LoadSplits
+	out.merges = c.Admin.Merges
+	out.leaseMoves = c.Admin.LeaseMoves
+	return out
+}
+
+// TestElasticLoopMetamorphicDeterminism runs the full elastic loop — load
+// split, merge, lease rebalance, online region add/drop — twice under the
+// same seed and requires byte-identical results: the span-tree hash over
+// every recorded trace and the canonical mrdb_internal.ranges rendering.
+// This is the property that keeps every dynamic scenario replayable.
+func TestElasticLoopMetamorphicDeterminism(t *testing.T) {
+	a := runElasticLoop(t, 907)
+	b := runElasticLoop(t, 907)
+	// The loop genuinely exercised every elastic mechanism.
+	if a.loadSplits == 0 {
+		t.Error("hot phase produced no load-based splits")
+	}
+	if a.merges == 0 {
+		t.Error("cold phase produced no merges")
+	}
+	if a.leaseMoves == 0 {
+		t.Error("single-region traffic attracted no lease move")
+	}
+	// Metamorphic property: identical seeds, identical worlds.
+	if a.spanHash != b.spanHash {
+		t.Errorf("span hash differs across same-seed runs: %016x vs %016x", a.spanHash, b.spanHash)
+	}
+	if a.ranges != b.ranges {
+		t.Errorf("mrdb_internal.ranges differs across same-seed runs:\n--- run 1:\n%s--- run 2:\n%s",
+			a.ranges, b.ranges)
+	}
+	if a.loadSplits != b.loadSplits || a.merges != b.merges || a.leaseMoves != b.leaseMoves {
+		t.Errorf("decision counts differ: run1 splits=%d merges=%d leases=%d, run2 splits=%d merges=%d leases=%d",
+			a.loadSplits, a.merges, a.leaseMoves, b.loadSplits, b.merges, b.leaseMoves)
+	}
+	// The rendered table reflects the load queue's decisions.
+	if !strings.Contains(a.ranges, "splits=") {
+		t.Errorf("ranges output missing decisions column:\n%s", a.ranges)
+	}
+}

@@ -707,8 +707,12 @@ func (s *Session) createRangeForSpan(t *Table, idx IndexID, region simnet.Region
 		return err
 	}
 	start, end := IndexSpan(t, idx, region)
-	_, err = s.Cluster.Admin.CreateRange(start, end, placement, policy)
-	return err
+	desc, err := s.Cluster.Admin.CreateRange(start, end, placement, policy)
+	if err != nil {
+		return err
+	}
+	s.Cluster.Catalog.SetZoneConfig(desc.RangeID, cfg)
+	return nil
 }
 
 // waitTableReady blocks until all of a table's ranges serve.

@@ -134,16 +134,22 @@ func (s *Session) virtualTableData(name string) ([]string, [][]Datum, error) {
 
 	case "ranges":
 		cols := []string{"range_id", "start_key", "end_key", "leaseholder",
-			"lease_epoch", "lease_region", "policy", "voters", "non_voters"}
+			"lease_epoch", "lease_region", "policy", "voters", "non_voters",
+			"qps", "decisions"}
 		var rows [][]Datum
 		for _, desc := range c.Catalog.All() {
 			loc, _ := c.Topo.LocalityOf(desc.Leaseholder)
+			qps := "0.0"
+			if c.Admin.Load != nil {
+				qps = fmt.Sprintf("%.1f", c.Admin.Load.QPS(desc.RangeID))
+			}
 			rows = append(rows, []Datum{
 				int64(desc.RangeID),
 				fmt.Sprintf("%q", desc.StartKey), fmt.Sprintf("%q", desc.EndKey),
 				int64(desc.Leaseholder), s.leaseEpochOf(desc.Leaseholder, desc.RangeID),
 				string(loc.Region), desc.Policy.String(),
 				fmt.Sprintf("%v", desc.Voters), fmt.Sprintf("%v", desc.NonVoters),
+				qps, c.Admin.Decisions(desc.RangeID).String(),
 			})
 		}
 		return cols, rows, nil

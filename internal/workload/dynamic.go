@@ -1,0 +1,310 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"mrdb/internal/sim"
+	"mrdb/internal/simnet"
+)
+
+// This file holds the dynamic-scenario workloads that exercise elastic
+// scale: traffic whose shape changes over virtual time, so the load-based
+// split/merge queue and the lease/replica rebalancer have something to
+// chase. Two variants mirror the paper's motivating patterns:
+//
+//   - FollowTheSun rotates the dominant MovR region phase by phase, the way
+//     a global application's diurnal peak walks westward (§1.1).
+//   - MigratingHotspot concentrates most YCSB operations in a key window
+//     that jumps between phases, forcing load-based splits to track it.
+//
+// Both record every operation into WindowedRecorders keyed by virtual-time
+// window, so benchmarks can plot p50/p99 trajectories and assert that the
+// latency shape re-converges after each dynamic event.
+
+// WindowedRecorder buckets latency samples into fixed-width virtual-time
+// windows. Windows are indexed by now/Width; empty windows simply have no
+// entry.
+type WindowedRecorder struct {
+	// Width is the window width; zero defaults to 30s.
+	Width   sim.Duration
+	windows map[int64]*LatencyRecorder
+}
+
+// NewWindowedRecorder returns an empty recorder with the given window width.
+func NewWindowedRecorder(width sim.Duration) *WindowedRecorder {
+	if width <= 0 {
+		width = 30 * sim.Second
+	}
+	return &WindowedRecorder{Width: width, windows: map[int64]*LatencyRecorder{}}
+}
+
+// Record adds one sample (or error) to the window containing now.
+func (w *WindowedRecorder) Record(now sim.Time, lat sim.Duration, err error) {
+	idx := int64(now) / int64(w.Width)
+	rec, ok := w.windows[idx]
+	if !ok {
+		rec = NewLatencyRecorder(fmt.Sprintf("window/%d", idx))
+		w.windows[idx] = rec
+	}
+	if err != nil {
+		rec.RecordError()
+	} else {
+		rec.Record(lat)
+	}
+}
+
+// Window returns the recorder for window idx, or nil when it saw no traffic.
+func (w *WindowedRecorder) Window(idx int64) *LatencyRecorder { return w.windows[idx] }
+
+// Indices returns the populated window indices in ascending order.
+func (w *WindowedRecorder) Indices() []int64 {
+	out := make([]int64, 0, len(w.windows))
+	for idx := range w.windows {
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IndexAt returns the window index containing t.
+func (w *WindowedRecorder) IndexAt(t sim.Time) int64 { return int64(t) / int64(w.Width) }
+
+// Between merges all samples recorded in [from, to) into one recorder.
+func (w *WindowedRecorder) Between(from, to sim.Time) *LatencyRecorder {
+	out := NewLatencyRecorder(fmt.Sprintf("window/%v-%v", from, to))
+	for idx, rec := range w.windows {
+		start := sim.Time(idx * int64(w.Width))
+		if start >= from && start < to {
+			out.Merge(rec)
+		}
+	}
+	return out
+}
+
+// SetRegions restricts the MovR database to the given regions, even when
+// the cluster topology has more. Benchmarks use this to create the database
+// over a subset of regions and then ADD REGION mid-run while the extra
+// nodes already exist in the topology. Must be called before Setup.
+func (m *Movr) SetRegions(regions []simnet.Region) {
+	m.regions = append([]simnet.Region(nil), regions...)
+}
+
+// SunPhase is one phase of a follow-the-sun run: Hot carries the bulk of
+// the traffic for Duration of virtual time.
+type SunPhase struct {
+	Hot      simnet.Region
+	Duration sim.Duration
+}
+
+// FollowTheSun drives MovR traffic whose dominant region rotates phase by
+// phase. Within a phase the hot region runs HotClients closed-loop clients
+// while every other database region runs ColdClients, so the per-range QPS
+// mix the load queue observes genuinely shifts.
+type FollowTheSun struct {
+	M *Movr
+	// HotClients / ColdClients are the closed-loop client counts for the
+	// hot region and each other region (defaults 4 and 1).
+	HotClients, ColdClients int
+	// Think is an optional pause between operations.
+	Think sim.Duration
+
+	// Windows collects every operation; HotWindows only those issued from
+	// the phase's hot region (the convergence signal benchmarks gate on).
+	Windows    *WindowedRecorder
+	HotWindows *WindowedRecorder
+
+	// PhaseStarts records the virtual time each phase began, in order.
+	PhaseStarts []sim.Time
+}
+
+// NewFollowTheSun wraps an already set-up MovR harness.
+func NewFollowTheSun(m *Movr, windowWidth sim.Duration) *FollowTheSun {
+	return &FollowTheSun{
+		M:          m,
+		HotClients: 4, ColdClients: 1,
+		Windows:    NewWindowedRecorder(windowWidth),
+		HotWindows: NewWindowedRecorder(windowWidth),
+	}
+}
+
+// Run executes the phases sequentially. Each phase spawns its clients in
+// region order (deterministic) and waits for all of them at the phase
+// boundary, so phases never overlap.
+func (f *FollowTheSun) Run(p *sim.Proc, phases []SunPhase) error {
+	var firstErr error
+	for pi, ph := range phases {
+		f.PhaseStarts = append(f.PhaseStarts, p.Now())
+		deadline := p.Now().Add(ph.Duration)
+		wg := sim.NewWaitGroup(f.M.Cluster.Sim)
+		for ri, region := range f.M.regions {
+			n := f.ColdClients
+			if region == ph.Hot {
+				n = f.HotClients
+			}
+			for cl := 0; cl < n; cl++ {
+				ri, region := ri, region
+				hot := region == ph.Hot
+				wg.Add(1)
+				f.M.Cluster.Sim.Spawn(fmt.Sprintf("sun/%d/%s/%d", pi, region, cl), func(wp *sim.Proc) {
+					defer wg.Done()
+					if err := f.client(wp, ri, region, hot, deadline); err != nil && firstErr == nil {
+						firstErr = err
+					}
+				})
+			}
+		}
+		wg.Wait(p)
+	}
+	return firstErr
+}
+
+// client runs the MovR op mix in a closed loop until the phase deadline.
+func (f *FollowTheSun) client(wp *sim.Proc, ri int, region simnet.Region, hot bool, deadline sim.Time) error {
+	m := f.M
+	s := m.session(region)
+	rng := wp.Rand()
+	var firstErr error
+	for wp.Now() < deadline {
+		roll := rng.Float64()
+		start := wp.Now()
+		var err error
+		switch {
+		case roll < 0.70:
+			err = m.browse(wp, s, rng.Intn(m.Promos))
+			record(m.BrowseLat, wp.Now().Sub(start), err)
+		case roll < 0.95:
+			userID := ri*m.UsersPerRegion + 1 + rng.Intn(m.UsersPerRegion)
+			err = m.startRide(wp, s, userID, rng.Intn(m.Promos))
+			record(m.RideLat, wp.Now().Sub(start), err)
+		default:
+			err = m.signup(wp, s)
+			record(m.SignupLat, wp.Now().Sub(start), err)
+		}
+		lat := wp.Now().Sub(start)
+		f.Windows.Record(start, lat, err)
+		if hot {
+			f.HotWindows.Record(start, lat, err)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if f.Think > 0 {
+			wp.Sleep(f.Think)
+		}
+	}
+	return firstErr
+}
+
+// HotspotPhase is one phase of a migrating-hotspot run: the hot key window
+// starts at key Start for Duration of virtual time.
+type HotspotPhase struct {
+	Start    int
+	Duration sim.Duration
+}
+
+// MigratingHotspot drives YCSB-style reads/updates where HotFrac of the
+// operations land in a WindowKeys-wide key window that jumps between
+// phases. Load-based splitting must carve the hot window out of its range
+// (and merging should eventually reclaim the cold remnants).
+type MigratingHotspot struct {
+	Y *YCSB
+	// HotFrac is the fraction of ops aimed at the hot window (default 0.9).
+	HotFrac float64
+	// WindowKeys is the hot window width in keys (default RecordCount/10).
+	WindowKeys int
+	// ClientsPerRegion closed-loop clients run at each region's gateway
+	// (default 2).
+	ClientsPerRegion int
+	// WriteFrac is the update fraction (default 0.05, YCSB-B's mix).
+	WriteFrac float64
+	// Think is an optional pause between operations.
+	Think sim.Duration
+	// Regions restricts the client regions (default: all cluster regions).
+	Regions []simnet.Region
+
+	// Windows collects every operation across all regions.
+	Windows *WindowedRecorder
+
+	// PhaseStarts records the virtual time each phase began, in order.
+	PhaseStarts []sim.Time
+}
+
+// NewMigratingHotspot wraps an already set-up YCSB harness.
+func NewMigratingHotspot(y *YCSB, windowWidth sim.Duration) *MigratingHotspot {
+	return &MigratingHotspot{
+		Y:       y,
+		HotFrac: 0.9, WindowKeys: y.Cfg.RecordCount / 10, ClientsPerRegion: 2,
+		WriteFrac: 0.05,
+		Windows:   NewWindowedRecorder(windowWidth),
+	}
+}
+
+// Run executes the phases sequentially, spawning clients in region order
+// each phase and joining them at the phase boundary.
+func (h *MigratingHotspot) Run(p *sim.Proc, phases []HotspotPhase) error {
+	if h.WindowKeys <= 0 {
+		h.WindowKeys = 1
+	}
+	regions := h.Regions
+	if len(regions) == 0 {
+		regions = h.Y.Cluster.Regions()
+	}
+	var firstErr error
+	for pi, ph := range phases {
+		h.PhaseStarts = append(h.PhaseStarts, p.Now())
+		deadline := p.Now().Add(ph.Duration)
+		wg := sim.NewWaitGroup(h.Y.Cluster.Sim)
+		for _, region := range regions {
+			for cl := 0; cl < h.ClientsPerRegion; cl++ {
+				region := region
+				hotStart := ph.Start
+				wg.Add(1)
+				h.Y.Cluster.Sim.Spawn(fmt.Sprintf("hotspot/%d/%s/%d", pi, region, cl), func(wp *sim.Proc) {
+					defer wg.Done()
+					if err := h.client(wp, region, hotStart, deadline); err != nil && firstErr == nil {
+						firstErr = err
+					}
+				})
+			}
+		}
+		wg.Wait(p)
+	}
+	return firstErr
+}
+
+// client runs the read/update mix in a closed loop until the phase deadline.
+func (h *MigratingHotspot) client(wp *sim.Proc, region simnet.Region, hotStart int, deadline sim.Time) error {
+	y := h.Y
+	s := y.Sessions[region]
+	rng := wp.Rand()
+	op := 0
+	var firstErr error
+	for wp.Now() < deadline {
+		op++
+		var key int
+		if rng.Float64() < h.HotFrac {
+			key = hotStart + rng.Intn(h.WindowKeys)
+			if key >= y.Cfg.RecordCount {
+				key = y.Cfg.RecordCount - 1
+			}
+		} else {
+			key = rng.Intn(y.Cfg.RecordCount)
+		}
+		start := wp.Now()
+		var err error
+		if rng.Float64() < h.WriteFrac {
+			err = y.doUpdate(wp, s, key, op)
+		} else {
+			err = y.doRead(wp, s, key)
+		}
+		h.Windows.Record(start, wp.Now().Sub(start), err)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if h.Think > 0 {
+			wp.Sleep(h.Think)
+		}
+	}
+	return firstErr
+}

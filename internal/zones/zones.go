@@ -307,3 +307,49 @@ func (a *Allocator) CheckPlacement(cfg Config, p Placement) error {
 	}
 	return nil
 }
+
+// CheckPlacementDuring is the mid-migration relaxation of CheckPlacement.
+// Relocations add replicas before removing them, so during a migration the
+// placement may exceed the configured counts — but it must never drop
+// below them, never place a node twice, and never dip under a region
+// constraint: survivability holds throughout. Lease preferences are not
+// checked because a lease legitimately sits outside the preferred region
+// for the instants between a migration's membership and lease-transfer
+// steps.
+func (a *Allocator) CheckPlacementDuring(cfg Config, p Placement) error {
+	if len(p.Voters) < cfg.NumVoters {
+		return fmt.Errorf("zones: %d voters, want at least %d", len(p.Voters), cfg.NumVoters)
+	}
+	if len(p.Voters)+len(p.NonVoters) < cfg.NumReplicas {
+		return fmt.Errorf("zones: %d replicas, want at least %d", len(p.Voters)+len(p.NonVoters), cfg.NumReplicas)
+	}
+	perRegion := map[simnet.Region]int{}
+	votersPerRegion := map[simnet.Region]int{}
+	seen := map[simnet.NodeID]bool{}
+	for _, id := range p.Replicas() {
+		if seen[id] {
+			return fmt.Errorf("zones: node %d placed twice", id)
+		}
+		seen[id] = true
+		l, ok := a.Topo.LocalityOf(id)
+		if !ok {
+			return fmt.Errorf("zones: node %d not in topology", id)
+		}
+		perRegion[l.Region]++
+	}
+	for _, id := range p.Voters {
+		l, _ := a.Topo.LocalityOf(id)
+		votersPerRegion[l.Region]++
+	}
+	for r, n := range cfg.Constraints {
+		if perRegion[r] < n {
+			return fmt.Errorf("zones: region %s has %d replicas, constraint wants %d", r, perRegion[r], n)
+		}
+	}
+	for r, n := range cfg.VoterConstraints {
+		if votersPerRegion[r] < n {
+			return fmt.Errorf("zones: region %s has %d voters, voter_constraint wants %d", r, votersPerRegion[r], n)
+		}
+	}
+	return nil
+}
