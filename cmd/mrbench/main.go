@@ -7,7 +7,7 @@
 //
 // Experiments: table1 table2 fig3 fig4a fig4b fig4c fig5 fig6
 // ablation-commitwait ablation-nonvoters ablation-survivability batch
-// elastic all (default: all).
+// elastic speed all (default: all).
 //
 // batch compares the batched per-range KV dispatch against a per-key RPC
 // ablation on a multi-region INSERT + cross-range scan workload and writes
@@ -26,6 +26,14 @@
 // histograms to results/fig3_phases.txt, and fails the run if any
 // non-GLOBAL variant shows a commit-wait span above the gate — the CI
 // smoke that commit-waits never leak into REGIONAL transactions.
+//
+// speed runs the wall-clock scheduler benchmark (sim micro-workloads plus
+// MovR/TPC-C steady state, each on the legacy and optimized schedulers) and
+// writes BENCH_speed.json. Combine with -cpuprofile/-memprofile to see
+// where the simulator itself spends real time.
+//
+// -cpuprofile FILE / -memprofile FILE write pprof profiles covering the
+// selected experiments.
 package main
 
 import (
@@ -33,19 +41,58 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mrdb/internal/bench"
 )
 
 func main() {
+	// Indirect through run so the profile-writing defers fire before the
+	// process exits with the failure code.
+	os.Exit(run())
+}
+
+func run() int {
 	full := flag.Bool("full", false, "run at paper scale (slow)")
 	quick := flag.Bool("quick", false, "run at quick scale (the default; explicit for CI invocations)")
 	trace := flag.Bool("trace", false, "record spans; write fig3 phase histograms and enforce the commit-wait gate")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to FILE")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to FILE on exit")
 	flag.Parse()
 
 	if *full && *quick {
 		fmt.Fprintln(os.Stderr, "mrbench: -full and -quick are mutually exclusive")
-		os.Exit(2)
+		return 2
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: start CPU profile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mrbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "mrbench: write alloc profile: %v\n", err)
+			}
+		}()
 	}
 	scale := bench.Quick()
 	if *full {
@@ -78,11 +125,12 @@ func main() {
 		},
 		"batch":   func(w io.Writer) error { return bench.Batch(w, scale) },
 		"elastic": func(w io.Writer) error { return bench.Elastic(w, scale) },
+		"speed":   func(w io.Writer) error { return bench.Speed(w, scale) },
 	}
 	order := []string{
 		"table1", "table2", "fig3", "fig4a", "fig4b", "fig4c", "fig5", "fig6",
 		"ablation-commitwait", "ablation-nonvoters", "ablation-survivability",
-		"batch", "elastic",
+		"batch", "elastic", "speed",
 	}
 
 	var toRun []string
@@ -93,14 +141,15 @@ func main() {
 		}
 		if _, ok := table[e]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", e, order)
-			os.Exit(2)
+			return 2
 		}
 		toRun = append(toRun, e)
 	}
 	for _, e := range toRun {
 		if err := table[e](os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

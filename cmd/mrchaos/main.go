@@ -9,18 +9,30 @@
 //	mrchaos -seed 42 -faults 25 -v
 //	mrchaos -seed 42 -verify   # run twice, check schedules match
 //	mrchaos -seed 42 -metrics  # include the full metrics registry in the report
+//
+// -cpuprofile FILE / -memprofile FILE write pprof profiles covering the
+// whole run (including the -verify replay), for profiling the simulator
+// under fault injection.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mrdb/internal/chaos"
 	"mrdb/internal/sim"
 )
 
 func main() {
+	// Indirect through run so the profile-writing defers fire before the
+	// process exits with the failure code.
+	os.Exit(run())
+}
+
+func run() int {
 	seed := flag.Int64("seed", 1, "simulation seed (same seed => same run)")
 	faults := flag.Int("faults", 10, "number of fault/heal pairs to inject")
 	hold := flag.Duration("hold", 4*sim.Second, "mean fault hold duration (virtual)")
@@ -31,7 +43,39 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump the full metrics registry into the report (covered by -verify)")
 	crashes := flag.Bool("crashes", false, "restrict the nemesis to crash/restart-from-disk faults")
 	elastic := flag.Bool("elastic", false, "enable the load-based allocator and replica migrator (nemesis-free unless -faults is set)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the whole run to FILE")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to FILE on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrchaos: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mrchaos: start CPU profile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mrchaos: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "mrchaos: write alloc profile: %v\n", err)
+			}
+		}()
+	}
 
 	if *elastic {
 		// Elastic runs default to nemesis-free so placement invariants are
@@ -61,7 +105,7 @@ func main() {
 	rep, err := chaos.Run(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mrchaos: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Print(rep)
 
@@ -70,21 +114,22 @@ func main() {
 		rep2, err := chaos.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mrchaos: second run: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if rep.SpanHash != rep2.SpanHash {
 			fmt.Fprintf(os.Stderr, "mrchaos: DETERMINISM VIOLATION: span-tree hashes differ (%016x vs %016x)\n",
 				rep.SpanHash, rep2.SpanHash)
-			os.Exit(1)
+			return 1
 		}
 		if rep.Schedule() != rep2.Schedule() || rep.String() != rep2.String() {
 			fmt.Fprintln(os.Stderr, "mrchaos: DETERMINISM VIOLATION: runs differ")
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println("determinism verified: second run identical (schedule, report, span hash)")
 	}
 	if !rep.OK() {
 		fmt.Fprintln(os.Stderr, "mrchaos: invariants violated")
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,29 @@
+// Command speedcheck compares a freshly generated BENCH_speed.json against
+// a committed baseline and fails only on regressions beyond 2x (events/sec
+// halving, or allocs/event / allocs/txn doubling, on any optimized arm).
+// Anything smaller is hardware variance between the machine that committed
+// the baseline and the CI runner; allocation counts barely move across
+// hardware, so a 2x jump there is a real code regression.
+//
+// Usage:
+//
+//	speedcheck BASELINE.json FRESH.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mrdb/internal/bench"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: speedcheck BASELINE.json FRESH.json")
+		os.Exit(2)
+	}
+	if err := bench.SpeedCompare(os.Stdout, os.Args[1], os.Args[2]); err != nil {
+		fmt.Fprintf(os.Stderr, "speedcheck: %v\n", err)
+		os.Exit(1)
+	}
+}

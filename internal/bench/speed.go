@@ -1,0 +1,388 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"mrdb/internal/cluster"
+	"mrdb/internal/sim"
+	"mrdb/internal/workload"
+)
+
+// SpeedOut is where Speed writes its JSON result.
+var SpeedOut = "BENCH_speed.json"
+
+// speedArm is one measured configuration of a speed workload: the same
+// virtual-time run executed on either the legacy scheduler (boxed heap
+// events, closure wakes, no pooling — the pre-optimization shape, kept as
+// sim.NewLegacy) or the optimized one. Wall-clock and allocation numbers
+// are real; everything in virtual time is identical between the two arms.
+type speedArm struct {
+	WallMs         float64 `json:"wall_ms"`
+	Events         int64   `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	Allocs         int64   `json:"allocs"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	Txns           int64   `json:"txns,omitempty"`
+	TxnsPerSecWall float64 `json:"txns_per_sec_wall,omitempty"`
+	AllocsPerTxn   float64 `json:"allocs_per_txn,omitempty"`
+}
+
+// speedPair is one workload's before/after comparison.
+type speedPair struct {
+	Legacy              speedArm `json:"legacy"`
+	Optimized           speedArm `json:"optimized"`
+	EventsPerSecSpeedup float64  `json:"events_per_sec_speedup"`
+	TxnsPerSecSpeedup   float64  `json:"txns_per_sec_speedup,omitempty"`
+}
+
+// speedResult is the BENCH_speed.json schema.
+type speedResult struct {
+	EventQueue  speedPair `json:"event_queue"`
+	SpawnFanOut speedPair `json:"spawn_fanout"`
+	Movr        speedPair `json:"movr"`
+	TPCC        speedPair `json:"tpcc"`
+}
+
+// speedMeter brackets a measured region: wall clock via time.Now, allocation
+// count via runtime.MemStats.Mallocs deltas, event count via sim.Events
+// deltas. It runs a GC first so the measured window starts from a settled
+// heap; Mallocs (object counts) rather than TotalAlloc (bytes) keeps the
+// committed numbers comparable across hardware.
+type speedMeter struct {
+	s   *sim.Simulation
+	m0  runtime.MemStats
+	ev0 int64
+	t0  time.Time
+}
+
+func startMeter(s *sim.Simulation) *speedMeter {
+	m := &speedMeter{s: s, ev0: s.Events()}
+	runtime.GC()
+	runtime.ReadMemStats(&m.m0)
+	m.t0 = time.Now()
+	return m
+}
+
+func (m *speedMeter) stop(txns int64) speedArm {
+	wall := time.Since(m.t0)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	arm := speedArm{
+		WallMs: float64(wall) / float64(time.Millisecond),
+		Events: m.s.Events() - m.ev0,
+		Allocs: int64(m1.Mallocs - m.m0.Mallocs),
+		Txns:   txns,
+	}
+	if wall > 0 {
+		arm.EventsPerSec = float64(arm.Events) / wall.Seconds()
+		arm.TxnsPerSecWall = float64(txns) / wall.Seconds()
+	}
+	if arm.Events > 0 {
+		arm.AllocsPerEvent = float64(arm.Allocs) / float64(arm.Events)
+	}
+	if txns > 0 {
+		arm.AllocsPerTxn = float64(arm.Allocs) / float64(txns)
+	}
+	return arm
+}
+
+func newSpeedSim(seed int64, legacy bool) *sim.Simulation {
+	if legacy {
+		return sim.NewLegacy(seed)
+	}
+	return sim.New(seed)
+}
+
+// eventQueueArm measures the raw scheduler hot loop: one process sleeping
+// through n timer events. This is the pure park/wake + heap push/pop path —
+// the BenchmarkEventQueue shape — and the arm the 1.5x gate applies to.
+func eventQueueArm(legacy bool, n int) speedArm {
+	s := newSpeedSim(1, legacy)
+	var arm speedArm
+	s.Spawn("speed/event-queue", func(p *sim.Proc) {
+		// Warm pools and the heap's backing array so the measured window is
+		// steady state for both arms.
+		for i := 0; i < 4096; i++ {
+			p.Sleep(sim.Microsecond)
+		}
+		m := startMeter(s)
+		for i := 0; i < n; i++ {
+			p.Sleep(sim.Microsecond)
+		}
+		arm = m.stop(0)
+	})
+	s.Run()
+	return arm
+}
+
+// spawnFanOutArm measures process churn: iters rounds of an 8-way
+// spawn/join, the shape of DistSender fan-out and parallel SQL probes.
+func spawnFanOutArm(legacy bool, iters int) speedArm {
+	s := newSpeedSim(2, legacy)
+	var arm speedArm
+	s.Spawn("speed/fanout", func(p *sim.Proc) {
+		fan := func() {
+			wg := s.GetWaitGroup()
+			for j := 0; j < 8; j++ {
+				wg.Add(1)
+				s.Spawn("speed/child", func(cp *sim.Proc) {
+					cp.Sleep(sim.Duration(10+j) * sim.Microsecond)
+					wg.Done()
+				})
+			}
+			wg.Wait(p)
+			wg.Release()
+		}
+		for i := 0; i < 256; i++ { // warm the proc pool
+			fan()
+		}
+		m := startMeter(s)
+		for i := 0; i < iters; i++ {
+			fan()
+		}
+		arm = m.stop(0)
+	})
+	s.Run()
+	return arm
+}
+
+// movrArm runs the MovR steady state (tracing on, so the span arena is on
+// the measured path) and brackets the Run phase: schema setup and bulk load
+// stay outside the measured window.
+func movrArm(seed int64, scale Scale, legacy bool) (speedArm, error) {
+	c := cluster.New(cluster.Config{
+		Seed:            seed,
+		Regions:         cluster.ThreeRegions(),
+		MaxOffset:       250 * sim.Millisecond,
+		Jitter:          0.02,
+		Tracing:         true,
+		LegacyScheduler: legacy,
+	})
+	catalog := newCatalog()
+	m := workload.NewMovr(c, catalog)
+	var arm speedArm
+	err := runSim(c, 12*3600*sim.Second, func(p *sim.Proc) error {
+		if err := m.Setup(p); err != nil {
+			return err
+		}
+		p.Sleep(2 * sim.Second)
+		if err := m.Load(p); err != nil {
+			return err
+		}
+		p.Sleep(2 * sim.Second)
+		meter := startMeter(c.Sim)
+		if err := m.Run(p, scale.ClientsPerRegion, scale.OpsPerClient); err != nil {
+			return err
+		}
+		txns := int64(m.SignupLat.Count() + m.RideLat.Count() + m.BrowseLat.Count())
+		arm = meter.stop(txns)
+		return nil
+	})
+	return arm, err
+}
+
+// tpccArm runs the TPC-C mix (tracing off: the span-free configuration) and
+// brackets the terminal run phase.
+func tpccArm(seed int64, scale Scale, legacy bool) (speedArm, error) {
+	c := cluster.New(cluster.Config{
+		Seed:            seed,
+		Regions:         cluster.ThreeRegions(),
+		MaxOffset:       250 * sim.Millisecond,
+		Jitter:          0.02,
+		LegacyScheduler: legacy,
+	})
+	catalog := newCatalog()
+	cfg := workload.DefaultTPCCConfig()
+	cfg.TxnsPerTerminal = scale.TPCCTxnsPerTerminal
+	t := workload.NewTPCC(c, catalog, cfg)
+	var arm speedArm
+	err := runSim(c, 12*3600*sim.Second, func(p *sim.Proc) error {
+		if err := t.SetupSchema(p); err != nil {
+			return err
+		}
+		p.Sleep(2 * sim.Second)
+		if err := t.Load(p); err != nil {
+			return err
+		}
+		p.Sleep(2 * sim.Second)
+		meter := startMeter(c.Sim)
+		if err := t.Run(p); err != nil {
+			return err
+		}
+		txns := int64(t.NewOrderLat.Count() + t.PaymentLat.Count() +
+			t.OrderStatusLat.Count() + t.DeliveryLat.Count() + t.StockLevelLat.Count())
+		arm = meter.stop(txns)
+		return nil
+	})
+	return arm, err
+}
+
+func newSpeedPair(legacy, opt speedArm) speedPair {
+	p := speedPair{Legacy: legacy, Optimized: opt}
+	if opt.EventsPerSec > 0 && legacy.EventsPerSec > 0 {
+		p.EventsPerSecSpeedup = opt.EventsPerSec / legacy.EventsPerSec
+	}
+	if opt.TxnsPerSecWall > 0 && legacy.TxnsPerSecWall > 0 {
+		p.TxnsPerSecSpeedup = opt.TxnsPerSecWall / legacy.TxnsPerSecWall
+	}
+	return p
+}
+
+func speedRow(w io.Writer, name string, p speedPair) {
+	arm := func(label string, a speedArm) {
+		fmt.Fprintf(w, "  %-14s %-9s wall=%-10s events/s=%-12.0f allocs/event=%-8.3f",
+			name, label, fmt.Sprintf("%.1fms", a.WallMs), a.EventsPerSec, a.AllocsPerEvent)
+		name = ""
+		if a.Txns > 0 {
+			fmt.Fprintf(w, " txns/s=%-8.0f allocs/txn=%.0f", a.TxnsPerSecWall, a.AllocsPerTxn)
+		}
+		fmt.Fprintln(w)
+	}
+	arm("legacy", p.Legacy)
+	arm("optimized", p.Optimized)
+	fmt.Fprintf(w, "  %-14s %-9s events/s speedup=%.2fx", "", "", p.EventsPerSecSpeedup)
+	if p.TxnsPerSecSpeedup > 0 {
+		fmt.Fprintf(w, " txns/s speedup=%.2fx", p.TxnsPerSecSpeedup)
+	}
+	fmt.Fprintln(w)
+}
+
+// Speed is the wall-clock performance benchmark: it runs the two sim
+// micro-workloads (event queue, spawn fan-out) and the two macro workloads
+// (MovR with tracing, TPC-C without) on both the legacy scheduler and the
+// optimized one — same process, same hardware — and writes the comparison
+// to BENCH_speed.json. Hard gates: the event-queue arm must show >= 1.5x
+// events/sec, and the optimized arms must allocate strictly less per event
+// and per transaction than legacy.
+func Speed(w io.Writer, scale Scale) error {
+	header(w, "Speed: wall-clock scheduler performance, legacy vs optimized (same hardware, same process)")
+
+	evN, fanN := 400000, 20000
+	if scale.RecordCount > 10000 { // -full
+		evN, fanN = 2000000, 100000
+	}
+
+	eq := newSpeedPair(eventQueueArm(true, evN), eventQueueArm(false, evN))
+	fan := newSpeedPair(spawnFanOutArm(true, fanN), spawnFanOutArm(false, fanN))
+
+	movrLegacy, err := movrArm(810, scale, true)
+	if err != nil {
+		return fmt.Errorf("movr legacy: %w", err)
+	}
+	movrOpt, err := movrArm(810, scale, false)
+	if err != nil {
+		return fmt.Errorf("movr optimized: %w", err)
+	}
+	movr := newSpeedPair(movrLegacy, movrOpt)
+
+	tpccLegacy, err := tpccArm(811, scale, true)
+	if err != nil {
+		return fmt.Errorf("tpcc legacy: %w", err)
+	}
+	tpccOpt, err := tpccArm(811, scale, false)
+	if err != nil {
+		return fmt.Errorf("tpcc optimized: %w", err)
+	}
+	tpcc := newSpeedPair(tpccLegacy, tpccOpt)
+
+	res := speedResult{EventQueue: eq, SpawnFanOut: fan, Movr: movr, TPCC: tpcc}
+	speedRow(w, "event_queue", eq)
+	speedRow(w, "spawn_fanout", fan)
+	speedRow(w, "movr", movr)
+	speedRow(w, "tpcc", tpcc)
+
+	data, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(SpeedOut, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  written to %s\n", SpeedOut)
+
+	// Gates. Wall-clock speedups on the macro arms are reported but not
+	// gated (too noisy under CI contention); allocation counts are
+	// near-deterministic, so they gate hard.
+	if eq.EventsPerSecSpeedup < 1.5 {
+		return fmt.Errorf("speed: event queue speedup %.2fx below the 1.5x gate", eq.EventsPerSecSpeedup)
+	}
+	if eq.Optimized.AllocsPerEvent >= eq.Legacy.AllocsPerEvent {
+		return fmt.Errorf("speed: event queue allocs/event %.3f not below legacy %.3f",
+			eq.Optimized.AllocsPerEvent, eq.Legacy.AllocsPerEvent)
+	}
+	if movr.Optimized.AllocsPerEvent >= movr.Legacy.AllocsPerEvent {
+		return fmt.Errorf("speed: movr allocs/event %.3f not below legacy %.3f",
+			movr.Optimized.AllocsPerEvent, movr.Legacy.AllocsPerEvent)
+	}
+	if movr.Optimized.AllocsPerTxn >= movr.Legacy.AllocsPerTxn {
+		return fmt.Errorf("speed: movr allocs/txn %.0f not below legacy %.0f",
+			movr.Optimized.AllocsPerTxn, movr.Legacy.AllocsPerTxn)
+	}
+	if tpcc.Optimized.AllocsPerTxn >= tpcc.Legacy.AllocsPerTxn {
+		return fmt.Errorf("speed: tpcc allocs/txn %.0f not below legacy %.0f",
+			tpcc.Optimized.AllocsPerTxn, tpcc.Legacy.AllocsPerTxn)
+	}
+	return nil
+}
+
+// SpeedCompare is the CI regression checker: it loads a committed baseline
+// BENCH_speed.json and a freshly generated one and fails only on >2x
+// regressions — either events/sec halving or allocs/event (or allocs/txn)
+// doubling on any optimized arm. Smaller movements are hardware noise
+// between the machine that committed the baseline and the CI runner.
+func SpeedCompare(w io.Writer, baselinePath, freshPath string) error {
+	load := func(path string) (*speedResult, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var r speedResult
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &r, nil
+	}
+	base, err := load(baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(freshPath)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	check := func(name string, b, f speedArm) {
+		if b.EventsPerSec > 0 && f.EventsPerSec > 0 {
+			ratio := f.EventsPerSec / b.EventsPerSec
+			fmt.Fprintf(w, "  %-14s events/s %12.0f -> %12.0f (%.2fx)", name, b.EventsPerSec, f.EventsPerSec, ratio)
+			if ratio < 0.5 {
+				failures = append(failures, fmt.Sprintf("%s events/sec regressed %.2fx", name, ratio))
+			}
+		}
+		if b.AllocsPerEvent > 0 && f.AllocsPerEvent > b.AllocsPerEvent*2 {
+			failures = append(failures, fmt.Sprintf("%s allocs/event %.3f -> %.3f (>2x)", name, b.AllocsPerEvent, f.AllocsPerEvent))
+		}
+		if b.AllocsPerTxn > 0 && f.AllocsPerTxn > b.AllocsPerTxn*2 {
+			failures = append(failures, fmt.Sprintf("%s allocs/txn %.0f -> %.0f (>2x)", name, b.AllocsPerTxn, f.AllocsPerTxn))
+		}
+		fmt.Fprintln(w)
+	}
+	header(w, "Speed check: fresh run vs committed baseline (optimized arms, >2x gates)")
+	check("event_queue", base.EventQueue.Optimized, fresh.EventQueue.Optimized)
+	check("spawn_fanout", base.SpawnFanOut.Optimized, fresh.SpawnFanOut.Optimized)
+	check("movr", base.Movr.Optimized, fresh.Movr.Optimized)
+	check("tpcc", base.TPCC.Optimized, fresh.TPCC.Optimized)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(w, "  REGRESSION: %s\n", f)
+		}
+		return fmt.Errorf("speed check: %d regression(s) beyond the 2x gate", len(failures))
+	}
+	fmt.Fprintln(w, "  no regressions beyond the 2x gate")
+	return nil
+}

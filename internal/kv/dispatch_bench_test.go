@@ -60,6 +60,7 @@ func BenchmarkDistSenderBatchDispatch(b *testing.B) {
 	}
 	c.Sim.Spawn("bench", func(p *sim.Proc) {
 		defer c.Sim.Stop()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, resp := range ds.SendBatch(p, reqs) {
@@ -82,6 +83,7 @@ func BenchmarkDistSenderSingleDispatch(b *testing.B) {
 	}
 	c.Sim.Spawn("bench", func(p *sim.Proc) {
 		defer c.Sim.Stop()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if resp := ds.Send(p, req); resp.Err != nil {

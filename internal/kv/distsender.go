@@ -97,6 +97,32 @@ func keyOf(req interface{}) (mvcc.Key, bool) {
 	return nil, false
 }
 
+// reqTypeName returns the string %T would for a routable request, without
+// reflection or allocation on the hot path. The literals must stay
+// byte-identical to the reflected names: they appear in span renderings that
+// same-seed determinism oracles hash.
+func reqTypeName(req interface{}) string {
+	switch req.(type) {
+	case *GetRequest:
+		return "*kv.GetRequest"
+	case *PutRequest:
+		return "*kv.PutRequest"
+	case *ScanRequest:
+		return "*kv.ScanRequest"
+	case *EndTxnRequest:
+		return "*kv.EndTxnRequest"
+	case *ResolveIntentRequest:
+		return "*kv.ResolveIntentRequest"
+	case *RefreshRequest:
+		return "*kv.RefreshRequest"
+	case *NegotiateRequest:
+		return "*kv.NegotiateRequest"
+	case *QueryIntentRequest:
+		return "*kv.QueryIntentRequest"
+	}
+	return fmt.Sprintf("%T", req)
+}
+
 // wantsFollower reports whether the request may be served by any replica.
 func wantsFollower(req interface{}) bool {
 	switch q := req.(type) {
@@ -217,7 +243,9 @@ func (ds *DistSender) SendBatch(p *sim.Proc, reqs []interface{}) []Response {
 	}
 	sp, finish := ds.Tracer.StartIn(p, "ds.batch")
 	defer finish()
-	sp.SetTag("req", fmt.Sprintf("%T", reqs[0])).SetTagInt("reqs", int64(len(reqs)))
+	if sp != nil {
+		sp.SetTag("req", reqTypeName(reqs[0])).SetTagInt("reqs", int64(len(reqs)))
+	}
 	resps, ranges := ds.sendBatchInner(p, reqs, 0)
 	sp.SetTagInt("ranges", int64(ranges))
 	ds.Batches++
@@ -229,33 +257,62 @@ func (ds *DistSender) SendBatch(p *sim.Proc, reqs []interface{}) []Response {
 	return resps
 }
 
+// batchGroup is one per-range slice of request indices within a batch.
+type batchGroup struct {
+	rid  RangeID
+	idxs []int32
+}
+
 // sendBatchInner splits reqs into per-range groups (first-occurrence
 // order) and dispatches them; it returns the merged responses in request
 // order plus the number of ranges touched.
+//
+// Grouping is slice-based rather than map-based: requests are assigned a
+// group ordinal in one pass (memoizing the last descriptor, since batches
+// are usually key-ordered and range-clustered), then index lists are carved
+// out of a single shared buffer. A batch that lands entirely on one range —
+// the overwhelmingly common case — dispatches reqs directly with no group
+// buffers at all.
 func (ds *DistSender) sendBatchInner(p *sim.Proc, reqs []interface{}, depth int) ([]Response, int) {
 	resps := make([]Response, len(reqs))
-	groups := map[RangeID][]int{}
-	var order []RangeID
+	var groups []batchGroup
+	var desc *RangeDescriptor // memoized last descriptor
+	gid := -1                 // memoized group ordinal for desc
+	routable := 0
 	for i, req := range reqs {
 		key, ok := keyOf(req)
 		if !ok {
 			resps[i] = Response{Err: fmt.Errorf("kv: cannot route %T", req)}
 			continue
 		}
-		desc, err := ds.Catalog.Lookup(key)
-		if err != nil {
-			resps[i] = Response{Err: err}
-			continue
+		if desc == nil || !desc.ContainsKey(key) {
+			d, err := ds.Catalog.Lookup(key)
+			if err != nil {
+				resps[i] = Response{Err: err}
+				continue
+			}
+			desc = d
+			gid = -1
+			for g := range groups {
+				if groups[g].rid == d.RangeID {
+					gid = g
+					break
+				}
+			}
+			if gid == -1 {
+				gid = len(groups)
+				groups = append(groups, batchGroup{rid: d.RangeID})
+			}
 		}
-		if _, ok := groups[desc.RangeID]; !ok {
-			order = append(order, desc.RangeID)
-		}
-		groups[desc.RangeID] = append(groups[desc.RangeID], i)
+		groups[gid].idxs = append(groups[gid].idxs, int32(i))
+		routable++
 	}
-	dispatch := func(dp *sim.Proc, idxs []int) {
-		sub := make([]interface{}, len(idxs))
-		for j, i := range idxs {
-			sub[j] = reqs[i]
+	dispatch := func(dp *sim.Proc, idxs []int32, sub []interface{}) {
+		if sub == nil {
+			sub = make([]interface{}, len(idxs))
+			for j, i := range idxs {
+				sub[j] = reqs[i]
+			}
 		}
 		if ds.PerKeyDispatch {
 			for j, r := range sub {
@@ -269,31 +326,40 @@ func (ds *DistSender) sendBatchInner(p *sim.Proc, reqs []interface{}, depth int)
 		}
 	}
 	switch {
-	case len(order) <= 1:
-		if len(order) == 1 {
-			dispatch(p, groups[order[0]])
+	case len(groups) == 1 && routable == len(reqs):
+		// Single range, every request routable: the sub-batch is the batch.
+		if ds.PerKeyDispatch {
+			dispatch(p, groups[0].idxs, reqs)
+			break
+		}
+		out := ds.sendToRange(p, reqs, depth)
+		copy(resps, out)
+	case len(groups) <= 1:
+		if len(groups) == 1 {
+			dispatch(p, groups[0].idxs, nil)
 		}
 	case ds.PerKeyDispatch:
 		// Ablation: sequential per-range (and per-key) dispatch, so the
 		// virtual latency is the sum over ranges.
-		for _, rid := range order {
-			dispatch(p, groups[rid])
+		for g := range groups {
+			dispatch(p, groups[g].idxs, nil)
 		}
 	default:
 		parent := obs.ProcSpan(p)
-		wg := sim.NewWaitGroup(p.Sim())
-		for _, rid := range order {
-			idxs := groups[rid]
+		wg := p.Sim().GetWaitGroup()
+		for g := range groups {
+			idxs := groups[g].idxs
 			wg.Add(1)
 			p.Sim().Spawn("ds/batch-range", func(wp *sim.Proc) {
 				obs.SetProcSpan(wp, parent)
 				defer wg.Done()
-				dispatch(wp, idxs)
+				dispatch(wp, idxs, nil)
 			})
 		}
 		wg.Wait(p)
+		wg.Release()
 	}
-	return resps, len(order)
+	return resps, len(groups)
 }
 
 // descContainsAll reports whether d owns the routing key of every request.
@@ -328,9 +394,11 @@ func (ds *DistSender) sendToRange(p *sim.Proc, reqs []interface{}, depth int) []
 	}
 	sp, finish := ds.Tracer.StartIn(p, "ds.send")
 	defer finish()
-	sp.SetTag("req", fmt.Sprintf("%T", reqs[0])).SetTag("key", string(key))
-	if len(reqs) > 1 {
-		sp.SetTagInt("reqs", int64(len(reqs)))
+	if sp != nil {
+		sp.SetTag("req", reqTypeName(reqs[0])).SetTag("key", string(key))
+		if len(reqs) > 1 {
+			sp.SetTagInt("reqs", int64(len(reqs)))
+		}
 	}
 	follower := true
 	for _, r := range reqs {
@@ -346,6 +414,7 @@ func (ds *DistSender) sendToRange(p *sim.Proc, reqs []interface{}, depth int) []
 	// the retry budget surfaces the cause instead of a bare attempt count.
 	var lastErr error
 	backoff := func(asp *obs.Span) {
+		// Never escapes this frame, so it costs no allocation.
 		before := ds.BackoffTotal
 		ds.backoff(p, backoffs)
 		backoffs++
@@ -486,7 +555,9 @@ func (ds *DistSender) sendToRange(p *sim.Proc, reqs []interface{}, depth int) []
 func (ds *DistSender) sendScan(p *sim.Proc, req *ScanRequest) Response {
 	sp, finish := ds.Tracer.StartIn(p, "ds.scan")
 	defer finish()
-	sp.SetTag("key", string(req.StartKey))
+	if sp != nil {
+		sp.SetTag("key", string(req.StartKey))
+	}
 	var rows []mvcc.KeyValue
 	served := simnet.NodeID(0)
 	cursor := req.StartKey
@@ -539,7 +610,7 @@ func (ds *DistSender) sendScan(p *sim.Proc, req *ScanRequest) Response {
 		} else {
 			resps = make([]Response, len(subs))
 			parent := obs.ProcSpan(p)
-			wg := sim.NewWaitGroup(p.Sim())
+			wg := p.Sim().GetWaitGroup()
 			for i := range subs {
 				i := i
 				wg.Add(1)
@@ -550,6 +621,7 @@ func (ds *DistSender) sendScan(p *sim.Proc, req *ScanRequest) Response {
 				})
 			}
 			wg.Wait(p)
+			wg.Release()
 		}
 		var resume mvcc.Key
 		full := false

@@ -164,7 +164,7 @@ func (r *Replica) evaluateBatch(p *sim.Proc, reqs []interface{}) []Response {
 		return resps
 	}
 	parent := obs.ProcSpan(p)
-	wg := sim.NewWaitGroup(p.Sim())
+	wg := p.Sim().GetWaitGroup()
 	for i, req := range reqs {
 		i, req := i, req
 		wg.Add(1)
@@ -175,6 +175,7 @@ func (r *Replica) evaluateBatch(p *sim.Proc, reqs []interface{}) []Response {
 		})
 	}
 	wg.Wait(p)
+	wg.Release()
 	return resps
 }
 

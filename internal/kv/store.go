@@ -138,13 +138,15 @@ func (s *Store) handleMessage(m simnet.Message) {
 			payload.Reply(Response{Err: &RangeKeyMismatchError{}})
 			return
 		}
-		s.Sim.Spawn(fmt.Sprintf("n%d/r%d/eval", s.NodeID, batch.RangeID), func(p *sim.Proc) {
+		// Static proc name: formatting "n%d/r%d/eval" per RPC was a top
+		// allocation site, and proc names are purely cosmetic.
+		s.Sim.Spawn("kv/eval", func(p *sim.Proc) {
 			sp := s.Obs.StartSpan("replica.eval", batch.Trace)
 			if batch.Reqs != nil {
 				if sp != nil {
 					sp.SetTagInt("node", int64(s.NodeID)).
 						SetTagInt("range", int64(batch.RangeID)).
-						SetTag("req", fmt.Sprintf("%T", batch.Reqs[0])).
+						SetTag("req", reqTypeName(batch.Reqs[0])).
 						SetTagInt("reqs", int64(len(batch.Reqs)))
 					obs.SetProcSpan(p, sp)
 				}
@@ -156,7 +158,7 @@ func (s *Store) handleMessage(m simnet.Message) {
 			if sp != nil {
 				sp.SetTagInt("node", int64(s.NodeID)).
 					SetTagInt("range", int64(batch.RangeID)).
-					SetTag("req", fmt.Sprintf("%T", batch.Req))
+					SetTag("req", reqTypeName(batch.Req))
 				obs.SetProcSpan(p, sp)
 			}
 			resp := r.evaluate(p, batch.Req)

@@ -125,6 +125,9 @@ type Engine struct {
 	// stats
 	keys    int
 	intents int
+	// freeIntents recycles resolved intent records: the write path of every
+	// transactional workload allocates one per intent otherwise.
+	freeIntents []*intentRecord
 }
 
 // NewEngine returns an empty engine whose internal skiplist derives tower
@@ -155,6 +158,15 @@ func (e *Engine) chainOrCreate(key Key) *versions {
 	e.list.Set(key, c)
 	e.keys++
 	return c
+}
+
+// prependVersion pushes v onto the front of the chain in place, reusing the
+// chain's backing array instead of allocating a fresh slice per committed
+// write (version chains are newest-first).
+func prependVersion(c *versions, v version) {
+	c.vals = append(c.vals, version{})
+	copy(c.vals[1:], c.vals[:len(c.vals)-1])
+	c.vals[0] = v
 }
 
 // GetOptions tunes visibility for Get and Scan.
@@ -241,10 +253,12 @@ type KeyValue struct {
 }
 
 // Scan returns up to max visible key/value pairs in [start, end). A zero max
-// means no limit. The first conflict aborts the scan.
+// means no limit. The first conflict aborts the scan. Returned keys and
+// values alias the engine's internal storage (which is never mutated after
+// insert) and must not be modified by callers.
 func (e *Engine) Scan(start, end Key, ts hlc.Timestamp, max int, opts GetOptions) ([]KeyValue, error) {
 	var out []KeyValue
-	it := e.list.NewIterator()
+	it := e.list.Iter()
 	for it.SeekGE(start); it.Valid(); it.Next() {
 		if end != nil && string(it.Key()) >= string(end) {
 			break
@@ -255,7 +269,7 @@ func (e *Engine) Scan(start, end Key, ts hlc.Timestamp, max int, opts GetOptions
 			return nil, err
 		}
 		if val != nil {
-			out = append(out, KeyValue{Key: append(Key(nil), it.Key()...), Value: val, Timestamp: vts})
+			out = append(out, KeyValue{Key: it.Key(), Value: val, Timestamp: vts})
 			if max > 0 && len(out) >= max {
 				break
 			}
@@ -291,13 +305,24 @@ func (e *Engine) Put(key Key, value Value, ts hlc.Timestamp, txn *TxnMeta) (hlc.
 	if txn != nil {
 		meta := *txn
 		meta.WriteTimestamp = ts
-		if c.intent == nil {
-			e.intents++
+		if c.intent != nil {
+			// Replacing our own intent: reuse the record.
+			c.intent.txn, c.intent.val = meta, value
+			return ts, nil
 		}
-		c.intent = &intentRecord{txn: meta, val: value}
+		e.intents++
+		if n := len(e.freeIntents); n > 0 {
+			in := e.freeIntents[n-1]
+			e.freeIntents[n-1] = nil
+			e.freeIntents = e.freeIntents[:n-1]
+			in.txn, in.val = meta, value
+			c.intent = in
+		} else {
+			c.intent = &intentRecord{txn: meta, val: value}
+		}
 		return ts, nil
 	}
-	c.vals = append([]version{{ts: ts, val: value}}, c.vals...)
+	prependVersion(c, version{ts: ts, val: value})
 	return ts, nil
 }
 
@@ -331,6 +356,7 @@ func (e *Engine) ResolveIntent(key Key, txnID TxnID, status TxnStatus, commitTS 
 	c.intent = nil
 	e.intents--
 	if status == Aborted {
+		e.recycleIntent(in)
 		return nil
 	}
 	ts := commitTS
@@ -340,8 +366,23 @@ func (e *Engine) ResolveIntent(key Key, txnID TxnID, status TxnStatus, commitTS 
 	if len(c.vals) > 0 && ts.LessEq(c.vals[0].ts) {
 		return fmt.Errorf("mvcc: commit at %s below existing version %s", ts, c.vals[0].ts)
 	}
-	c.vals = append([]version{{ts: ts, val: in.val}}, c.vals...)
+	prependVersion(c, version{ts: ts, val: in.val})
+	e.recycleIntent(in)
 	return nil
+}
+
+// maxFreeIntents caps the intent-record freelist.
+const maxFreeIntents = 64
+
+// recycleIntent returns a detached intent record to the freelist. Only the
+// record itself is recycled; the value slice it pointed at may still be
+// referenced by readers and is never touched.
+func (e *Engine) recycleIntent(in *intentRecord) {
+	if len(e.freeIntents) >= maxFreeIntents {
+		return
+	}
+	in.txn, in.val = TxnMeta{}, nil
+	e.freeIntents = append(e.freeIntents, in)
 }
 
 // PushIntentTimestamp advances the provisional timestamp of txnID's intent
@@ -362,7 +403,7 @@ func (e *Engine) PushIntentTimestamp(key Key, txnID TxnID, newTS hlc.Timestamp) 
 // data). It returns the number of versions collected.
 func (e *Engine) GC(threshold hlc.Timestamp) int {
 	collected := 0
-	it := e.list.NewIterator()
+	it := e.list.Iter()
 	for it.First(); it.Valid(); it.Next() {
 		c := it.Value().(*versions)
 		// Find the newest version <= threshold; everything older than it
@@ -409,7 +450,7 @@ func (e *Engine) HasNewerVersion(key Key, fromTS, toTS hlc.Timestamp, ignoreTxn 
 // HasNewerVersionInSpan applies HasNewerVersion to every key in
 // [start, end), backing span refreshes for scans.
 func (e *Engine) HasNewerVersionInSpan(start, end Key, fromTS, toTS hlc.Timestamp, ignoreTxn TxnID) bool {
-	it := e.list.NewIterator()
+	it := e.list.Iter()
 	for it.SeekGE(start); it.Valid(); it.Next() {
 		if end != nil && string(it.Key()) >= string(end) {
 			break
@@ -426,7 +467,7 @@ func (e *Engine) HasNewerVersionInSpan(start, end Key, fromTS, toTS hlc.Timestam
 func (e *Engine) MinIntentTS(start, end Key) (hlc.Timestamp, bool) {
 	var minTS hlc.Timestamp
 	found := false
-	it := e.list.NewIterator()
+	it := e.list.Iter()
 	for it.SeekGE(start); it.Valid(); it.Next() {
 		if end != nil && string(it.Key()) >= string(end) {
 			break
@@ -445,24 +486,25 @@ func (e *Engine) MinIntentTS(start, end Key) (hlc.Timestamp, bool) {
 // ApproxMiddleKey returns the median live key in [start, end), if the span
 // holds at least two keys; the split point chosen by the split queue.
 func (e *Engine) ApproxMiddleKey(start, end Key) (Key, bool) {
-	var keys []Key
-	it := e.list.NewIterator()
-	for it.SeekGE(start); it.Valid(); it.Next() {
-		if end != nil && string(it.Key()) >= string(end) {
-			break
-		}
-		keys = append(keys, append(Key(nil), it.Key()...))
-	}
-	if len(keys) < 2 {
+	n := e.KeyCountInSpan(start, end)
+	if n < 2 {
 		return nil, false
 	}
-	return keys[len(keys)/2], true
+	it := e.list.Iter()
+	i := 0
+	for it.SeekGE(start); it.Valid(); it.Next() {
+		if i == n/2 {
+			return append(Key(nil), it.Key()...), true
+		}
+		i++
+	}
+	return nil, false
 }
 
 // KeyCountInSpan counts distinct keys in [start, end).
 func (e *Engine) KeyCountInSpan(start, end Key) int {
 	n := 0
-	it := e.list.NewIterator()
+	it := e.list.Iter()
 	for it.SeekGE(start); it.Valid(); it.Next() {
 		if end != nil && string(it.Key()) >= string(end) {
 			break
@@ -475,7 +517,7 @@ func (e *Engine) KeyCountInSpan(start, end Key) int {
 // CopyTo deep-copies all data (committed versions and intents) in
 // [start, end) into dst; the substrate of range splits.
 func (e *Engine) CopyTo(dst *Engine, start, end Key) {
-	it := e.list.NewIterator()
+	it := e.list.Iter()
 	for it.SeekGE(start); it.Valid(); it.Next() {
 		if end != nil && string(it.Key()) >= string(end) {
 			break
@@ -519,7 +561,7 @@ type SnapshotKey struct {
 // round-trip it.
 func (e *Engine) Snapshot() []SnapshotKey {
 	out := make([]SnapshotKey, 0, e.keys)
-	it := e.list.NewIterator()
+	it := e.list.Iter()
 	for it.First(); it.Valid(); it.Next() {
 		src := it.Value().(*versions)
 		sk := SnapshotKey{Key: append(Key(nil), it.Key()...)}

@@ -6,6 +6,7 @@ package obs_test
 // results and identical virtual-time latencies, sample for sample.
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -23,6 +24,8 @@ type movrOutcome struct {
 	Browse    []sim.Duration
 	UserRows  [][]sql.Datum
 	Traces    int
+	SpanHash  uint64
+	StmtStats string
 }
 
 func runMovr(t *testing.T, seed int64, tracing bool) movrOutcome {
@@ -58,12 +61,21 @@ func runMovr(t *testing.T, seed int64, tracing bool) movrOutcome {
 			return
 		}
 		out.UserRows = res.Rows
+		stats, err := s.Exec(p, `SELECT * FROM mrdb_internal.statement_statistics`)
+		if err != nil {
+			runErr = err
+			return
+		}
+		for _, row := range stats.Rows {
+			out.StmtStats += fmt.Sprintln(row)
+		}
 	})
 	c.Sim.RunFor(60 * 60 * sim.Second)
 	if runErr != nil {
 		t.Fatalf("movr run (tracing=%v): %v", tracing, runErr)
 	}
 	out.FinalTime = c.Sim.Now()
+	out.SpanHash = c.Tracer.Hash()
 	out.Signup = m.SignupLat.Samples()
 	out.Ride = m.RideLat.Samples()
 	out.Browse = m.BrowseLat.Samples()
@@ -103,5 +115,43 @@ func TestMetamorphicTracingIsFree(t *testing.T) {
 	}
 	if len(off.Browse) == 0 || len(off.Ride) == 0 {
 		t.Fatalf("workload recorded no samples: browse=%d ride=%d", len(off.Browse), len(off.Ride))
+	}
+}
+
+// TestMetamorphicSameProcessReruns runs the traced MovR workload twice in
+// one process. The first run starts from a cold heap; by the second, the
+// runtime's allocator caches, the GC, and any package-level state have been
+// exercised by a full cluster lifetime. None of that may leak into the
+// simulation: span-tree hashes and statement statistics must come back
+// byte-identical. This is the regression net for the scheduler's object
+// pools (procs, wait groups, span arenas, intent records) — reused memory
+// must behave exactly like fresh memory.
+func TestMetamorphicSameProcessReruns(t *testing.T) {
+	cold := runMovr(t, 77, true)
+	warm := runMovr(t, 77, true)
+	if cold.Traces == 0 {
+		t.Fatal("traced run collected no traces")
+	}
+	if cold.SpanHash != warm.SpanHash {
+		t.Errorf("span-tree hashes differ across same-process reruns: %016x vs %016x",
+			cold.SpanHash, warm.SpanHash)
+	}
+	if cold.StmtStats != warm.StmtStats {
+		t.Errorf("statement statistics differ across same-process reruns:\n%s\nvs\n%s",
+			cold.StmtStats, warm.StmtStats)
+	}
+	if cold.StmtStats == "" {
+		t.Error("statement statistics empty after MovR run")
+	}
+	if cold.FinalTime != warm.FinalTime {
+		t.Errorf("virtual end time differs: %v vs %v", cold.FinalTime, warm.FinalTime)
+	}
+	if !reflect.DeepEqual(cold.UserRows, warm.UserRows) {
+		t.Errorf("query results differ: %v vs %v", cold.UserRows, warm.UserRows)
+	}
+	if !reflect.DeepEqual(cold.Signup, warm.Signup) ||
+		!reflect.DeepEqual(cold.Ride, warm.Ride) ||
+		!reflect.DeepEqual(cold.Browse, warm.Browse) {
+		t.Error("latency samples differ across same-process reruns")
 	}
 }

@@ -20,6 +20,7 @@ package obs
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"strings"
 
 	"mrdb/internal/sim"
@@ -59,6 +60,15 @@ type Span struct {
 	Start   sim.Time
 	End     sim.Time
 	Tags    []Tag
+
+	// tagbuf backs Tags for the first few tags so typical spans (the hot
+	// path averages 1-3 tags) never allocate a tag slice; Tags spills to the
+	// heap only beyond len(tagbuf).
+	tagbuf [4]Tag
+	// prevIn/procIn restore the process's current span when a span started
+	// with StartIn/StartRootIn ends.
+	prevIn *Span
+	procIn *sim.Proc
 }
 
 // Ctx returns the span's context (zero value for a nil span).
@@ -84,13 +94,20 @@ func (s *Span) SetTag(key, value string) *Span {
 	return s
 }
 
-// SetTagInt annotates the span with an integer value.
+// SetTagInt annotates the span with an integer value. The nil check comes
+// first so untraced call sites pay nothing for formatting.
 func (s *Span) SetTagInt(key string, value int64) *Span {
-	return s.SetTag(key, fmt.Sprintf("%d", value))
+	if s == nil {
+		return nil
+	}
+	return s.SetTag(key, strconv.FormatInt(value, 10))
 }
 
 // SetTagDuration annotates the span with a virtual duration.
 func (s *Span) SetTagDuration(key string, d sim.Duration) *Span {
+	if s == nil {
+		return nil
+	}
 	return s.SetTag(key, d.String())
 }
 
@@ -229,7 +246,17 @@ type Tracer struct {
 	nextSpan  uint64
 	traces    map[TraceID]*Trace
 	order     []TraceID
+
+	// arena backs span storage in fixed-size slabs: one allocation per
+	// spanChunk spans instead of one per span. Spans are retained for the
+	// lifetime of the run (they are the determinism oracle), so slabs are
+	// never recycled — pointers into them stay valid forever.
+	arena    []Span
+	arenaPos int
 }
+
+// spanChunk is the slab size of the span arena.
+const spanChunk = 256
 
 // NewTracer returns a disabled tracer bound to s; call SetEnabled(true) to
 // start recording.
@@ -249,13 +276,18 @@ func (t *Tracer) Enabled() bool { return t != nil && t.enabled }
 
 func (t *Tracer) newSpan(name string, trace TraceID, parent SpanID) *Span {
 	t.nextSpan++
-	s := &Span{
-		tr:      t,
-		Context: SpanContext{Trace: trace, Span: SpanID(t.nextSpan)},
-		Parent:  parent,
-		Name:    name,
-		Start:   t.sim.Now(),
+	if t.arenaPos == len(t.arena) {
+		t.arena = make([]Span, spanChunk)
+		t.arenaPos = 0
 	}
+	s := &t.arena[t.arenaPos]
+	t.arenaPos++
+	s.tr = t
+	s.Context = SpanContext{Trace: trace, Span: SpanID(t.nextSpan)}
+	s.Parent = parent
+	s.Name = name
+	s.Start = t.sim.Now()
+	s.Tags = s.tagbuf[:0]
 	tr := t.traces[trace]
 	if tr == nil {
 		tr = &Trace{ID: trace}
@@ -355,13 +387,23 @@ func (t *Tracer) StartIn(p *sim.Proc, name string) (*Span, func()) {
 	prev := ProcSpan(p)
 	s := t.StartChild(name, prev)
 	if s == nil {
-		return nil, func() {}
+		return nil, nopDone
 	}
+	s.prevIn, s.procIn = prev, p
 	SetProcSpan(p, s)
-	return s, func() {
-		s.Finish()
-		SetProcSpan(p, prev)
-	}
+	return s, s.endIn
+}
+
+// nopDone is the shared no-op finisher returned when no span was started.
+var nopDone = func() {}
+
+// endIn finishes the span and restores the process's previous current span.
+// Returned as a method value from StartIn/StartRootIn: one small allocation
+// instead of a closure capturing three variables.
+func (s *Span) endIn() {
+	s.Finish()
+	SetProcSpan(s.procIn, s.prevIn)
+	s.prevIn, s.procIn = nil, nil
 }
 
 // StartRootIn is StartIn, except that when p has no current span and the
@@ -373,11 +415,9 @@ func (t *Tracer) StartRootIn(p *sim.Proc, name string) (*Span, func()) {
 	}
 	s := t.StartRoot(name)
 	if s == nil {
-		return nil, func() {}
+		return nil, nopDone
 	}
+	s.prevIn, s.procIn = nil, p
 	SetProcSpan(p, s)
-	return s, func() {
-		s.Finish()
-		SetProcSpan(p, nil)
-	}
+	return s, s.endIn
 }

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"testing"
+
+	"mrdb/internal/sim"
+)
+
+// BenchmarkStartSpanFinish measures the server-side span path: a child span
+// under a live trace with the usual tag load, then finished. With the arena
+// this is the steady-state cost of tracing one RPC hop.
+func BenchmarkStartSpanFinish(b *testing.B) {
+	s := sim.New(1)
+	tr := NewTracer(s)
+	tr.SetEnabled(true)
+	root := tr.StartRoot("txn")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		child := tr.StartSpan("replica.eval", root.Ctx())
+		child.SetTagInt("node", 3).SetTagInt("range", 7).SetTag("req", "*kv.GetRequest")
+		child.Finish()
+	}
+}
+
+// BenchmarkStartInFinish measures the proc-scoped variant used by the txn
+// and SQL layers: StartIn pushes the span onto the proc, the returned done
+// restores the previous one. The method-value finisher is the single
+// remaining allocation on this path.
+func BenchmarkStartInFinish(b *testing.B) {
+	s := sim.New(2)
+	tr := NewTracer(s)
+	tr.SetEnabled(true)
+	b.ReportAllocs()
+	s.Spawn("bench", func(p *sim.Proc) {
+		_, rootDone := tr.StartRootIn(p, "stmt")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp, done := tr.StartIn(p, "kv.send")
+			sp.SetTagDuration("wait", 3*sim.Millisecond)
+			done()
+		}
+		b.StopTimer()
+		rootDone()
+	})
+	s.Run()
+}
+
+// TestSpanPathAllocs pins the child-span path's steady-state allocation
+// count: spans come from 256-span arena slabs and the inline tag buffer
+// absorbs the usual tag load, so starting and finishing a tagged child must
+// stay under 0.1 allocations amortized (the slab costs ~1 allocation per
+// 256 spans; the trace's span list doubles geometrically).
+func TestSpanPathAllocs(t *testing.T) {
+	s := sim.New(3)
+	tr := NewTracer(s)
+	tr.SetEnabled(true)
+	root := tr.StartRoot("op")
+	// Warm: first slabs and span-list growth.
+	for i := 0; i < 2048; i++ {
+		sp := tr.StartSpan("warm", root.Ctx())
+		sp.Finish()
+	}
+	per := testing.AllocsPerRun(4096, func() {
+		child := tr.StartSpan("child", root.Ctx())
+		child.SetTagInt("node", 3).SetTag("req", "*kv.GetRequest")
+		child.Finish()
+	})
+	if per > 0.1 {
+		t.Fatalf("child span start/finish allocates %.3f objects/run, want <= 0.1", per)
+	}
+}

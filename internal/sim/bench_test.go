@@ -2,11 +2,11 @@ package sim
 
 import "testing"
 
-// BenchmarkEventQueue measures the raw event-queue throughput: one proc
-// sleeping in a tight loop, so each iteration is a schedule + pop + resume
-// round through the heap. This is the floor every simulated RPC pays twice.
-func BenchmarkEventQueue(b *testing.B) {
-	s := New(1)
+// benchEventQueue measures raw event-queue throughput: one proc sleeping in
+// a tight loop, so each iteration is a schedule + pop + resume round through
+// the heap. This is the floor every simulated RPC pays twice.
+func benchEventQueue(b *testing.B, s *Simulation) {
+	b.ReportAllocs()
 	s.Spawn("bench", func(p *Proc) {
 		for i := 0; i < b.N; i++ {
 			p.Sleep(Millisecond)
@@ -16,15 +16,18 @@ func BenchmarkEventQueue(b *testing.B) {
 	s.Run()
 }
 
-// BenchmarkSpawnFanOut measures proc spawn/join overhead: each iteration
-// spawns a batch of procs that sleep once and rejoin through a WaitGroup —
-// the shape of a DistSender per-range fan-out.
-func BenchmarkSpawnFanOut(b *testing.B) {
+func BenchmarkEventQueue(b *testing.B)       { benchEventQueue(b, New(1)) }
+func BenchmarkEventQueueLegacy(b *testing.B) { benchEventQueue(b, NewLegacy(1)) }
+
+// benchSpawnFanOut measures proc spawn/join overhead: each iteration spawns
+// a batch of procs that sleep once and rejoin through a WaitGroup — the
+// shape of a DistSender per-range fan-out.
+func benchSpawnFanOut(b *testing.B, s *Simulation) {
 	const fan = 8
-	s := New(1)
+	b.ReportAllocs()
 	s.Spawn("bench", func(p *Proc) {
 		for i := 0; i < b.N; i++ {
-			wg := NewWaitGroup(s)
+			wg := s.GetWaitGroup()
 			for j := 0; j < fan; j++ {
 				wg.Add(1)
 				s.Spawn("worker", func(wp *Proc) {
@@ -33,15 +36,20 @@ func BenchmarkSpawnFanOut(b *testing.B) {
 				})
 			}
 			wg.Wait(p)
+			wg.Release()
 		}
 	})
 	b.ResetTimer()
 	s.Run()
 }
 
+func BenchmarkSpawnFanOut(b *testing.B)       { benchSpawnFanOut(b, New(1)) }
+func BenchmarkSpawnFanOutLegacy(b *testing.B) { benchSpawnFanOut(b, NewLegacy(1)) }
+
 // BenchmarkScheduleDrain measures bare callback scheduling: b.N events
 // pushed onto the queue, then drained in one Run.
 func BenchmarkScheduleDrain(b *testing.B) {
+	b.ReportAllocs()
 	s := New(1)
 	for i := 0; i < b.N; i++ {
 		s.After(Duration(i%1000)*Microsecond, func() {})

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// schedulerWorkload drives a randomized mix of every scheduler feature —
+// sleeps, mailbox rendezvous, futures, waitgroup fan-outs, bare callbacks —
+// and records the (virtual time, kind) of every observed step plus the
+// consumer-side message trace. Used to pin the optimized scheduler against
+// the legacy arm event-for-event.
+func schedulerWorkload(s *Simulation) (steps []Time, trace []Time) {
+	s.stepHook = func(at Time) { steps = append(steps, at) }
+	m := NewMailbox[int](s)
+	f := NewFuture[string](s)
+	for i := 0; i < 8; i++ {
+		s.Spawn("producer", func(p *Proc) {
+			for j := 0; j < 12; j++ {
+				p.Sleep(Duration(p.Rand().Intn(700)) * Microsecond)
+				m.Send(j)
+			}
+		})
+	}
+	s.Spawn("fanout", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			wg := s.GetWaitGroup()
+			for j := 0; j < 4; j++ {
+				wg.Add(1)
+				s.Spawn("child", func(cp *Proc) {
+					defer wg.Done()
+					cp.Sleep(Duration(cp.Rand().Intn(300)) * Microsecond)
+				})
+			}
+			wg.Wait(p)
+			wg.Release()
+		}
+		f.Set("fanout-done")
+	})
+	s.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 96; i++ {
+			m.Recv(p)
+			trace = append(trace, p.Now())
+		}
+		f.Wait(p)
+	})
+	s.Spawn("timeouts", func(p *Proc) {
+		g := NewFuture[int](s)
+		g.WaitTimeout(p, 3*Millisecond)
+		f.WaitTimeout(p, Second)
+	})
+	s.Schedule(Time(2*Millisecond), func() { m.Send(-1) })
+	s.Run()
+	return steps, trace
+}
+
+// TestLegacySchedulerEquivalence pins the optimized scheduler (value-event
+// 4-ary heap, direct proc wakes, pooled goroutines, self-wake fast path)
+// against the retained legacy scheduler: both must execute the identical
+// event sequence at identical virtual times for the same seed. Any
+// optimization that perturbs event order fails here before it can corrupt a
+// span-hash oracle downstream.
+func TestLegacySchedulerEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 999} {
+		newSteps, newTrace := schedulerWorkload(New(seed))
+		legSteps, legTrace := schedulerWorkload(NewLegacy(seed))
+		if len(newSteps) != len(legSteps) {
+			t.Fatalf("seed %d: step counts differ: optimized %d vs legacy %d",
+				seed, len(newSteps), len(legSteps))
+		}
+		for i := range newSteps {
+			if newSteps[i] != legSteps[i] {
+				t.Fatalf("seed %d: step %d diverged: optimized %v vs legacy %v",
+					seed, i, newSteps[i], legSteps[i])
+			}
+		}
+		if len(newTrace) != len(legTrace) {
+			t.Fatalf("seed %d: trace lengths differ: %d vs %d", seed, len(newTrace), len(legTrace))
+		}
+		for i := range newTrace {
+			if newTrace[i] != legTrace[i] {
+				t.Fatalf("seed %d: trace %d diverged: %v vs %v", seed, i, newTrace[i], legTrace[i])
+			}
+		}
+	}
+}
+
+// TestScheduleInPastFIFO pins the clamp semantics satellite: events
+// scheduled with a timestamp in the past run at the current instant, ordered
+// strictly by schedule order (seq) among all same-instant events — a
+// past-timestamp Schedule cannot jump ahead of work already queued for now.
+func TestScheduleInPastFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(Time(10), func() {
+		s.Schedule(Time(10), func() { got = append(got, 1) }) // same instant
+		s.Schedule(Time(3), func() { got = append(got, 2) })  // past: clamps to 10
+		s.Schedule(Time(0), func() { got = append(got, 3) })  // past: clamps to 10
+		s.Schedule(Time(10), func() { got = append(got, 4) }) // same instant
+	})
+	s.Run()
+	if len(got) != 4 {
+		t.Fatalf("ran %d events, want 4", len(got))
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("past-clamped events not in FIFO seq order: %v", got)
+		}
+	}
+	if s.Now() != 10 {
+		t.Fatalf("clock rewound: now = %v, want 10", s.Now())
+	}
+}
+
+// TestAfterClampsNegative covers After's only remaining clamp: a negative
+// delay fires at the current instant (After skips Schedule's past-timestamp
+// branch because now+d can never be in the past for d >= 0).
+func TestAfterClampsNegative(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.Schedule(Time(5), func() {
+		s.After(-Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 5 {
+		t.Fatalf("negative After fired at %v, want 5", at)
+	}
+}
+
+// TestProcPoolReuse verifies finished proc goroutines are recycled: after a
+// wave of spawns completes, the next wave draws from the free list rather
+// than growing the goroutine count, and Run drains the pool on exit.
+func TestProcPoolReuse(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.Spawn("driver", func(p *Proc) {
+		for wave := 0; wave < 10; wave++ {
+			wg := s.GetWaitGroup()
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				s.Spawn("w", func(wp *Proc) {
+					defer wg.Done()
+					wp.Sleep(Millisecond)
+					ran++
+				})
+			}
+			wg.Wait(p)
+			wg.Release()
+		}
+	})
+	before := runtime.NumGoroutine()
+	s.Run()
+	if ran != 80 {
+		t.Fatalf("ran %d workers, want 80", ran)
+	}
+	if n := len(s.freeProcs); n != 0 {
+		t.Fatalf("Run left %d procs in the free list, want 0", n)
+	}
+	// Drained goroutines exit asynchronously; poll briefly before declaring
+	// a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before Run, %d after", before, after)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWaitGroupPoolSafety verifies Release refuses to pool a WaitGroup that
+// is still in use, so a buggy early Release cannot cause cross-talk.
+func TestWaitGroupPoolSafety(t *testing.T) {
+	s := New(1)
+	wg := s.GetWaitGroup()
+	wg.Add(1)
+	wg.Release() // in use: must not pool
+	if got := s.GetWaitGroup(); got == wg {
+		t.Fatal("Release pooled a WaitGroup with a non-zero count")
+	}
+	wg.Done()
+	wg.Release()
+	if got := s.GetWaitGroup(); got != wg {
+		t.Fatal("idle WaitGroup was not recycled")
+	}
+}
+
+// TestSteadyStateSleepAllocs asserts the core event loop is allocation-free
+// at steady state: after warm-up, a proc sleeping in a loop must not
+// allocate per event (the legacy scheduler paid two allocations per sleep).
+func TestSteadyStateSleepAllocs(t *testing.T) {
+	s := New(1)
+	var perSleep float64
+	s.Spawn("bench", func(p *Proc) {
+		const warm, n = 64, 2048
+		for i := 0; i < warm; i++ {
+			p.Sleep(Microsecond)
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < n; i++ {
+			p.Sleep(Microsecond)
+		}
+		runtime.ReadMemStats(&after)
+		perSleep = float64(after.Mallocs-before.Mallocs) / n
+	})
+	s.Run()
+	if perSleep > 0.05 {
+		t.Fatalf("steady-state sleep allocates %.3f objects/event, want ~0", perSleep)
+	}
+}
+
+// TestStopDuringFastPath ensures Stop still halts a proc that has been
+// consuming its own wake events through the self-wake fast path.
+func TestStopDuringFastPath(t *testing.T) {
+	s := New(1)
+	iters := 0
+	s.Spawn("spinner", func(p *Proc) {
+		for {
+			p.Sleep(Millisecond)
+			iters++
+		}
+	})
+	s.Schedule(Time(5*Millisecond)+1, func() { s.Stop() })
+	s.Run()
+	if iters > 6 {
+		t.Fatalf("proc ran %d iterations past Stop", iters)
+	}
+}
+
+// TestRunUntilBoundsFastPath ensures the self-wake fast path respects
+// RunUntil's deadline: a proc must not pop its own wake event scheduled
+// beyond the bound.
+func TestRunUntilBoundsFastPath(t *testing.T) {
+	s := New(1)
+	var wokeAt []Time
+	s.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10 * Millisecond)
+			wokeAt = append(wokeAt, p.Now())
+		}
+	})
+	s.RunUntil(Time(15 * Millisecond))
+	if len(wokeAt) != 1 {
+		t.Fatalf("woke %d times inside bound, want 1 (wokeAt=%v)", len(wokeAt), wokeAt)
+	}
+	if s.Now() != Time(15*Millisecond) {
+		t.Fatalf("now = %v, want 15ms", s.Now())
+	}
+	s.Run()
+	if len(wokeAt) != 3 {
+		t.Fatalf("woke %d times total, want 3", len(wokeAt))
+	}
+}

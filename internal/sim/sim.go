@@ -12,6 +12,16 @@
 // Concurrency model: exactly one goroutine (either the scheduler or a single
 // process) executes at any moment. Control is handed off through per-process
 // channels. Shared state touched only from Procs therefore needs no locking.
+//
+// Wall-clock performance: the event queue is an inlined 4-ary heap over
+// event values (no per-event boxing, no container/heap interface calls),
+// process wake-ups are value events that resume the process directly (no
+// closure per wake), and finished processes park their goroutines in a free
+// list so the next Spawn reuses the goroutine, its stack, and its wake
+// channel. None of this changes the (at, seq) total order events execute in,
+// so same-seed runs stay byte-identical — TestLegacySchedulerEquivalence
+// pins that against the original boxed-heap scheduler, which survives behind
+// NewLegacy as the "before" arm of the BENCH_speed trajectory.
 package sim
 
 import (
@@ -47,24 +57,93 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // String renders the time as a duration since simulation start.
 func (t Time) String() string { return Duration(t).String() }
 
+// event is one queue entry. Exactly one of fn and proc is set: fn events run
+// a callback in scheduler context; proc events hand control to a parked
+// process (start=true hands it to a process that has not started yet).
+// Events are stored by value — scheduling allocates nothing beyond amortized
+// queue growth.
 type event struct {
-	at  Time
-	seq int64 // tie-break for determinism
-	fn  func()
+	at    Time
+	seq   int64 // tie-break for determinism
+	fn    func()
+	proc  *Proc
+	start bool
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
+
+// fourAryHeap is the default event queue: a d=4 min-heap over event values.
+// Shallower than a binary heap (fewer cache lines touched per op) and free
+// of the interface conversions container/heap imposes.
+type fourAryHeap []event
+
+func (h *fourAryHeap) push(e event) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.before(&q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = e
+	*h = q
+}
+
+func (h *fourAryHeap) pop() event {
+	q := *h
+	n := len(q)
+	min := q[0]
+	last := q[n-1]
+	q[n-1] = event{} // release fn/proc references
+	q = q[:n-1]
+	if n := len(q); n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if q[j].before(&q[m]) {
+					m = j
+				}
+			}
+			if !q[m].before(&last) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = last
+	}
+	*h = q
+	return min
+}
+
+// legacyEventHeap is the pre-optimization event queue: boxed *event entries
+// behind container/heap. It is retained as the measurable "before" arm of
+// the wall-clock perf trajectory (NewLegacy, `mrbench speed`); production
+// simulations never use it.
+type legacyEventHeap []*event
+
+func (h legacyEventHeap) Len() int            { return len(h) }
+func (h legacyEventHeap) Less(i, j int) bool  { return h[i].before(h[j]) }
+func (h legacyEventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *legacyEventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *legacyEventHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	e := old[n-1]
@@ -73,15 +152,40 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
+// maxFreeProcs caps the per-simulation pool of finished processes kept
+// parked for reuse; beyond it, finished goroutines exit as before. Run
+// drains the pool when the queue empties so idle simulations hold no
+// goroutines.
+const maxFreeProcs = 64
+
+// maxFreeWaitGroups caps the WaitGroup free list.
+const maxFreeWaitGroups = 32
+
 // Simulation owns the virtual clock and the event queue.
 type Simulation struct {
 	now     Time
-	queue   eventHeap
+	queue   fourAryHeap
+	lq      legacyEventHeap // event queue when legacy is set
+	legacy  bool
 	seq     int64
+	events  int64 // events executed (wall-clock throughput denominator)
 	rng     *rand.Rand
 	yield   chan struct{} // signalled when the running proc parks or exits
 	procs   int           // live (not yet finished) processes
 	stopped bool
+
+	freeProcs []*Proc      // finished procs parked for reuse
+	freeWGs   []*WaitGroup // released WaitGroups
+
+	// infn counts scheduler callbacks currently on the stack; the self-wake
+	// fast path in park is disabled while one runs so a callback always
+	// finishes before the next event pops (see park).
+	infn int
+	// bounded/deadline mirror RunUntil's time bound so the self-wake fast
+	// path never pops an event the bounded run would have left queued.
+	bounded  bool
+	deadline Time
+
 	// stepHook, if set, is invoked before each event executes. Used by
 	// tests to observe scheduling.
 	stepHook func(at Time)
@@ -95,24 +199,83 @@ func New(seed int64) *Simulation {
 	}
 }
 
+// NewLegacy returns a Simulation running the pre-optimization scheduler:
+// boxed events on a container/heap binary heap, a scheduled closure per
+// process wake-up, and a fresh goroutine per Spawn. It exists solely as the
+// "before" arm of the wall-clock perf trajectory; event order is identical
+// to New (TestLegacySchedulerEquivalence).
+func NewLegacy(seed int64) *Simulation {
+	s := New(seed)
+	s.legacy = true
+	return s
+}
+
 // Now returns the current virtual time.
 func (s *Simulation) Now() Time { return s.now }
+
+// Events returns the number of events executed so far. It is a wall-clock
+// throughput denominator for the perf harness; virtual time never depends
+// on it.
+func (s *Simulation) Events() int64 { return s.events }
 
 // Rand returns the simulation's deterministic random source. It must only be
 // used from scheduler callbacks or running Procs.
 func (s *Simulation) Rand() *rand.Rand { return s.rng }
+
+// push enqueues e under the next sequence number.
+func (s *Simulation) push(e event) {
+	s.seq++
+	e.seq = s.seq
+	if s.legacy {
+		boxed := e
+		heap.Push(&s.lq, &boxed)
+		return
+	}
+	s.queue.push(e)
+}
+
+func (s *Simulation) queueLen() int {
+	if s.legacy {
+		return len(s.lq)
+	}
+	return len(s.queue)
+}
+
+func (s *Simulation) peekAt() Time {
+	if s.legacy {
+		return s.lq[0].at
+	}
+	return s.queue[0].at
+}
 
 // Schedule runs fn at virtual time at (or now, if at is in the past).
 func (s *Simulation) Schedule(at Time, fn func()) {
 	if at < s.now {
 		at = s.now
 	}
-	s.seq++
-	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+	s.push(event{at: at, fn: fn})
 }
 
-// After runs fn d after the current virtual time.
-func (s *Simulation) After(d Duration, fn func()) { s.Schedule(s.now.Add(d), fn) }
+// After runs fn d after the current virtual time. Negative delays clamp to
+// zero; because the target time is derived from the current clock it can
+// never be in the past, so After skips Schedule's past-clamp branch.
+func (s *Simulation) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.push(event{at: s.now.Add(d), fn: fn})
+}
+
+// wakeAt schedules p to resume at time at. In the default scheduler this is
+// a value event that resumes the process directly; the legacy arm models
+// the original cost (a closure scheduled per wake).
+func (s *Simulation) wakeAt(at Time, p *Proc) {
+	if s.legacy {
+		s.Schedule(at, func() { p.resumeNow() })
+		return
+	}
+	s.push(event{at: at, proc: p})
+}
 
 // Stop halts the simulation: Run returns after the current event completes
 // and pending events are discarded.
@@ -121,17 +284,21 @@ func (s *Simulation) Stop() { s.stopped = true }
 // Run executes events until the queue is empty or Stop is called. It returns
 // the final virtual time.
 func (s *Simulation) Run() Time {
-	for !s.stopped && len(s.queue) > 0 {
+	s.bounded = false
+	for !s.stopped && s.queueLen() > 0 {
 		s.step()
 	}
+	s.drainFreeProcs()
 	return s.now
 }
 
 // RunUntil executes events with timestamps <= t, then sets the clock to t.
 func (s *Simulation) RunUntil(t Time) {
-	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= t {
+	s.bounded, s.deadline = true, t
+	for !s.stopped && s.queueLen() > 0 && s.peekAt() <= t {
 		s.step()
 	}
+	s.bounded = false
 	if !s.stopped && s.now < t {
 		s.now = t
 	}
@@ -141,24 +308,53 @@ func (s *Simulation) RunUntil(t Time) {
 func (s *Simulation) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
 
 func (s *Simulation) step() {
-	e := heap.Pop(&s.queue).(*event)
+	var e event
+	if s.legacy {
+		e = *heap.Pop(&s.lq).(*event)
+	} else {
+		e = s.queue.pop()
+	}
 	if e.at > s.now {
 		s.now = e.at
 	}
 	if s.stepHook != nil {
 		s.stepHook(s.now)
 	}
-	e.fn()
+	s.events++
+	switch {
+	case e.proc == nil:
+		s.infn++
+		e.fn()
+		s.infn--
+	case e.start:
+		e.proc.startRun()
+	default:
+		e.proc.resumeNow()
+	}
+}
+
+// drainFreeProcs retires pooled goroutines so a finished simulation holds
+// none. Called when Run exhausts the queue.
+func (s *Simulation) drainFreeProcs() {
+	for i, p := range s.freeProcs {
+		p.exit = true
+		p.wake <- struct{}{}
+		s.freeProcs[i] = nil
+	}
+	s.freeProcs = s.freeProcs[:0]
 }
 
 // Proc is a cooperative green thread. A Proc's function runs on its own
 // goroutine, but only ever concurrently with nothing else: it holds the
 // simulation's execution token between calls to blocking primitives.
 type Proc struct {
-	sim  *Simulation
-	name string
-	wake chan struct{}
-	done bool
+	sim     *Simulation
+	name    string
+	wake    chan struct{}
+	fn      func(p *Proc)
+	done    bool
+	started bool // goroutine exists (possibly parked in the free list)
+	exit    bool // parked goroutine should retire instead of running fn
 
 	// obsctx is an opaque slot for the observability layer (the process's
 	// current trace span). sim knows nothing about its type; it exists here
@@ -191,27 +387,108 @@ func (s *Simulation) Spawn(name string, fn func(p *Proc)) {
 	s.SpawnAt(s.now, name, fn)
 }
 
-// SpawnAt starts fn as a new process at time at.
+// SpawnAt starts fn as a new process at time at. When a finished process is
+// parked in the free list its goroutine, stack, and wake channel are reused;
+// otherwise a fresh goroutine starts when the event fires.
 func (s *Simulation) SpawnAt(at Time, name string, fn func(p *Proc)) {
-	p := &Proc{sim: s, name: name, wake: make(chan struct{})}
+	var p *Proc
+	if n := len(s.freeProcs); n > 0 {
+		p = s.freeProcs[n-1]
+		s.freeProcs[n-1] = nil
+		s.freeProcs = s.freeProcs[:n-1]
+		p.name = name
+		p.done = false
+		p.obsctx = nil
+	} else {
+		p = &Proc{sim: s, name: name, wake: make(chan struct{})}
+	}
+	p.fn = fn
 	s.procs++
-	s.Schedule(at, func() {
-		go func() {
+	if s.legacy {
+		s.Schedule(at, func() { p.startRun() })
+		return
+	}
+	if at < s.now {
+		at = s.now
+	}
+	s.push(event{at: at, proc: p, start: true})
+}
+
+// startRun hands the execution token to a process that has not run its
+// current fn yet, launching its goroutine on first use.
+func (p *Proc) startRun() {
+	if p.started {
+		p.wake <- struct{}{}
+	} else {
+		p.started = true
+		go p.run()
+	}
+	<-p.sim.yield
+}
+
+// run is the body of a process goroutine: execute fn, then either retire or
+// park in the simulation's free list awaiting the next Spawn. The inner
+// closure's deferred handoff keeps the scheduler alive when fn unwinds
+// abnormally (runtime.Goexit from t.Fatal, or a panic mid-crash).
+func (p *Proc) run() {
+	s := p.sim
+	for {
+		normal := false
+		func() {
 			defer func() {
-				p.done = true
-				s.procs--
-				s.yield <- struct{}{}
+				if !normal {
+					p.done = true
+					s.procs--
+					s.yield <- struct{}{}
+				}
 			}()
-			fn(p)
+			p.fn(p)
+			normal = true
 		}()
-		<-s.yield // wait for the proc to park or finish
-	})
+		p.fn = nil
+		p.done = true
+		s.procs--
+		if s.legacy || len(s.freeProcs) >= maxFreeProcs {
+			s.yield <- struct{}{}
+			return
+		}
+		s.freeProcs = append(s.freeProcs, p)
+		s.yield <- struct{}{}
+		<-p.wake
+		if p.exit {
+			return
+		}
+	}
 }
 
 // park suspends the calling process until something calls p.resume via a
 // scheduled event. The scheduler regains control.
+//
+// Fast path: when the queue head is this process's own wake event, handing
+// the token to the scheduler would only pop that event and hand the token
+// straight back — two goroutine switches for nothing. The process pops the
+// event itself (same event the scheduler would have popped, so the (at, seq)
+// execution order is untouched) and keeps running. The path is disabled
+// while a scheduler callback is mid-flight (the callback must finish before
+// the next event executes), when a bounded run would have left the event
+// queued, and in the legacy arm.
 func (p *Proc) park() {
-	p.sim.yield <- struct{}{}
+	s := p.sim
+	if !s.legacy && s.infn == 0 && !s.stopped && len(s.queue) > 0 {
+		if top := &s.queue[0]; top.proc == p && !top.start &&
+			(!s.bounded || top.at <= s.deadline) {
+			e := s.queue.pop()
+			if e.at > s.now {
+				s.now = e.at
+			}
+			if s.stepHook != nil {
+				s.stepHook(s.now)
+			}
+			s.events++
+			return
+		}
+	}
+	s.yield <- struct{}{}
 	<-p.wake
 }
 
@@ -222,14 +499,14 @@ func (p *Proc) resumeNow() {
 	<-p.sim.yield
 }
 
-// Sleep suspends the process for d of virtual time.
+// Sleep suspends the process for d of virtual time. Even a zero-length
+// sleep yields, putting the proc behind already-queued events at the
+// current instant.
 func (p *Proc) Sleep(d Duration) {
-	if d <= 0 {
-		// Even a zero-length sleep yields, putting the proc behind
-		// already-queued events at the current instant.
+	if d < 0 {
 		d = 0
 	}
-	p.sim.After(d, func() { p.resumeNow() })
+	p.sim.wakeAt(p.sim.now.Add(d), p)
 	p.park()
 }
 
@@ -258,6 +535,12 @@ func NewFuture[T any](s *Simulation) *Future[T] {
 	return &Future[T]{sim: s}
 }
 
+// MakeFuture returns an empty future bound to s by value, for embedding in
+// a caller's own allocation. The future must not be copied once waited on.
+func MakeFuture[T any](s *Simulation) Future[T] {
+	return Future[T]{sim: s}
+}
+
 // Set fulfills the future and wakes all waiters. Calling Set twice panics:
 // a future is a one-shot rendezvous.
 func (f *Future[T]) Set(v T) {
@@ -269,8 +552,7 @@ func (f *Future[T]) Set(v T) {
 	waiters := f.waiters
 	f.waiters = nil
 	for _, w := range waiters {
-		w := w
-		f.sim.Schedule(f.sim.now, func() { w.resumeNow() })
+		f.sim.wakeAt(f.sim.now, w)
 	}
 }
 
@@ -348,7 +630,7 @@ func (m *Mailbox[T]) wakeOne() {
 	}
 	w := m.waiters[0]
 	m.waiters = m.waiters[1:]
-	m.sim.Schedule(m.sim.now, func() { w.resumeNow() })
+	m.sim.wakeAt(m.sim.now, w)
 }
 
 // Close marks the mailbox closed; waiting and future receivers get ok=false
@@ -358,8 +640,7 @@ func (m *Mailbox[T]) Close() {
 	waiters := m.waiters
 	m.waiters = nil
 	for _, w := range waiters {
-		w := w
-		m.sim.Schedule(m.sim.now, func() { w.resumeNow() })
+		m.sim.wakeAt(m.sim.now, w)
 	}
 }
 
@@ -397,6 +678,29 @@ type WaitGroup struct {
 // NewWaitGroup returns a WaitGroup bound to s.
 func NewWaitGroup(s *Simulation) *WaitGroup { return &WaitGroup{sim: s} }
 
+// GetWaitGroup returns a WaitGroup from the simulation's free list, or a
+// fresh one. Hot fan-out paths pair it with Release so steady state
+// allocates no WaitGroups.
+func (s *Simulation) GetWaitGroup() *WaitGroup {
+	if n := len(s.freeWGs); n > 0 && !s.legacy {
+		wg := s.freeWGs[n-1]
+		s.freeWGs[n-1] = nil
+		s.freeWGs = s.freeWGs[:n-1]
+		return wg
+	}
+	return &WaitGroup{sim: s}
+}
+
+// Release returns an idle WaitGroup to the simulation's free list. Calling
+// it on a WaitGroup with a non-zero count or parked waiters is a no-op.
+func (wg *WaitGroup) Release() {
+	s := wg.sim
+	if wg.count != 0 || len(wg.waiters) != 0 || s.legacy || len(s.freeWGs) >= maxFreeWaitGroups {
+		return
+	}
+	s.freeWGs = append(s.freeWGs, wg)
+}
+
 // Add increments the counter by n.
 func (wg *WaitGroup) Add(n int) { wg.count += n }
 
@@ -410,8 +714,7 @@ func (wg *WaitGroup) Done() {
 		waiters := wg.waiters
 		wg.waiters = nil
 		for _, w := range waiters {
-			w := w
-			wg.sim.Schedule(wg.sim.now, func() { w.resumeNow() })
+			wg.sim.wakeAt(wg.sim.now, w)
 		}
 	}
 }
@@ -447,8 +750,7 @@ func (c *Cond) Broadcast() {
 	waiters := c.waiters
 	c.waiters = nil
 	for _, w := range waiters {
-		w := w
-		c.sim.Schedule(c.sim.now, func() { w.resumeNow() })
+		c.sim.wakeAt(c.sim.now, w)
 	}
 }
 
@@ -459,7 +761,7 @@ func (c *Cond) Signal() {
 	}
 	w := c.waiters[0]
 	c.waiters = c.waiters[1:]
-	c.sim.Schedule(c.sim.now, func() { w.resumeNow() })
+	c.sim.wakeAt(c.sim.now, w)
 }
 
 // Ticker invokes fn every interval until the returned stop function is

@@ -128,6 +128,11 @@ type Iterator struct {
 // NewIterator returns an unpositioned iterator; call SeekGE or First.
 func (l *List) NewIterator() *Iterator { return &Iterator{list: l} }
 
+// Iter returns an unpositioned iterator by value, so iteration-heavy paths
+// (MVCC scans, GC sweeps, snapshot copies) keep it on the stack instead of
+// allocating one per traversal.
+func (l *List) Iter() Iterator { return Iterator{list: l} }
+
 // First positions at the smallest key.
 func (it *Iterator) First() { it.cur = it.list.head.next[0] }
 

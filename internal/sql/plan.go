@@ -316,7 +316,7 @@ func (s *Session) fetchPoint(p *sim.Proc, f rowFetcher, plan *readPlan) ([]table
 			err error
 		}
 		slots := make([]result, len(regions)*len(tuples))
-		wg := sim.NewWaitGroup(p.Sim())
+		wg := p.Sim().GetWaitGroup()
 		parent := obs.ProcSpan(p)
 		i := 0
 		for _, region := range regions {
@@ -333,6 +333,7 @@ func (s *Session) fetchPoint(p *sim.Proc, f rowFetcher, plan *readPlan) ([]table
 			}
 		}
 		wg.Wait(p)
+		wg.Release()
 		var rows []tableRow
 		foundTuple := make([]bool, len(tuples))
 		i = 0
@@ -476,7 +477,7 @@ func (s *Session) fetchScan(p *sim.Proc, f rowFetcher, plan *readPlan) ([]tableR
 		err  error
 	}
 	slots := make([]result, len(plan.regions))
-	wg := sim.NewWaitGroup(p.Sim())
+	wg := p.Sim().GetWaitGroup()
 	parent := obs.ProcSpan(p)
 	for i, region := range plan.regions {
 		i, region := i, region
@@ -514,6 +515,7 @@ func (s *Session) fetchScan(p *sim.Proc, f rowFetcher, plan *readPlan) ([]tableR
 		})
 	}
 	wg.Wait(p)
+	wg.Release()
 	var out []tableRow
 	for _, r := range slots {
 		if r.err != nil {

@@ -239,7 +239,7 @@ func (t *Txn) refreshReads(p *sim.Proc, newTS hlc.Timestamp) bool {
 	defer done()
 	sp.SetTagInt("spans", int64(len(t.reads)))
 	s := t.co.Store.Sim
-	wg := sim.NewWaitGroup(s)
+	wg := s.GetWaitGroup()
 	wg.Add(len(t.reads))
 	failed := false
 	for _, span := range t.reads {
@@ -260,6 +260,7 @@ func (t *Txn) refreshReads(p *sim.Proc, newTS hlc.Timestamp) bool {
 		})
 	}
 	wg.Wait(p)
+	wg.Release()
 	return !failed
 }
 
