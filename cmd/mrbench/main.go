@@ -17,6 +17,8 @@
 // migrating hotspot, online region add/drop) against the load-based
 // allocator and writes the latency trajectories to BENCH_elastic.json,
 // gating only on each trajectory re-converging to the pre-shift shape.
+// With -export-dir DIR each scenario also exports its virtual-time
+// timeseries (OpenMetrics) and traces (Jaeger UI JSON) into DIR.
 //
 // -full runs at a scale close to the paper's (minutes per figure); the
 // default quick scale (also spellable as -quick) finishes in seconds per
@@ -59,6 +61,7 @@ func run() int {
 	trace := flag.Bool("trace", false, "record spans; write fig3 phase histograms and enforce the commit-wait gate")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to FILE")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to FILE on exit")
+	exportDir := flag.String("export-dir", "", "write OpenMetrics timeseries and Jaeger traces from the elastic scenarios into DIR")
 	flag.Parse()
 
 	if *full && *quick {
@@ -99,6 +102,7 @@ func run() int {
 		scale = bench.Full()
 	}
 	bench.Trace = *trace
+	bench.ExportDir = *exportDir
 	experiments := flag.Args()
 	if len(experiments) == 0 {
 		experiments = []string{"all"}

@@ -9,6 +9,7 @@
 //	mrchaos -seed 42 -faults 25 -v
 //	mrchaos -seed 42 -verify   # run twice, check schedules match
 //	mrchaos -seed 42 -metrics  # include the full metrics registry in the report
+//	mrchaos -seed 42 -export-dir out  # write OpenMetrics + Jaeger artifacts
 //
 // -cpuprofile FILE / -memprofile FILE write pprof profiles covering the
 // whole run (including the -verify replay), for profiling the simulator
@@ -43,6 +44,7 @@ func run() int {
 	metrics := flag.Bool("metrics", false, "dump the full metrics registry into the report (covered by -verify)")
 	crashes := flag.Bool("crashes", false, "restrict the nemesis to crash/restart-from-disk faults")
 	elastic := flag.Bool("elastic", false, "enable the load-based allocator and replica migrator (nemesis-free unless -faults is set)")
+	exportDir := flag.String("export-dir", "", "write OpenMetrics timeseries and Jaeger traces into DIR after the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the whole run to FILE")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to FILE on exit")
 	flag.Parse()
@@ -100,6 +102,7 @@ func run() int {
 		Metrics:     *metrics,
 		CrashesOnly: *crashes,
 		Elastic:     *elastic,
+		ExportDir:   *exportDir,
 		Verbose:     *verbose,
 	}
 	rep, err := chaos.Run(opts)
@@ -111,6 +114,9 @@ func run() int {
 
 	if *verify {
 		opts.Verbose = false
+		// The export artifacts came from the first run; don't overwrite them
+		// (byte-identity of same-seed exports has its own test coverage).
+		opts.ExportDir = ""
 		rep2, err := chaos.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mrchaos: second run: %v\n", err)

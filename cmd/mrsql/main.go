@@ -8,7 +8,8 @@
 // Reads statements from stdin (or -e flags), one per line. Besides DDL and
 // DML this includes the introspection surface: EXPLAIN ANALYZE <stmt> and
 // SELECTs over the mrdb_internal virtual tables (statement_statistics,
-// contention_events, ranges, node_liveness, net_links). Meta-commands:
+// contention_events, ranges, node_liveness, timeseries, net_links).
+// Meta-commands:
 //
 //	\region <name>   switch the gateway region of the session
 //	\regions         list cluster regions
@@ -44,7 +45,10 @@ func main() {
 			Name: simnet.Region(strings.TrimSpace(r)), Zones: 3, NodesPerZone: 1,
 		})
 	}
-	c := cluster.New(cluster.Config{Seed: 1, Regions: specs, MaxOffset: 250 * sim.Millisecond})
+	// Sampling feeds mrdb_internal.timeseries, so interactive sessions can
+	// watch the cluster's trajectory; the shell's deferred Stop() terminates
+	// the sampler tickers with everything else.
+	c := cluster.New(cluster.Config{Seed: 1, Regions: specs, MaxOffset: 250 * sim.Millisecond, Sampling: true})
 	catalog := sql.NewCatalog()
 
 	var input func() (string, bool)

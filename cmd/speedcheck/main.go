@@ -5,6 +5,10 @@
 // the baseline and the CI runner; allocation counts barely move across
 // hardware, so a 2x jump there is a real code regression.
 //
+// Workloads present in the fresh run but absent from the committed baseline
+// are warned about and skipped, not failed: a PR that adds a speed workload
+// should not be forced to regenerate the baseline in the same commit.
+//
 // Usage:
 //
 //	speedcheck BASELINE.json FRESH.json

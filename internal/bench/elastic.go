@@ -8,6 +8,7 @@ import (
 
 	"mrdb/internal/cluster"
 	"mrdb/internal/kv"
+	"mrdb/internal/obs/export"
 	"mrdb/internal/sim"
 	"mrdb/internal/simnet"
 	"mrdb/internal/sql"
@@ -16,6 +17,12 @@ import (
 
 // ElasticOut is where Elastic writes its JSON result.
 var ElasticOut = "BENCH_elastic.json"
+
+// ExportDir, when non-empty (mrbench -export-dir), makes every elastic
+// scenario export its observability state — OpenMetrics timeseries,
+// registry dump, Jaeger traces — into that directory, and turns tracing on
+// for the benchmark clusters.
+var ExportDir = ""
 
 // elasticGate is the re-convergence requirement: after every dynamic event
 // the tail-of-phase p50 and p99 must come back to within this factor of the
@@ -32,15 +39,24 @@ type elasticWindow struct {
 	Errors   int     `json:"errors"`
 }
 
-// elasticEvent is one dynamic event and its measured recovery.
+// elasticEvent is one dynamic event and its measured recovery. Early* is
+// the first third of the post-event phase, Tail* the last third: together
+// they assert the shape of the curve, not just its endpoint — latency may
+// run elevated while the system adapts, and must have come back down by the
+// phase's end.
 type elasticEvent struct {
-	Name      string  `json:"name"`
-	AtSec     float64 `json:"at_sec"`
-	TailP50Ms float64 `json:"tail_p50_ms"`
-	TailP99Ms float64 `json:"tail_p99_ms"`
-	RatioP50  float64 `json:"ratio_p50"`
-	RatioP99  float64 `json:"ratio_p99"`
-	Converged bool    `json:"converged"`
+	Name       string  `json:"name"`
+	AtSec      float64 `json:"at_sec"`
+	EarlyP50Ms float64 `json:"early_p50_ms"`
+	EarlyP99Ms float64 `json:"early_p99_ms"`
+	TailP50Ms  float64 `json:"tail_p50_ms"`
+	TailP99Ms  float64 `json:"tail_p99_ms"`
+	RatioP50   float64 `json:"ratio_p50"`
+	RatioP99   float64 `json:"ratio_p99"`
+	// Elevated reports whether the early window's p99 ran above the phase
+	// tail's — the transient the adaptation is supposed to burn off.
+	Elevated  bool `json:"elevated"`
+	Converged bool `json:"converged"`
 }
 
 // elasticScenario is one dynamic scenario's full result.
@@ -91,20 +107,26 @@ func phaseTail(wr *workload.WindowedRecorder, start sim.Time, dur sim.Duration) 
 	return wr.Between(start.Add(2*dur/3), start.Add(dur))
 }
 
-// convergence scores each post-baseline phase tail against the baseline.
+// convergence scores each post-baseline phase against the baseline: the
+// early third of the phase captures the transient right after the event,
+// the tail third the steady state it must re-converge to.
 func convergence(names []string, wr *workload.WindowedRecorder, starts []sim.Time, dur sim.Duration) (float64, float64, []elasticEvent) {
 	base := phaseTail(wr, starts[0], dur)
 	b50, b99 := base.Percentile(50), base.Percentile(99)
 	var events []elasticEvent
 	for i, name := range names {
+		early := wr.Between(starts[i+1], starts[i+1].Add(dur/3))
+		e50, e99 := early.Percentile(50), early.Percentile(99)
 		tail := phaseTail(wr, starts[i+1], dur)
 		t50, t99 := tail.Percentile(50), tail.Percentile(99)
 		r50 := float64(t50) / float64(b50)
 		r99 := float64(t99) / float64(b99)
 		events = append(events, elasticEvent{
 			Name: name, AtSec: secf(starts[i+1]),
+			EarlyP50Ms: msf(e50), EarlyP99Ms: msf(e99),
 			TailP50Ms: msf(t50), TailP99Ms: msf(t99),
 			RatioP50: r50, RatioP99: r99,
+			Elevated:  e99 > t99,
 			Converged: t50 > 0 && r50 <= elasticGate && r99 <= elasticGate,
 		})
 	}
@@ -112,15 +134,31 @@ func convergence(names []string, wr *workload.WindowedRecorder, starts []sim.Tim
 }
 
 // elasticCluster builds a 3-region cluster with the load-based allocator on.
+// Sampling is always on (the trajectory is the experiment); tracing only
+// when an export was requested, since traces are the one observability
+// layer with real memory weight.
 func elasticCluster(seed int64, lc kv.LoadConfig) *cluster.Cluster {
 	return cluster.New(cluster.Config{
-		Seed:      seed,
-		Regions:   cluster.ThreeRegions(),
-		MaxOffset: 250 * sim.Millisecond,
-		Jitter:    0.02,
-		LoadBased: true,
-		Load:      lc,
+		Seed:           seed,
+		Regions:        cluster.ThreeRegions(),
+		MaxOffset:      250 * sim.Millisecond,
+		Jitter:         0.02,
+		LoadBased:      true,
+		Load:           lc,
+		Tracing:        ExportDir != "",
+		Sampling:       true,
+		SampleInterval: 1 * sim.Second,
+		SampleBucket:   5 * sim.Second,
 	})
+}
+
+// exportScenario writes one scenario's observability state into ExportDir
+// (no-op when unset): elastic_<name>_{metrics.prom,registry.prom,traces.json}.
+func exportScenario(c *cluster.Cluster, name string) error {
+	if ExportDir == "" {
+		return nil
+	}
+	return export.WriteDir(ExportDir, "elastic_"+name+"_", c.TSDB, c.Metrics, c.Tracer.Traces())
 }
 
 // elasticFollowTheSun runs scenario (a): MovR traffic whose dominant region
@@ -159,7 +197,7 @@ func elasticFollowTheSun(phaseDur sim.Duration, window sim.Duration) (*elasticSc
 	out.LoadSplits, out.Merges = c.Admin.LoadSplits, c.Admin.Merges
 	out.LeaseMoves, out.ReplicaMoves = c.Admin.LeaseMoves, c.Admin.ReplicaMoves
 	out.RangesFinal = len(c.Catalog.All())
-	return out, nil
+	return out, exportScenario(c, out.Name)
 }
 
 // elasticHotspot runs scenario (b): a migrating YCSB hotspot. 90% of the
@@ -215,7 +253,7 @@ func elasticHotspot(scale Scale, phaseDur sim.Duration, window sim.Duration) (*e
 	if out.Merges == 0 {
 		return out, fmt.Errorf("elastic: cold remnants were never merged back")
 	}
-	return out, nil
+	return out, exportScenario(c, out.Name)
 }
 
 // elasticRegionAdd runs scenario (c): MovR over a two-region database while
@@ -273,7 +311,7 @@ func elasticRegionAdd(phaseDur sim.Duration, window sim.Duration) (*elasticScena
 	out.LoadSplits, out.Merges = c.Admin.LoadSplits, c.Admin.Merges
 	out.LeaseMoves, out.ReplicaMoves = c.Admin.LeaseMoves, c.Admin.ReplicaMoves
 	out.RangesFinal = len(c.Catalog.All())
-	return out, nil
+	return out, exportScenario(c, out.Name)
 }
 
 // Elastic is the dynamic-scenario experiment: three runs whose traffic shape
@@ -309,8 +347,11 @@ func Elastic(w io.Writer, scale Scale) error {
 				if !ev.Converged {
 					status = "NOT CONVERGED"
 				}
-				fmt.Fprintf(w, "    %-20s at=%-6.0fs tail p50=%-8.2fms p99=%-8.2fms ratio p50=%-5.2f p99=%-5.2f %s\n",
-					ev.Name, ev.AtSec, ev.TailP50Ms, ev.TailP99Ms, ev.RatioP50, ev.RatioP99, status)
+				if ev.Elevated {
+					status += " (elevated early: p99 " + fmt.Sprintf("%.2f", ev.EarlyP99Ms) + "ms)"
+				}
+				fmt.Fprintf(w, "    %-20s at=%-6.0fs early p99=%-8.2fms tail p50=%-8.2fms p99=%-8.2fms ratio p50=%-5.2f p99=%-5.2f %s\n",
+					ev.Name, ev.AtSec, ev.EarlyP99Ms, ev.TailP50Ms, ev.TailP99Ms, ev.RatioP50, ev.RatioP99, status)
 				if !ev.Converged && firstErr == nil {
 					firstErr = fmt.Errorf("elastic: %s/%s did not re-converge (p50 %.2fx, p99 %.2fx > %.1fx gate)",
 						sc.Name, ev.Name, ev.RatioP50, ev.RatioP99, elasticGate)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"mrdb/internal/cluster"
@@ -335,17 +336,26 @@ func Speed(w io.Writer, scale Scale) error {
 // regressions — either events/sec halving or allocs/event (or allocs/txn)
 // doubling on any optimized arm. Smaller movements are hardware noise
 // between the machine that committed the baseline and the CI runner.
+//
+// Both files decode generically as workload-name -> pair, not through
+// speedResult, so a fresh run carrying workloads the committed baseline
+// predates is tolerated: new keys warn and are skipped until the baseline
+// is regenerated, instead of silently comparing against zeros (or forcing
+// every workload addition to land with a same-commit baseline refresh).
 func SpeedCompare(w io.Writer, baselinePath, freshPath string) error {
-	load := func(path string) (*speedResult, error) {
+	type pair struct {
+		Optimized speedArm `json:"optimized"`
+	}
+	load := func(path string) (map[string]pair, error) {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			return nil, err
 		}
-		var r speedResult
+		var r map[string]pair
 		if err := json.Unmarshal(data, &r); err != nil {
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
-		return &r, nil
+		return r, nil
 	}
 	base, err := load(baselinePath)
 	if err != nil {
@@ -372,11 +382,20 @@ func SpeedCompare(w io.Writer, baselinePath, freshPath string) error {
 		}
 		fmt.Fprintln(w)
 	}
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	header(w, "Speed check: fresh run vs committed baseline (optimized arms, >2x gates)")
-	check("event_queue", base.EventQueue.Optimized, fresh.EventQueue.Optimized)
-	check("spawn_fanout", base.SpawnFanOut.Optimized, fresh.SpawnFanOut.Optimized)
-	check("movr", base.Movr.Optimized, fresh.Movr.Optimized)
-	check("tpcc", base.TPCC.Optimized, fresh.TPCC.Optimized)
+	for _, name := range names {
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(w, "  %-14s not in baseline %s — skipped (regenerate the baseline to gate it)\n", name, baselinePath)
+			continue
+		}
+		check(name, b.Optimized, fresh[name].Optimized)
+	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintf(w, "  REGRESSION: %s\n", f)

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSpeedJSON drops a minimal BENCH_speed.json-shaped file.
+func writeSpeedJSON(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSpeedCompareToleratesNewWorkloads(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSpeedJSON(t, dir, "base.json", `{
+		"event_queue": {"optimized": {"events_per_sec": 1000000, "allocs_per_event": 0.5}}
+	}`)
+	fresh := writeSpeedJSON(t, dir, "fresh.json", `{
+		"event_queue": {"optimized": {"events_per_sec": 900000, "allocs_per_event": 0.5}},
+		"brand_new_workload": {"optimized": {"events_per_sec": 123, "allocs_per_event": 99}}
+	}`)
+	var sb stringsWriter
+	if err := SpeedCompare(&sb, base, fresh); err != nil {
+		t.Fatalf("new workload in fresh run must not fail the check: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "brand_new_workload") || !strings.Contains(out, "not in baseline") {
+		t.Errorf("expected a skip warning for the new workload, got:\n%s", out)
+	}
+}
+
+func TestSpeedCompareStillCatchesRegressions(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSpeedJSON(t, dir, "base.json", `{
+		"event_queue": {"optimized": {"events_per_sec": 1000000, "allocs_per_event": 0.5}}
+	}`)
+	fresh := writeSpeedJSON(t, dir, "fresh.json", `{
+		"event_queue": {"optimized": {"events_per_sec": 400000, "allocs_per_event": 0.5}},
+		"brand_new_workload": {"optimized": {"events_per_sec": 123}}
+	}`)
+	var sb stringsWriter
+	err := SpeedCompare(&sb, base, fresh)
+	if err == nil {
+		t.Fatalf("a >2x events/sec regression must still fail:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"mrdb/internal/hlc"
 	"mrdb/internal/kv"
 	"mrdb/internal/mvcc"
+	"mrdb/internal/obs/export"
 	"mrdb/internal/sim"
 	"mrdb/internal/simnet"
 	"mrdb/internal/txn"
@@ -51,6 +52,11 @@ type Options struct {
 	// CrashesOnly restricts the nemesis to crash/restart pairs, exercising
 	// the restart-from-disk path on every single fault.
 	CrashesOnly bool
+	// ExportDir, when non-empty, writes the run's observability state after
+	// the run finishes: chaos_metrics.prom (OpenMetrics timeseries),
+	// chaos_registry.prom (point-in-time dump) and chaos_traces.json
+	// (Jaeger UI upload format). Same seed, same bytes.
+	ExportDir string
 	// Elastic enables the load-based allocator and the elastic workloads:
 	// a hot single-region range that must attract load splits and a lease
 	// move, plus a migrator that relocates the bank range back and forth so
@@ -209,6 +215,12 @@ func Run(opts Options) (*Report, error) {
 		// Crashes are honest: a crashed node loses its volatile state and
 		// restarts from its simulated disk (WAL + checkpoints).
 		Durability: true,
+		// Sampling feeds the virtual-time timeseries store; like tracing it is
+		// read-only over the schedule, so the fault timeline is unchanged.
+		// 2s rollup buckets resolve individual fault windows (mean hold 4s).
+		Sampling:       true,
+		SampleInterval: 1 * sim.Second,
+		SampleBucket:   2 * sim.Second,
 		// Elastic runs add the load-based split/merge/rebalance queue, tuned
 		// hot enough that the chaos-scale traffic actually triggers it.
 		LoadBased: opts.Elastic,
@@ -296,8 +308,62 @@ func Run(opts Options) (*Report, error) {
 	if opts.Metrics {
 		h.rep.MetricsDump = c.Metrics.String()
 	}
+	h.rep.FaultWindows = h.faultWindows()
 	h.checkLinearizability()
+	if setupErr == nil && opts.ExportDir != "" {
+		setupErr = export.WriteDir(opts.ExportDir, "chaos_", c.TSDB, c.Metrics, c.Tracer.Traces())
+	}
 	return h.rep, setupErr
+}
+
+// faultWindows derives one per-fault latency trajectory from the merged
+// chaos.probe.latency timeseries: the tail (per-bucket max ≈ p99 at probe
+// cadence) before the fault, its peak while the fault held (plus a short
+// grace for the heal to take), and after recovery. A window "spikes" when
+// its peak crosses the RTO threshold and "re-converges" when the
+// post-recovery tail drops back under it — the trajectory-shaped claim the
+// paper makes for fault tolerance, asserted on the curve itself.
+func (h *harness) faultWindows() []FaultWindow {
+	buckets := h.c.TSDB.Merged("chaos.probe.latency")
+	if len(buckets) == 0 {
+		return nil
+	}
+	const (
+		grace    = 3 * sim.Second  // heal propagation before "after" starts
+		preSpan  = 10 * sim.Second // baseline lookback
+		postSpan = 12 * sim.Second // re-convergence observation span
+	)
+	tailIn := func(from, to sim.Time) (sim.Duration, int64) {
+		var peak, n int64
+		for _, ba := range buckets {
+			if ba.Start >= from && ba.Start < to {
+				n += ba.Count
+				if ba.Max > peak {
+					peak = ba.Max
+				}
+			}
+		}
+		return sim.Duration(peak), n
+	}
+	evs := h.rep.Events
+	var out []FaultWindow
+	for i := 0; i+1 < len(evs); i += 2 {
+		fault, heal := evs[i], evs[i+1]
+		afterStart := heal.At.Add(grace)
+		afterEnd := afterStart.Add(postSpan)
+		if i+2 < len(evs) && evs[i+2].At < afterEnd {
+			afterEnd = evs[i+2].At
+		}
+		fw := FaultWindow{Fault: fault, Healed: heal.At}
+		fw.PreP99, _ = tailIn(fault.At.Add(-preSpan), fault.At)
+		fw.PeakP99, fw.Samples = tailIn(fault.At, afterStart)
+		var afterN int64
+		fw.AfterP99, afterN = tailIn(afterStart, afterEnd)
+		fw.Spiked = fw.PeakP99 >= h.opts.RTOThreshold
+		fw.Reconverged = !fw.Spiked || (afterN > 0 && fw.AfterP99 < h.opts.RTOThreshold)
+		out = append(out, fw)
+	}
+	return out
 }
 
 // acctKey returns the i-th bank account key.
@@ -669,9 +735,12 @@ func (h *harness) spawnProber(wg *sim.WaitGroup) {
 			})
 			lat := p.Now().Sub(start)
 			if err != nil {
-				sp.SetTag("err", err.Error())
+				sp.SetError(err)
 			}
 			probeDone()
+			// Bucket by completion time: a probe that rode out an outage
+			// lands its latency in the fault window, not before it.
+			h.c.TSDB.Observe("chaos.probe.latency", int(gw), p.Now(), int64(lat))
 			if err != nil {
 				h.rep.ProbesFailed++
 				h.rep.Recoveries = append(h.rep.Recoveries, lat)

@@ -58,6 +58,10 @@ type Report struct {
 	// that caused a recovery interval ("<kind> count=... p99=...").
 	RTOByFault []string
 
+	// FaultWindows holds one probe-latency trajectory per injected
+	// fault/heal pair, derived from the virtual-time timeseries store.
+	FaultWindows []FaultWindow
+
 	// SpanHash is the FNV-1a hash over every recorded trace's canonical
 	// rendering; with a fixed seed it must be bit-for-bit reproducible.
 	SpanHash uint64
@@ -79,6 +83,30 @@ type Report struct {
 	RecoveryTimes    []sim.Duration
 	RestartRecovery  string
 	RecoveryFailures int
+}
+
+// FaultWindow is one fault's probe-latency trajectory, read off the
+// chaos.probe.latency timeseries: the tail latency (per-bucket max) in a
+// lookback window before the fault, the peak while it held, and the tail
+// after recovery. Spiked means the peak crossed the RTO threshold;
+// Reconverged means either it never spiked or the post-recovery tail
+// dropped back under the threshold (false when no post-recovery probes
+// completed in the observation span).
+type FaultWindow struct {
+	Fault       Event
+	Healed      sim.Time
+	PreP99      sim.Duration
+	PeakP99     sim.Duration
+	AfterP99    sim.Duration
+	Samples     int64 // probes completing between fault and after-start
+	Spiked      bool
+	Reconverged bool
+}
+
+func (fw FaultWindow) String() string {
+	return fmt.Sprintf("%s healed=%v pre-p99=%v peak-p99=%v after-p99=%v samples=%d spiked=%v reconverged=%v",
+		fw.Fault, fw.Healed, fw.PreP99, fw.PeakP99, fw.AfterP99,
+		fw.Samples, fw.Spiked, fw.Reconverged)
 }
 
 // Schedule renders the fault schedule as one canonical line per event;
@@ -137,6 +165,9 @@ func (r *Report) String() string {
 		r.ProbesOK, r.ProbesFailed, len(r.Recoveries), r.MaxRTO())
 	for _, line := range r.RTOByFault {
 		fmt.Fprintf(&b, "  rto %s\n", line)
+	}
+	for _, fw := range r.FaultWindows {
+		fmt.Fprintf(&b, "  fault-window %s\n", fw)
 	}
 	fmt.Fprintf(&b, "  trace: span-hash=%016x\n", r.SpanHash)
 	if r.MetricsDump != "" {

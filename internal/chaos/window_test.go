@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFaultWindowsSpikeAndReconverge pins the trajectory-shaped claim: the
+// probe-latency timeseries must show tail latency spiking while a fault
+// holds and dropping back under the RTO threshold after recovery. Seed 9's
+// schedule fails us-east1 (the bank range's lease preference) twice, which
+// reliably knocks probe p99 from ~90ms to several seconds until the lease
+// fails over and back.
+func TestFaultWindowsSpikeAndReconverge(t *testing.T) {
+	rep, err := Run(Options{Seed: 9, Faults: 8})
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("invariants violated:\n%s", rep)
+	}
+	if want := len(rep.Events) / 2; len(rep.FaultWindows) != want {
+		t.Fatalf("got %d fault windows for %d fault/heal pairs", len(rep.FaultWindows), want)
+	}
+	spiked := 0
+	for _, fw := range rep.FaultWindows {
+		if fw.Samples == 0 {
+			t.Errorf("fault window %s saw no probe samples", fw.Fault)
+		}
+		if fw.Spiked {
+			spiked++
+			// No peak-vs-pre assertion: the 10s lookback can legitimately
+			// overlap the previous fault's spike. Spiked is already defined
+			// against the absolute RTO threshold.
+			if !fw.Reconverged {
+				t.Errorf("spiked window %s never re-converged (after-p99=%v)",
+					fw.Fault, fw.AfterP99)
+			}
+		}
+	}
+	if spiked == 0 {
+		t.Fatalf("no fault window spiked above the RTO threshold; the curve assertion is vacuous:\n%s", rep)
+	}
+	t.Logf("\n%s", rep)
+}
+
+// TestChaosExportDeterminism runs the same seed twice, exporting each run's
+// observability state, and requires every artifact — OpenMetrics
+// timeseries, registry dump, Jaeger traces — to be byte-identical. Virtual
+// timestamps map onto a fixed epoch and all iteration is order-stable, so
+// nothing about the files may depend on the host.
+func TestChaosExportDeterminism(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	run := func(dir string) {
+		rep, err := Run(Options{Seed: 11, Faults: 5, ExportDir: dir})
+		if err != nil {
+			t.Fatalf("chaos run failed: %v", err)
+		}
+		if !rep.OK() {
+			t.Fatalf("invariants violated:\n%s", rep)
+		}
+	}
+	run(dirA)
+	run(dirB)
+	for _, name := range []string{"chaos_metrics.prom", "chaos_registry.prom", "chaos_traces.json"} {
+		a, err := os.ReadFile(filepath.Join(dirA, name))
+		if err != nil {
+			t.Fatalf("first run did not write %s: %v", name, err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, name))
+		if err != nil {
+			t.Fatalf("second run did not write %s: %v", name, err)
+		}
+		if len(a) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between same-seed runs (%d vs %d bytes)", name, len(a), len(b))
+		}
+	}
+	// The Jaeger export must carry the error convention: chaos runs always
+	// produce failed RPC attempts, and those spans render red in the UI via
+	// the boolean error tag.
+	traces, _ := os.ReadFile(filepath.Join(dirA, "chaos_traces.json"))
+	if !bytes.Contains(traces, []byte(`"key": "error"`)) {
+		t.Error("trace export contains no error-tagged spans")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"mrdb/internal/hlc"
 	"mrdb/internal/kv"
 	"mrdb/internal/obs"
+	"mrdb/internal/obs/tsdb"
 	"mrdb/internal/sim"
 	"mrdb/internal/simnet"
 	"mrdb/internal/storage"
@@ -65,6 +66,20 @@ type Config struct {
 	// or any latency — so it can also be switched on later with
 	// EnableTracing.
 	Tracing bool
+	// Sampling starts the virtual-time timeseries store (internal/obs/tsdb)
+	// and its samplers: one lightweight proc per node snapshots that node's
+	// state (replicas, leases held, liveness) every SampleInterval, and the
+	// lowest-numbered node's sampler additionally snapshots every
+	// cluster-wide registry metric under node 0. Sampling only reads state —
+	// it is zero-cost in virtual time, pinned by the metamorphic tests.
+	Sampling bool
+	// SampleInterval overrides the sampling cadence (default 1s virtual).
+	SampleInterval sim.Duration
+	// SampleBucket overrides the tsdb rollup bucket width (default 10s).
+	SampleBucket sim.Duration
+	// SampleBuckets overrides the per-series ring capacity (default 720
+	// buckets — 2h of retention at the default width).
+	SampleBuckets int
 	// Durability gives every node a simulated disk: Raft state persists
 	// through checksummed WALs (with fsync latency on the virtual clock),
 	// checkpoints truncate the logs, and Cluster.CrashNode/RestartNode
@@ -103,6 +118,12 @@ type Cluster struct {
 	// disabled unless Config.Tracing is set.
 	Tracer  *obs.Tracer
 	Metrics *obs.Registry
+
+	// TSDB is the virtual-time timeseries store fed by the per-node
+	// samplers when Config.Sampling is on (nil otherwise; all methods are
+	// nil-safe). Harnesses may also Observe raw samples into it directly —
+	// observation is passive over virtual time.
+	TSDB *tsdb.DB
 
 	// StmtStats and Contention are the SQL-facing introspection registries:
 	// per-fingerprint statement statistics recorded by sessions, and
@@ -235,6 +256,10 @@ func New(cfg Config) *Cluster {
 	}
 	if cfg.LoadBased {
 		c.Admin.StartLoadQueue(cfg.Load)
+	}
+	if cfg.Sampling {
+		c.TSDB = tsdb.New(cfg.SampleBucket, cfg.SampleBuckets)
+		c.startSamplers(cfg.SampleInterval)
 	}
 	return c
 }

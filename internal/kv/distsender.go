@@ -423,7 +423,7 @@ func (ds *DistSender) sendToRange(p *sim.Proc, reqs []interface{}, depth int) []
 	for attempt := 0; attempt < maxSendAttempts; attempt++ {
 		desc, err := ds.Catalog.Lookup(key)
 		if err != nil {
-			sp.SetTag("err", err.Error())
+			sp.SetError(err)
 			return errResponses(len(reqs), err)
 		}
 		if len(reqs) > 1 && depth < maxBatchSplitDepth && !descContainsAll(desc, reqs) {
@@ -469,7 +469,7 @@ func (ds *DistSender) sendToRange(p *sim.Proc, reqs []interface{}, depth int) []
 			// Node unreachable: back off and re-route (the descriptor or
 			// lease may move during failover).
 			lastErr = rpcErr
-			asp.SetTag("err", rpcErr.Error())
+			asp.SetError(rpcErr)
 			ds.Retries++
 			forceLeaseholder = false
 			attemptDone()
@@ -490,7 +490,7 @@ func (ds *DistSender) sendToRange(p *sim.Proc, reqs []interface{}, depth int) []
 			var nle *NotLeaseholderError
 			if errors.As(resp.Err, &nle) {
 				lastErr = resp.Err
-				asp.SetTag("err", resp.Err.Error())
+				asp.SetError(resp.Err)
 				ds.Retries++
 				ds.LeaseholderHints++
 				attemptDone()
@@ -507,7 +507,7 @@ func (ds *DistSender) sendToRange(p *sim.Proc, reqs []interface{}, depth int) []
 				// Paper §5.3.1: reads a follower cannot serve are
 				// redirected to the leaseholder.
 				lastErr = resp.Err
-				asp.SetTag("err", resp.Err.Error())
+				asp.SetError(resp.Err)
 				ds.Retries++
 				ds.FollowerMisses++
 				attemptDone()
@@ -523,7 +523,7 @@ func (ds *DistSender) sendToRange(p *sim.Proc, reqs []interface{}, depth int) []
 			var rkm *RangeKeyMismatchError
 			if errors.As(resp.Err, &rkm) {
 				lastErr = resp.Err
-				asp.SetTag("err", resp.Err.Error())
+				asp.SetError(resp.Err)
 				ds.Retries++
 				attemptDone()
 				backoff(asp)
@@ -542,7 +542,7 @@ func (ds *DistSender) sendToRange(p *sim.Proc, reqs []interface{}, depth int) []
 		err = fmt.Errorf("kv: request to %q failed after %d attempts: last attempt: %w",
 			key, maxSendAttempts, lastErr)
 	}
-	sp.SetTag("err", err.Error())
+	sp.SetError(err)
 	return errResponses(len(reqs), err)
 }
 
@@ -565,7 +565,7 @@ func (ds *DistSender) sendScan(p *sim.Proc, req *ScanRequest) Response {
 	for hops := 0; ; hops++ {
 		if hops >= maxScanHops {
 			err := fmt.Errorf("kv: scan from %q exceeded %d range hops", req.StartKey, maxScanHops)
-			sp.SetTag("err", err.Error())
+			sp.SetError(err)
 			return Response{Err: err}
 		}
 		remaining := 0
@@ -579,7 +579,7 @@ func (ds *DistSender) sendScan(p *sim.Proc, req *ScanRequest) Response {
 		if len(descs) == 0 {
 			d, err := ds.Catalog.Lookup(cursor)
 			if err != nil {
-				sp.SetTag("err", err.Error())
+				sp.SetError(err)
 				return Response{Err: err}
 			}
 			descs = []*RangeDescriptor{d}
@@ -627,7 +627,7 @@ func (ds *DistSender) sendScan(p *sim.Proc, req *ScanRequest) Response {
 		full := false
 		for _, resp := range resps {
 			if resp.Err != nil {
-				sp.SetTag("err", resp.Err.Error())
+				sp.SetError(resp.Err)
 				return resp
 			}
 			ranges++

@@ -575,14 +575,14 @@ func (r *Replica) propose(p *sim.Proc, cmd Command) error {
 		if errors.As(err, &nl) {
 			err = r.errNotLeaseholder()
 		}
-		sp.SetTag("err", err.Error())
+		sp.SetError(err)
 		sp.Finish()
 		return err
 	}
 	res := f.Wait(p)
 	if sp != nil {
 		if res.Err != nil {
-			sp.SetTag("err", res.Err.Error())
+			sp.SetError(res.Err)
 		}
 		// Attribute the quorum: which voters' acks committed the entry,
 		// and how many of those acks crossed a region boundary. A write

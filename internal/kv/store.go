@@ -163,7 +163,7 @@ func (s *Store) handleMessage(m simnet.Message) {
 			}
 			resp := r.evaluate(p, batch.Req)
 			if sp != nil && resp.Err != nil {
-				sp.SetTag("err", resp.Err.Error())
+				sp.SetError(resp.Err)
 			}
 			sp.Finish()
 			payload.Reply(resp)

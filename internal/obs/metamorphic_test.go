@@ -1,9 +1,10 @@
 package obs_test
 
-// Metamorphic test for zero-cost tracing: because the tracer never sleeps,
-// schedules events, or consumes simulation randomness, running the exact
-// same workload with tracing on and off must produce identical query
-// results and identical virtual-time latencies, sample for sample.
+// Metamorphic tests for zero-cost observability: because the tracer and the
+// timeseries sampler never sleep, schedule workload-visible events, or
+// consume simulation randomness, running the exact same workload with
+// tracing (or sampling) on and off must produce identical query results and
+// identical virtual-time latencies, sample for sample.
 
 import (
 	"fmt"
@@ -26,15 +27,20 @@ type movrOutcome struct {
 	Traces    int
 	SpanHash  uint64
 	StmtStats string
+	// TSRows / Timeseries capture the full mrdb_internal.timeseries table
+	// (row count and canonical rendering); empty when sampling is off.
+	TSRows     int
+	Timeseries string
 }
 
-func runMovr(t *testing.T, seed int64, tracing bool) movrOutcome {
+func runMovr(t *testing.T, seed int64, tracing, sampling bool) movrOutcome {
 	t.Helper()
 	c := cluster.New(cluster.Config{
 		Seed:      seed,
 		Regions:   cluster.ThreeRegions(),
 		MaxOffset: 250 * sim.Millisecond,
 		Tracing:   tracing,
+		Sampling:  sampling,
 	})
 	catalog := sql.NewCatalog()
 	m := workload.NewMovr(c, catalog)
@@ -69,6 +75,15 @@ func runMovr(t *testing.T, seed int64, tracing bool) movrOutcome {
 		for _, row := range stats.Rows {
 			out.StmtStats += fmt.Sprintln(row)
 		}
+		ts, err := s.Exec(p, `SELECT * FROM mrdb_internal.timeseries`)
+		if err != nil {
+			runErr = err
+			return
+		}
+		out.TSRows = len(ts.Rows)
+		for _, row := range ts.Rows {
+			out.Timeseries += fmt.Sprintln(row)
+		}
 	})
 	c.Sim.RunFor(60 * 60 * sim.Second)
 	if runErr != nil {
@@ -84,8 +99,8 @@ func runMovr(t *testing.T, seed int64, tracing bool) movrOutcome {
 }
 
 func TestMetamorphicTracingIsFree(t *testing.T) {
-	off := runMovr(t, 71, false)
-	on := runMovr(t, 71, true)
+	off := runMovr(t, 71, false, false)
+	on := runMovr(t, 71, true, false)
 
 	// Tracing actually happened in one run and not the other.
 	if off.Traces != 0 {
@@ -127,8 +142,8 @@ func TestMetamorphicTracingIsFree(t *testing.T) {
 // pools (procs, wait groups, span arenas, intent records) — reused memory
 // must behave exactly like fresh memory.
 func TestMetamorphicSameProcessReruns(t *testing.T) {
-	cold := runMovr(t, 77, true)
-	warm := runMovr(t, 77, true)
+	cold := runMovr(t, 77, true, true)
+	warm := runMovr(t, 77, true, true)
 	if cold.Traces == 0 {
 		t.Fatal("traced run collected no traces")
 	}
@@ -153,5 +168,51 @@ func TestMetamorphicSameProcessReruns(t *testing.T) {
 		!reflect.DeepEqual(cold.Ride, warm.Ride) ||
 		!reflect.DeepEqual(cold.Browse, warm.Browse) {
 		t.Error("latency samples differ across same-process reruns")
+	}
+	if cold.TSRows == 0 {
+		t.Error("sampled run produced an empty mrdb_internal.timeseries")
+	}
+	if cold.Timeseries != warm.Timeseries {
+		t.Error("mrdb_internal.timeseries differs across same-process reruns")
+	}
+}
+
+// TestMetamorphicSamplingIsFree is the sampler's version of the tracing
+// metamorphism: the per-node timeseries tickers add events to the schedule,
+// but those events only read state — so every workload-visible observable
+// (virtual end time, query results, per-op latency samples) must be
+// identical with sampling on and off.
+func TestMetamorphicSamplingIsFree(t *testing.T) {
+	off := runMovr(t, 71, false, false)
+	on := runMovr(t, 71, false, true)
+
+	// Sampling actually happened in one run and not the other.
+	if off.TSRows != 0 {
+		t.Errorf("unsampled run has %d timeseries rows", off.TSRows)
+	}
+	if on.TSRows == 0 {
+		t.Error("sampled run has an empty mrdb_internal.timeseries")
+	}
+	// ...and changed nothing observable.
+	if off.FinalTime != on.FinalTime {
+		t.Errorf("virtual end time differs: off=%v on=%v", off.FinalTime, on.FinalTime)
+	}
+	if !reflect.DeepEqual(off.UserRows, on.UserRows) {
+		t.Errorf("query results differ: off=%v on=%v", off.UserRows, on.UserRows)
+	}
+	for _, tc := range []struct {
+		name    string
+		off, on []sim.Duration
+	}{
+		{"signup", off.Signup, on.Signup},
+		{"ride", off.Ride, on.Ride},
+		{"browse", off.Browse, on.Browse},
+	} {
+		if !reflect.DeepEqual(tc.off, tc.on) {
+			t.Errorf("%s latency samples differ (n=%d vs n=%d)", tc.name, len(tc.off), len(tc.on))
+		}
+	}
+	if len(off.Browse) == 0 || len(off.Ride) == 0 {
+		t.Fatalf("workload recorded no samples: browse=%d ride=%d", len(off.Browse), len(off.Ride))
 	}
 }

@@ -68,6 +68,32 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Counters returns the recorded counter names in sorted order.
+func (r *Registry) Counters() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Gauges returns the recorded gauge names in sorted order.
+func (r *Registry) Gauges() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Histograms returns the recorded histogram names in sorted order.
 func (r *Registry) Histograms() []string {
 	if r == nil {

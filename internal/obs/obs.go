@@ -111,6 +111,24 @@ func (s *Span) SetTagDuration(key string, d sim.Duration) *Span {
 	return s.SetTag(key, d.String())
 }
 
+// SetError marks the span failed: the message under "err" plus a boolean
+// "error" tag, which trace exporters map to Jaeger's error convention so
+// failed attempts (RPC retries, rejected commits) render distinctly in real
+// tooling. Nil-span- and nil-error-safe; returns s for chaining.
+func (s *Span) SetError(err error) *Span {
+	if s == nil || err == nil {
+		return s
+	}
+	s.SetTag("error", "true")
+	return s.SetTag("err", err.Error())
+}
+
+// IsError reports whether the span was marked failed via SetError.
+func (s *Span) IsError() bool {
+	v, ok := s.Tag("error")
+	return ok && v == "true"
+}
+
 // Tag returns the value of a tag, if set.
 func (s *Span) Tag(key string) (string, bool) {
 	if s == nil {

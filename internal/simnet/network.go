@@ -252,7 +252,7 @@ func (n *Network) SendRPC(p *sim.Proc, from, to NodeID, payload interface{}, tim
 	if n.blocked(from, to) {
 		n.MessagesDropped++
 		err := &ErrRPC{Reason: fmt.Sprintf("node %d unreachable from %d", to, from)}
-		sp.SetTag("err", err.Error())
+		sp.SetError(err)
 		sp.Finish()
 		return nil, err
 	}
@@ -278,7 +278,7 @@ func (n *Network) SendRPC(p *sim.Proc, from, to NodeID, payload interface{}, tim
 	n.Metrics.Histogram("net.rpc.rtt").RecordDuration(n.Sim.Now().Sub(start))
 	if !ok {
 		err := &ErrRPC{Reason: fmt.Sprintf("timeout after %s calling node %d", timeout, to)}
-		sp.SetTag("err", err.Error())
+		sp.SetError(err)
 		sp.Finish()
 		return nil, err
 	}

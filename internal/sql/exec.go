@@ -109,7 +109,7 @@ func (s *Session) ExecStmt(p *sim.Proc, stmt Statement) (*Result, error) {
 	}
 	res, err := s.execStmt(p, stmt)
 	if err != nil {
-		sp.SetTag("err", err.Error())
+		sp.SetError(err)
 	}
 	done()
 	if record {
@@ -199,7 +199,7 @@ func (s *Session) RunTxn(p *sim.Proc, fn func(tx *txn.Txn) error) error {
 	sp.SetTag("gateway_region", string(s.Region()))
 	err := s.Coord.Run(p, fn)
 	if err != nil {
-		sp.SetTag("err", err.Error())
+		sp.SetError(err)
 	}
 	done()
 	return err

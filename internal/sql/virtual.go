@@ -167,6 +167,26 @@ func (s *Session) virtualTableData(name string) ([]string, [][]Datum, error) {
 		}
 		return cols, rows, nil
 
+	case "timeseries":
+		// The virtual-time timeseries store: one row per (metric, node,
+		// rollup bucket). Empty unless the cluster was built with
+		// Config.Sampling. Row order is canonical (sorted metric, ascending
+		// node, ascending bucket start), so same-seed output is
+		// byte-identical.
+		cols := []string{"metric", "node", "bucket_start", "count", "sum", "min", "max"}
+		var rows [][]Datum
+		for _, metric := range c.TSDB.Metrics() {
+			for _, node := range c.TSDB.Nodes(metric) {
+				for _, ba := range c.TSDB.Buckets(metric, node) {
+					rows = append(rows, []Datum{
+						metric, int64(node), ba.Start.String(),
+						ba.Count, ba.Sum, ba.Min, ba.Max,
+					})
+				}
+			}
+		}
+		return cols, rows, nil
+
 	case "net_links":
 		cols := []string{"from_region", "to_region", "rtt", "wan"}
 		var rows [][]Datum
