@@ -76,6 +76,10 @@ func main() {
 	c.Sim.Spawn("mrsql", func(p *sim.Proc) {
 		defer c.Sim.Stop()
 		session := sql.NewSession(c, catalog, c.GatewayFor(specs[0].Name))
+		// Repeated DML lines re-execute through a per-session prepared
+		// statement, so the shell benefits from the plan cache like a
+		// driver using the extended protocol would.
+		prepared := map[string]*sql.Prepared{}
 		showTiming := true
 		for {
 			line, ok := input()
@@ -87,13 +91,18 @@ func main() {
 				continue
 			}
 			if strings.HasPrefix(line, "\\") {
+				before := session
 				if !metaCommand(p, c, &session, catalog, line, &showTiming) {
 					return
+				}
+				if session != before {
+					// Prepared statements are session-scoped.
+					prepared = map[string]*sql.Prepared{}
 				}
 				continue
 			}
 			start := p.Now()
-			res, err := session.Exec(p, line)
+			res, err := execLine(p, session, prepared, line)
 			if err != nil {
 				fmt.Printf("error: %v\n", err)
 				continue
@@ -105,6 +114,20 @@ func main() {
 		}
 	})
 	c.Sim.Run()
+}
+
+// execLine executes one shell line, caching argument-free DML as prepared
+// statements keyed by their text. DDL and introspection statements (or
+// anything that fails to prepare) run through the plain path.
+func execLine(p *sim.Proc, s *sql.Session, prepared map[string]*sql.Prepared, line string) (*sql.Result, error) {
+	if ps, ok := prepared[line]; ok {
+		return s.ExecPrepared(p, ps)
+	}
+	if ps, err := s.Prepare(line); err == nil && ps.NumArgs() == 0 {
+		prepared[line] = ps
+		return s.ExecPrepared(p, ps)
+	}
+	return s.Exec(p, line)
 }
 
 func metaCommand(p *sim.Proc, c *cluster.Cluster, session **sql.Session, catalog *sql.Catalog, line string, showTiming *bool) bool {

@@ -11,6 +11,7 @@ import (
 
 	"mrdb/internal/cluster"
 	"mrdb/internal/sim"
+	"mrdb/internal/sql"
 	"mrdb/internal/workload"
 )
 
@@ -47,6 +48,18 @@ type speedResult struct {
 	SpawnFanOut speedPair `json:"spawn_fanout"`
 	Movr        speedPair `json:"movr"`
 	TPCC        speedPair `json:"tpcc"`
+	// The plan-cache pairs are the SQL fast-path ablation: both arms run
+	// the optimized scheduler and differ only in Catalog.PlanCacheOff, so
+	// the comparison isolates plan caching + pooled materialization from
+	// the scheduler work below. "legacy" = cache off, "optimized" = on.
+	MovrPlanCache speedPair `json:"movr_plan_cache"`
+	TPCCPlanCache speedPair `json:"tpcc_plan_cache"`
+	// TPCCPlanning measures planning throughput alone (TPC-C statement
+	// set, no execution): the full plan-vs-bind comparison the cache
+	// gates on. In the executing pairs above the simulated replication
+	// and network layers — bit-identical across the ablation — dominate
+	// wall time, so the cache shows up there as allocation reduction.
+	TPCCPlanning speedPair `json:"tpcc_planning"`
 }
 
 // speedMeter brackets a measured region: wall clock via time.Now, allocation
@@ -155,7 +168,7 @@ func spawnFanOutArm(legacy bool, iters int) speedArm {
 // movrArm runs the MovR steady state (tracing on, so the span arena is on
 // the measured path) and brackets the Run phase: schema setup and bulk load
 // stay outside the measured window.
-func movrArm(seed int64, scale Scale, legacy bool) (speedArm, error) {
+func movrArm(seed int64, scale Scale, legacy, planCacheOff bool) (speedArm, error) {
 	c := cluster.New(cluster.Config{
 		Seed:            seed,
 		Regions:         cluster.ThreeRegions(),
@@ -165,6 +178,7 @@ func movrArm(seed int64, scale Scale, legacy bool) (speedArm, error) {
 		LegacyScheduler: legacy,
 	})
 	catalog := newCatalog()
+	catalog.PlanCacheOff = planCacheOff
 	m := workload.NewMovr(c, catalog)
 	var arm speedArm
 	err := runSim(c, 12*3600*sim.Second, func(p *sim.Proc) error {
@@ -189,7 +203,7 @@ func movrArm(seed int64, scale Scale, legacy bool) (speedArm, error) {
 
 // tpccArm runs the TPC-C mix (tracing off: the span-free configuration) and
 // brackets the terminal run phase.
-func tpccArm(seed int64, scale Scale, legacy bool) (speedArm, error) {
+func tpccArm(seed int64, scale Scale, legacy, planCacheOff bool) (speedArm, error) {
 	c := cluster.New(cluster.Config{
 		Seed:            seed,
 		Regions:         cluster.ThreeRegions(),
@@ -198,6 +212,7 @@ func tpccArm(seed int64, scale Scale, legacy bool) (speedArm, error) {
 		LegacyScheduler: legacy,
 	})
 	catalog := newCatalog()
+	catalog.PlanCacheOff = planCacheOff
 	cfg := workload.DefaultTPCCConfig()
 	cfg.TxnsPerTerminal = scale.TPCCTxnsPerTerminal
 	t := workload.NewTPCC(c, catalog, cfg)
@@ -218,6 +233,42 @@ func tpccArm(seed int64, scale Scale, legacy bool) (speedArm, error) {
 		txns := int64(t.NewOrderLat.Count() + t.PaymentLat.Count() +
 			t.OrderStatusLat.Count() + t.DeliveryLat.Count() + t.StockLevelLat.Count())
 		arm = meter.stop(txns)
+		return nil
+	})
+	return arm, err
+}
+
+// tpccPlanArm measures SQL planning throughput over the TPC-C statement
+// set: schema setup only (no data load, no statement execution), then n
+// transactions' worth of planning through the prepared-statement path.
+// Txns counts planned transactions, so TxnsPerSecWall is plans-per-second
+// in transaction units.
+func tpccPlanArm(seed int64, n int, planCacheOff bool) (speedArm, error) {
+	c := cluster.New(cluster.Config{
+		Seed:      seed,
+		Regions:   cluster.ThreeRegions(),
+		MaxOffset: 250 * sim.Millisecond,
+	})
+	catalog := newCatalog()
+	catalog.PlanCacheOff = planCacheOff
+	t := workload.NewTPCC(c, catalog, workload.DefaultTPCCConfig())
+	var arm speedArm
+	err := runSim(c, 3600*sim.Second, func(p *sim.Proc) error {
+		if err := t.SetupSchema(p); err != nil {
+			return err
+		}
+		s := sql.NewSession(c, catalog, c.GatewayFor(c.Regions()[0]))
+		s.Database = "tpcc"
+		// Warm the cache (and, cache-off, the planner's code paths) so the
+		// measured window is steady state for both arms.
+		if _, err := t.PlanOnly(s, 64); err != nil {
+			return err
+		}
+		m := startMeter(c.Sim)
+		if _, err := t.PlanOnly(s, n); err != nil {
+			return err
+		}
+		arm = m.stop(int64(n))
 		return nil
 	})
 	return arm, err
@@ -271,31 +322,74 @@ func Speed(w io.Writer, scale Scale) error {
 	eq := newSpeedPair(eventQueueArm(true, evN), eventQueueArm(false, evN))
 	fan := newSpeedPair(spawnFanOutArm(true, fanN), spawnFanOutArm(false, fanN))
 
-	movrLegacy, err := movrArm(810, scale, true)
+	movrLegacy, err := movrArm(810, scale, true, false)
 	if err != nil {
 		return fmt.Errorf("movr legacy: %w", err)
 	}
-	movrOpt, err := movrArm(810, scale, false)
+	movrOpt, err := movrArm(810, scale, false, false)
 	if err != nil {
 		return fmt.Errorf("movr optimized: %w", err)
 	}
 	movr := newSpeedPair(movrLegacy, movrOpt)
 
-	tpccLegacy, err := tpccArm(811, scale, true)
+	tpccLegacy, err := tpccArm(811, scale, true, false)
 	if err != nil {
 		return fmt.Errorf("tpcc legacy: %w", err)
 	}
-	tpccOpt, err := tpccArm(811, scale, false)
+	tpccOpt, err := tpccArm(811, scale, false, false)
 	if err != nil {
 		return fmt.Errorf("tpcc optimized: %w", err)
 	}
 	tpcc := newSpeedPair(tpccLegacy, tpccOpt)
 
-	res := speedResult{EventQueue: eq, SpawnFanOut: fan, Movr: movr, TPCC: tpcc}
+	// Plan-cache ablation: optimized scheduler on both arms, PlanCacheOff
+	// flipped. Fresh seeds keep these runs independent of the scheduler
+	// pairs above.
+	movrPCOff, err := movrArm(812, scale, false, true)
+	if err != nil {
+		return fmt.Errorf("movr plan-cache off: %w", err)
+	}
+	movrPCOn, err := movrArm(812, scale, false, false)
+	if err != nil {
+		return fmt.Errorf("movr plan-cache on: %w", err)
+	}
+	movrPC := newSpeedPair(movrPCOff, movrPCOn)
+
+	tpccPCOff, err := tpccArm(813, scale, false, true)
+	if err != nil {
+		return fmt.Errorf("tpcc plan-cache off: %w", err)
+	}
+	tpccPCOn, err := tpccArm(813, scale, false, false)
+	if err != nil {
+		return fmt.Errorf("tpcc plan-cache on: %w", err)
+	}
+	tpccPC := newSpeedPair(tpccPCOff, tpccPCOn)
+
+	planN := 5000
+	if scale.RecordCount > 10000 { // -full
+		planN = 20000
+	}
+	planOff, err := tpccPlanArm(814, planN, true)
+	if err != nil {
+		return fmt.Errorf("tpcc planning cache off: %w", err)
+	}
+	planOn, err := tpccPlanArm(814, planN, false)
+	if err != nil {
+		return fmt.Errorf("tpcc planning cache on: %w", err)
+	}
+	tpccPlan := newSpeedPair(planOff, planOn)
+
+	res := speedResult{
+		EventQueue: eq, SpawnFanOut: fan, Movr: movr, TPCC: tpcc,
+		MovrPlanCache: movrPC, TPCCPlanCache: tpccPC, TPCCPlanning: tpccPlan,
+	}
 	speedRow(w, "event_queue", eq)
 	speedRow(w, "spawn_fanout", fan)
 	speedRow(w, "movr", movr)
 	speedRow(w, "tpcc", tpcc)
+	speedRow(w, "movr_plan_cache", movrPC)
+	speedRow(w, "tpcc_plan_cache", tpccPC)
+	speedRow(w, "tpcc_planning", tpccPlan)
 
 	data, err := json.MarshalIndent(&res, "", "  ")
 	if err != nil {
@@ -328,12 +422,28 @@ func Speed(w io.Writer, scale Scale) error {
 		return fmt.Errorf("speed: tpcc allocs/txn %.0f not below legacy %.0f",
 			tpcc.Optimized.AllocsPerTxn, tpcc.Legacy.AllocsPerTxn)
 	}
+	// Plan-cache gates: cache-on must allocate strictly less per txn on
+	// both executing workloads, and the TPC-C planning arm must deliver
+	// >= 1.3x planned txns/sec over cache-off.
+	if movrPC.Optimized.AllocsPerTxn >= movrPC.Legacy.AllocsPerTxn {
+		return fmt.Errorf("speed: movr plan-cache allocs/txn %.0f not below cache-off %.0f",
+			movrPC.Optimized.AllocsPerTxn, movrPC.Legacy.AllocsPerTxn)
+	}
+	if tpccPC.Optimized.AllocsPerTxn >= tpccPC.Legacy.AllocsPerTxn {
+		return fmt.Errorf("speed: tpcc plan-cache allocs/txn %.0f not below cache-off %.0f",
+			tpccPC.Optimized.AllocsPerTxn, tpccPC.Legacy.AllocsPerTxn)
+	}
+	if tpccPlan.TxnsPerSecSpeedup < 1.3 {
+		return fmt.Errorf("speed: tpcc planning txns/sec speedup %.2fx below the 1.3x gate",
+			tpccPlan.TxnsPerSecSpeedup)
+	}
 	return nil
 }
 
 // SpeedCompare is the CI regression checker: it loads a committed baseline
 // BENCH_speed.json and a freshly generated one and fails only on >2x
-// regressions — either events/sec halving or allocs/event (or allocs/txn)
+// regressions — events/sec halving (or txns/sec halving for planning-style
+// arms that run no simulation events), or allocs/event (or allocs/txn)
 // doubling on any optimized arm. Smaller movements are hardware noise
 // between the machine that committed the baseline and the CI runner.
 //
@@ -372,6 +482,14 @@ func SpeedCompare(w io.Writer, baselinePath, freshPath string) error {
 			fmt.Fprintf(w, "  %-14s events/s %12.0f -> %12.0f (%.2fx)", name, b.EventsPerSec, f.EventsPerSec, ratio)
 			if ratio < 0.5 {
 				failures = append(failures, fmt.Sprintf("%s events/sec regressed %.2fx", name, ratio))
+			}
+		} else if b.TxnsPerSecWall > 0 && f.TxnsPerSecWall > 0 {
+			// Planning-style arms (tpcc_planning) run no simulation events;
+			// their throughput is txns/sec, so gate that instead.
+			ratio := f.TxnsPerSecWall / b.TxnsPerSecWall
+			fmt.Fprintf(w, "  %-14s txns/s   %12.0f -> %12.0f (%.2fx)", name, b.TxnsPerSecWall, f.TxnsPerSecWall, ratio)
+			if ratio < 0.5 {
+				failures = append(failures, fmt.Sprintf("%s txns/sec regressed %.2fx", name, ratio))
 			}
 		}
 		if b.AllocsPerEvent > 0 && f.AllocsPerEvent > b.AllocsPerEvent*2 {

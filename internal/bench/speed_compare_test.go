@@ -54,3 +54,38 @@ func TestSpeedCompareStillCatchesRegressions(t *testing.T) {
 		t.Errorf("unexpected error: %v", err)
 	}
 }
+
+// The plan-cache workloads: the macro ablation pairs carry events/sec like
+// any other workload, while tpcc_planning runs no simulation events and is
+// gated on txns/sec instead.
+func TestSpeedCompareGatesPlanningTxnsPerSec(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSpeedJSON(t, dir, "base.json", `{
+		"tpcc_plan_cache": {"optimized": {"events_per_sec": 200000, "allocs_per_event": 7.0, "allocs_per_txn": 6800}},
+		"tpcc_planning": {"optimized": {"txns_per_sec_wall": 60000, "allocs_per_txn": 110}}
+	}`)
+	ok := writeSpeedJSON(t, dir, "ok.json", `{
+		"tpcc_plan_cache": {"optimized": {"events_per_sec": 150000, "allocs_per_event": 7.2, "allocs_per_txn": 6900}},
+		"tpcc_planning": {"optimized": {"txns_per_sec_wall": 40000, "allocs_per_txn": 120}}
+	}`)
+	var sb stringsWriter
+	if err := SpeedCompare(&sb, base, ok); err != nil {
+		t.Fatalf("within-2x drift must pass: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "tpcc_planning") || !strings.Contains(sb.String(), "txns/s") {
+		t.Errorf("planning arm should be reported on its txns/sec gate, got:\n%s", sb.String())
+	}
+
+	bad := writeSpeedJSON(t, dir, "bad.json", `{
+		"tpcc_plan_cache": {"optimized": {"events_per_sec": 150000, "allocs_per_event": 7.2, "allocs_per_txn": 6900}},
+		"tpcc_planning": {"optimized": {"txns_per_sec_wall": 20000, "allocs_per_txn": 120}}
+	}`)
+	var sb2 stringsWriter
+	err := SpeedCompare(&sb2, base, bad)
+	if err == nil {
+		t.Fatalf("a >2x planning txns/sec regression must fail:\n%s", sb2.String())
+	}
+	if !strings.Contains(err.Error(), "regression") || !strings.Contains(sb2.String(), "tpcc_planning") {
+		t.Errorf("unexpected failure shape: %v\n%s", err, sb2.String())
+	}
+}

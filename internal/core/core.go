@@ -102,6 +102,9 @@ type Database struct {
 	// regions is the crdb_internal_region enum: the source of truth for
 	// which regions the database uses (paper §2.1).
 	regions map[simnet.Region]RegionState
+	// sorted memoizes Regions(); nil after any membership change. Callers
+	// must not mutate the returned slice.
+	sorted []simnet.Region
 }
 
 // NewDatabase creates a multi-region database with a primary region and
@@ -121,12 +124,15 @@ func NewDatabase(name string, primary simnet.Region, others ...simnet.Region) *D
 // Regions returns the database's usable (public or read-only) regions,
 // sorted for determinism.
 func (db *Database) Regions() []simnet.Region {
-	out := make([]simnet.Region, 0, len(db.regions))
-	for r := range db.regions {
-		out = append(out, r)
+	if db.sorted == nil {
+		out := make([]simnet.Region, 0, len(db.regions))
+		for r := range db.regions {
+			out = append(out, r)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		db.sorted = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return db.sorted
 }
 
 // HasRegion reports whether r is a usable region of the database.
@@ -153,6 +159,7 @@ func (db *Database) AddRegion(r simnet.Region) error {
 		return fmt.Errorf("core: region %q already in database %q", r, db.Name)
 	}
 	db.regions[r] = RegionPublic
+	db.sorted = nil
 	return nil
 }
 
@@ -189,6 +196,7 @@ func (db *Database) DropRegion(r simnet.Region, validate RegionRowValidator) err
 		}
 	}
 	delete(db.regions, r)
+	db.sorted = nil
 	return nil
 }
 

@@ -74,6 +74,12 @@ type Column struct {
 	// OnUpdateRehome re-computes the column to the gateway region on
 	// UPDATE (automatic rehoming, §2.3.2).
 	OnUpdateRehome bool
+
+	// computedDeps memoizes exprColumnDeps(Computed); computedDepsOf is the
+	// expression it was derived from, so replacing Computed (ALTER ...
+	// LOCALITY rebuilds) invalidates the memo.
+	computedDeps   []string
+	computedDepsOf Expr
 }
 
 // Index is a primary or secondary index.
@@ -199,6 +205,20 @@ type Catalog struct {
 	Databases map[string]*core.Database
 	tables    map[string]*Table // key: db.table
 	nextTable TableID
+
+	// PlanCacheOff disables the fingerprint-keyed plan cache (ablation
+	// flag, same machinery as the dispatcher's PerKeyDispatch): every
+	// statement replans from scratch, exactly the pre-cache behavior.
+	PlanCacheOff bool
+
+	// version counts schema and zone-config changes. Cached plans record
+	// the version they were built under and are dropped wholesale when it
+	// moves, so DDL, ALTER ... LOCALITY and ADD/DROP REGION can never be
+	// served a stale plan. Every mutation site bumps before its next yield
+	// point, which under the cooperative scheduler makes invalidation
+	// atomic with the catalog change.
+	version uint64
+	plans   PlanCache
 }
 
 // NewCatalog returns an empty catalog.
@@ -209,12 +229,20 @@ func NewCatalog() *Catalog {
 	}
 }
 
+// Bump invalidates all cached plans; called by every DDL or zone-config
+// mutation.
+func (c *Catalog) Bump() { c.version++ }
+
+// Version returns the schema/zone-config version counter.
+func (c *Catalog) Version() uint64 { return c.version }
+
 // CreateDatabase registers a database.
 func (c *Catalog) CreateDatabase(db *core.Database) error {
 	if _, ok := c.Databases[db.Name]; ok {
 		return fmt.Errorf("sql: database %q already exists", db.Name)
 	}
 	c.Databases[db.Name] = db
+	c.Bump()
 	return nil
 }
 
@@ -233,6 +261,7 @@ func (c *Catalog) CreateTable(t *Table) error {
 	c.nextTable++
 	t.ID = c.nextTable
 	c.tables[key] = t
+	c.Bump()
 	return nil
 }
 
@@ -257,6 +286,7 @@ func (c *Catalog) Tables(db string) []*Table {
 // DropTable removes a table from the catalog.
 func (c *Catalog) DropTable(db, name string) {
 	delete(c.tables, db+"."+name)
+	c.Bump()
 }
 
 // --- Key construction ---

@@ -84,6 +84,41 @@ func EncodeKeyDatum(buf []byte, d Datum) []byte {
 	}
 }
 
+// KeyTupleSize returns the exact encoded size of a datum tuple, so callers
+// can allocate key buffers once at full capacity.
+func KeyTupleSize(vals []Datum) int {
+	n := 0
+	for _, d := range vals {
+		switch v := d.(type) {
+		case nil, bool:
+			n++
+		case int64, int:
+			n += 9
+		case float64:
+			n += 9
+		case string:
+			n += 3 + len(v) // marker + bytes + terminator; 0x00 escapes add more
+			for i := 0; i < len(v); i++ {
+				if v[i] == 0x00 {
+					n++
+				}
+			}
+		default:
+			panic(fmt.Sprintf("sql: cannot key-encode %T", d))
+		}
+	}
+	return n
+}
+
+// AppendKeyTuple appends the order-preserving encoding of each datum to
+// buf; identical bytes to calling EncodeKeyDatum in a loop.
+func AppendKeyTuple(buf mvcc.Key, vals []Datum) mvcc.Key {
+	for _, v := range vals {
+		buf = EncodeKeyDatum(buf, v)
+	}
+	return buf
+}
+
 // DecodeKeyDatum decodes one datum from key, returning it and the rest.
 func DecodeKeyDatum(key []byte) (Datum, []byte, error) {
 	if len(key) == 0 {
@@ -194,20 +229,29 @@ func EncodeRow(vals map[ColumnID]Datum) mvcc.Value {
 // DecodeRow decodes a row value back into column values.
 func DecodeRow(val mvcc.Value) (map[ColumnID]Datum, error) {
 	out := map[ColumnID]Datum{}
+	if err := DecodeRowInto(out, val); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeRowInto decodes a row value into out, which must be empty; the
+// plan-cache fast path feeds it pooled maps to avoid per-row map churn.
+func DecodeRowInto(out map[ColumnID]Datum, val mvcc.Value) error {
 	buf := []byte(val)
 	n, sz := binary.Uvarint(buf)
 	if sz <= 0 {
-		return nil, fmt.Errorf("sql: bad row header")
+		return fmt.Errorf("sql: bad row header")
 	}
 	buf = buf[sz:]
 	for i := uint64(0); i < n; i++ {
 		id, sz := binary.Uvarint(buf)
 		if sz <= 0 {
-			return nil, fmt.Errorf("sql: bad column id")
+			return fmt.Errorf("sql: bad column id")
 		}
 		buf = buf[sz:]
 		if len(buf) == 0 {
-			return nil, fmt.Errorf("sql: truncated column")
+			return fmt.Errorf("sql: truncated column")
 		}
 		tag := buf[0]
 		buf = buf[1:]
@@ -217,34 +261,34 @@ func DecodeRow(val mvcc.Value) (map[ColumnID]Datum, error) {
 		case tagString:
 			l, sz := binary.Uvarint(buf)
 			if sz <= 0 || uint64(len(buf)-sz) < l {
-				return nil, fmt.Errorf("sql: truncated string")
+				return fmt.Errorf("sql: truncated string")
 			}
 			out[ColumnID(id)] = string(buf[sz : sz+int(l)])
 			buf = buf[sz+int(l):]
 		case tagInt:
 			v, sz := binary.Varint(buf)
 			if sz <= 0 {
-				return nil, fmt.Errorf("sql: bad int")
+				return fmt.Errorf("sql: bad int")
 			}
 			out[ColumnID(id)] = v
 			buf = buf[sz:]
 		case tagFloat:
 			if len(buf) < 8 {
-				return nil, fmt.Errorf("sql: truncated float")
+				return fmt.Errorf("sql: truncated float")
 			}
 			out[ColumnID(id)] = math.Float64frombits(binary.BigEndian.Uint64(buf[:8]))
 			buf = buf[8:]
 		case tagBool:
 			if len(buf) < 1 {
-				return nil, fmt.Errorf("sql: truncated bool")
+				return fmt.Errorf("sql: truncated bool")
 			}
 			out[ColumnID(id)] = buf[0] == 1
 			buf = buf[1:]
 		default:
-			return nil, fmt.Errorf("sql: unknown tag %d", tag)
+			return fmt.Errorf("sql: unknown tag %d", tag)
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // DatumsEqual compares two datums for SQL equality (ints and floats

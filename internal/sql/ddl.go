@@ -57,11 +57,13 @@ func (s *Session) execAlterDatabase(p *sim.Proc, st *AlterDatabase) (*Result, er
 		if err := db.SetSurvivalGoal(*st.Survive); err != nil {
 			return nil, err
 		}
+		s.Catalog.Bump()
 		return &Result{}, s.reconfigureAllTables(p, db)
 	case st.Placement != nil:
 		if err := db.SetPlacement(*st.Placement); err != nil {
 			return nil, err
 		}
+		s.Catalog.Bump()
 		return &Result{}, s.reconfigureAllTables(p, db)
 	case st.SetPrimary != "":
 		r := simnet.Region(st.SetPrimary)
@@ -71,6 +73,7 @@ func (s *Session) execAlterDatabase(p *sim.Proc, st *AlterDatabase) (*Result, er
 			}
 		}
 		db.PrimaryRegion = r
+		s.Catalog.Bump()
 		return &Result{}, s.reconfigureAllTables(p, db)
 	}
 	return nil, fmt.Errorf("sql: empty ALTER DATABASE")
@@ -92,6 +95,9 @@ func (s *Session) execAddRegion(p *sim.Proc, db *core.Database, region simnet.Re
 	if err := db.AddRegion(region); err != nil {
 		return nil, err
 	}
+	// Invalidate cached plans before the partition builds below can yield:
+	// region sets feed cached search orders and partition lists.
+	s.Catalog.Bump()
 	// New partitions for REGIONAL BY ROW tables.
 	for _, t := range s.Catalog.Tables(db.Name) {
 		if t.Locality != core.RegionalByRow {
@@ -104,6 +110,18 @@ func (s *Session) execAddRegion(p *sim.Proc, db *core.Database, region simnet.Re
 		alloc := s.Cluster.Allocator()
 		for _, idx := range t.Indexes {
 			if err := s.createRangeForSpan(t, idx.ID, region, tp.Home[region], tp.Policy, alloc); err != nil {
+				return nil, err
+			}
+		}
+		// The new partitions must elect Raft leaders before
+		// reconfigureAllTables proposes conf changes through them.
+		for _, idx := range t.Indexes {
+			start, _ := IndexSpan(t, idx.ID, region)
+			desc, err := s.Cluster.Catalog.Lookup(start)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.Cluster.Admin.WaitReady(p, desc.RangeID); err != nil {
 				return nil, err
 			}
 		}
@@ -143,6 +161,9 @@ func (s *Session) execDropRegion(p *sim.Proc, db *core.Database, region simnet.R
 	if err := db.DropRegion(region, validator); err != nil {
 		return nil, err
 	}
+	// The region set changed (and transitioned through READ ONLY during
+	// validation); no cached plan may keep probing the dropped partition.
+	s.Catalog.Bump()
 	// Remove the dropped region's partitions.
 	for _, t := range s.Catalog.Tables(db.Name) {
 		if t.Locality != core.RegionalByRow {
@@ -167,6 +188,10 @@ func (s *Session) execDropRegion(p *sim.Proc, db *core.Database, region simnet.R
 // database and relocates replicas accordingly (survivability, placement or
 // region-set changes).
 func (s *Session) reconfigureAllTables(p *sim.Proc, db *core.Database) error {
+	// Zone-config changes invalidate cached plans too (defensive: plan
+	// shapes derive from the catalog, but placement moves change which
+	// gateway-first orders are profitable and this path is never hot).
+	s.Catalog.Bump()
 	alloc := s.Cluster.Allocator()
 	for _, t := range s.Catalog.Tables(db.Name) {
 		tp, err := db.PlacementForTable(t.Locality, t.HomeRegion)
@@ -380,6 +405,8 @@ func (s *Session) execCreateIndex(p *sim.Proc, st *CreateIndex) (*Result, error)
 		ids = append(ids, c.ID)
 	}
 	idx := t.AddIndex(&Index{Name: st.Name, Unique: st.Unique, Cols: ids})
+	// Bump before the range builds below yield: index choice is cached.
+	s.Catalog.Bump()
 	if err := s.createIndexRanges(t, db, idx); err != nil {
 		return nil, err
 	}
@@ -412,6 +439,7 @@ func (s *Session) execAlterTableLocality(p *sim.Proc, st *AlterTableLocality) (*
 		// Metadata + zone-config change only (§2.4.2).
 		t.Locality = newLoc
 		t.HomeRegion = newHome
+		s.Catalog.Bump()
 		return &Result{}, s.reconfigureAllTables(p, db)
 	}
 
@@ -431,10 +459,14 @@ func (s *Session) execAlterTableLocality(p *sim.Proc, st *AlterTableLocality) (*
 		t.RegionColumn = col.ID
 	}
 
+	// Locality and the column/index set are changing across yields below;
+	// bump at every mutation so no cached plan spans a partial swap.
+	s.Catalog.Bump()
 	var newIndexes []*Index
 	for _, old := range oldIndexes {
 		ni := t.AddIndex(&Index{Name: old.Name, Unique: old.Unique, Cols: old.Cols, Storing: old.Storing})
 		newIndexes = append(newIndexes, ni)
+		s.Catalog.Bump()
 		if err := s.createIndexRanges(t, db, ni); err != nil {
 			return nil, err
 		}
@@ -450,6 +482,7 @@ func (s *Session) execAlterTableLocality(p *sim.Proc, st *AlterTableLocality) (*
 	}
 	// Swap: the new indexes replace the old; drop old ranges.
 	t.Indexes = newIndexes
+	s.Catalog.Bump()
 	for _, old := range oldIndexes {
 		regions := []simnet.Region{""}
 		if oldPartitioned {

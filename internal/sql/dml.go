@@ -17,19 +17,26 @@ func (s *Session) execSelect(p *sim.Proc, tx *txn.Txn, st *Select) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	plan, err := s.planRead(t, db, st.Where, st.Limit)
+	plan, err := s.planReadCached(st, t, db, st.Where, st.Limit)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := s.fetchRows(p, &txnFetcher{tx: tx}, plan)
+	fetched, err := s.fetchRows(p, &txnFetcher{tx: tx}, plan)
 	if err != nil {
 		return nil, err
 	}
-	rows, err = s.filterRows(t, rows, st.Where)
-	if err != nil {
-		return nil, err
+	rows := fetched
+	if !plan.filterRedundant {
+		rows, err = s.filterRows(t, rows, st.Where)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return s.project(t, rows, st.Columns, st.Limit)
+	res, err := s.project(t, rows, st.Columns, st.Limit)
+	if plan.prefixes != nil {
+		s.releaseRows(fetched)
+	}
+	return res, err
 }
 
 // execStaleSelect serves SELECT ... AS OF SYSTEM TIME (paper §5.3): exact
@@ -40,7 +47,7 @@ func (s *Session) execStaleSelect(p *sim.Proc, st *Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := s.planRead(t, db, st.Where, st.Limit)
+	plan, err := s.planReadCached(st, t, db, st.Where, st.Limit)
 	if err != nil {
 		return nil, err
 	}
@@ -93,15 +100,22 @@ func (s *Session) execStaleSelect(p *sim.Proc, st *Select) (*Result, error) {
 		}
 		ts = negotiated
 	}
-	rows, err := s.fetchRows(p, &staleFetcher{co: s.Coord, ts: ts}, plan)
+	fetched, err := s.fetchRows(p, &staleFetcher{co: s.Coord, ts: ts}, plan)
 	if err != nil {
 		return nil, err
 	}
-	rows, err = s.filterRows(t, rows, st.Where)
-	if err != nil {
-		return nil, err
+	rows := fetched
+	if !plan.filterRedundant {
+		rows, err = s.filterRows(t, rows, st.Where)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return s.project(t, rows, st.Columns, st.Limit)
+	res, err := s.project(t, rows, st.Columns, st.Limit)
+	if plan.prefixes != nil {
+		s.releaseRows(fetched)
+	}
+	return res, err
 }
 
 // project builds the result set: named columns, or all visible columns for
@@ -119,12 +133,20 @@ func (s *Session) project(t *Table, rows []tableRow, cols []string, limit int) (
 			outCols = append(outCols, c)
 		}
 	}
-	res := &Result{}
-	for _, c := range outCols {
-		res.Columns = append(res.Columns, c.Name)
+	res := s.takeResult()
+	if res.Columns == nil {
+		for _, c := range outCols {
+			res.Columns = append(res.Columns, c.Name)
+		}
 	}
+	// Refill a reused result's row slices in place (datums are copied out of
+	// the fetched rows, so a recycled backing array is safe to overwrite).
+	prev := res.Rows[:cap(res.Rows)]
 	for _, row := range rows {
 		var out []Datum
+		if n := len(res.Rows); n < len(prev) && prev[n] != nil {
+			out = prev[n][:0]
+		}
 		for _, c := range outCols {
 			out = append(out, row.vals[c.ID])
 		}
@@ -144,10 +166,19 @@ func (s *Session) execInsert(p *sim.Proc, tx *txn.Txn, st *Insert) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	cols := st.Columns
-	if cols == nil {
-		for _, c := range t.VisibleColumns() {
-			cols = append(cols, c.Name)
+	// Cached shape: column resolution and the default/computed schedule are
+	// reused; values still evaluate per row in the slow path's order.
+	ci := s.insertPlan(st, t)
+	var pc *prefixCache
+	var cols []string
+	if ci != nil {
+		pc = &ci.prefixes
+	} else {
+		cols = st.Columns
+		if cols == nil {
+			for _, c := range t.VisibleColumns() {
+				cols = append(cols, c.Name)
+			}
 		}
 	}
 	type insRow struct {
@@ -157,10 +188,20 @@ func (s *Session) execInsert(p *sim.Proc, tx *txn.Txn, st *Insert) (*Result, err
 	}
 	var rows []insRow
 	for _, rowExprs := range st.Rows {
-		if len(rowExprs) != len(cols) {
-			return nil, fmt.Errorf("sql: %d values for %d columns", len(rowExprs), len(cols))
+		var vals map[ColumnID]Datum
+		var fromDefault map[ColumnID]bool
+		if ci != nil {
+			if len(rowExprs) != len(ci.cols) {
+				return nil, fmt.Errorf("sql: %d values for %d columns", len(rowExprs), len(ci.cols))
+			}
+			vals, err = s.buildRowValuesCached(ci, t, db, rowExprs)
+			fromDefault = ci.fromDefault
+		} else {
+			if len(rowExprs) != len(cols) {
+				return nil, fmt.Errorf("sql: %d values for %d columns", len(rowExprs), len(cols))
+			}
+			vals, fromDefault, err = s.buildRowValues(t, db, cols, rowExprs)
 		}
-		vals, fromDefault, err := s.buildRowValues(t, db, cols, rowExprs)
 		if err != nil {
 			return nil, err
 		}
@@ -172,11 +213,13 @@ func (s *Session) execInsert(p *sim.Proc, tx *txn.Txn, st *Insert) (*Result, err
 	}
 	if st.Upsert {
 		for _, r := range rows {
-			if err := s.upsertRow(p, tx, t, db, r.vals); err != nil {
+			if err := s.upsertRow(p, tx, t, db, pc, r.vals); err != nil {
 				return nil, err
 			}
 		}
-		return &Result{RowsAffected: len(rows)}, nil
+		res := s.takeResult()
+		res.RowsAffected = len(rows)
+		return res, nil
 	}
 	// Uniqueness checks (paper §4.1) for the whole statement at once:
 	// same-statement duplicates are caught against the pending write set
@@ -200,7 +243,7 @@ func (s *Session) execInsert(p *sim.Proc, tx *txn.Txn, st *Insert) (*Result, err
 				tuple = append(tuple, r.vals[cid])
 			}
 			for _, pr := range uniqueProbeRegions(t, db, idx, r.region, r.fromDefault, s.UniquenessChecks) {
-				key := EncodeIndexKey(t, idx, pr, tuple)
+				key := encodeIndexKey(pc, t, idx, pr, tuple)
 				if pending[string(key)] {
 					return nil, fmt.Errorf("sql: duplicate key value violates unique constraint %q (region %s)", idx.Name, pr)
 				}
@@ -208,7 +251,7 @@ func (s *Session) execInsert(p *sim.Proc, tx *txn.Txn, st *Insert) (*Result, err
 				probeRefs = append(probeRefs, probeRef{idx: idx, region: pr})
 			}
 		}
-		for _, key := range uniqueWriteKeys(t, r.region, r.vals) {
+		for _, key := range uniqueWriteKeys(t, pc, r.region, r.vals) {
 			pending[string(key)] = true
 		}
 	}
@@ -228,12 +271,14 @@ func (s *Session) execInsert(p *sim.Proc, tx *txn.Txn, st *Insert) (*Result, err
 	// round trips.
 	var kvs []mvcc.KeyValue
 	for _, r := range rows {
-		kvs = append(kvs, rowKVs(t, r.region, r.vals)...)
+		kvs = append(kvs, rowKVs(t, pc, r.region, r.vals)...)
 	}
 	if err := tx.PutParallel(p, kvs); err != nil {
 		return nil, err
 	}
-	return &Result{RowsAffected: len(rows)}, nil
+	res := s.takeResult()
+	res.RowsAffected = len(rows)
+	return res, nil
 }
 
 // uniqueProbeRegions returns the partitions a unique-index check must probe
@@ -288,7 +333,7 @@ func uniqueProbeRegions(t *Table, db *core.Database, idx *Index, region simnet.R
 
 // uniqueWriteKeys lists the unique-index keys a row write lays down, using
 // the same per-index region logic as rowKVs.
-func uniqueWriteKeys(t *Table, region simnet.Region, vals map[ColumnID]Datum) []mvcc.Key {
+func uniqueWriteKeys(t *Table, pc *prefixCache, region simnet.Region, vals map[ColumnID]Datum) []mvcc.Key {
 	var keys []mvcc.Key
 	for _, idx := range t.Indexes {
 		if !idx.Unique {
@@ -302,7 +347,7 @@ func uniqueWriteKeys(t *Table, region simnet.Region, vals map[ColumnID]Datum) []
 		for _, cid := range idx.Cols {
 			tuple = append(tuple, vals[cid])
 		}
-		keys = append(keys, EncodeIndexKey(t, idx, idxRegion, tuple))
+		keys = append(keys, encodeIndexKey(pc, t, idx, idxRegion, tuple))
 	}
 	return keys
 }
@@ -388,7 +433,7 @@ func rowRegion(t *Table, vals map[ColumnID]Datum) (simnet.Region, error) {
 // read. It requires every index key to be a function of the primary key so
 // stale index entries cannot arise, and an unpartitioned table (a blind
 // write cannot know which partition an existing row lives in).
-func (s *Session) upsertRow(p *sim.Proc, tx *txn.Txn, t *Table, db *core.Database, vals map[ColumnID]Datum) error {
+func (s *Session) upsertRow(p *sim.Proc, tx *txn.Txn, t *Table, db *core.Database, pc *prefixCache, vals map[ColumnID]Datum) error {
 	if t.IsPartitioned() {
 		return fmt.Errorf("sql: UPSERT is not supported on REGIONAL BY ROW tables")
 	}
@@ -403,7 +448,7 @@ func (s *Session) upsertRow(p *sim.Proc, tx *txn.Txn, t *Table, db *core.Databas
 			}
 		}
 	}
-	return s.writeRow(p, tx, t, "", vals)
+	return s.writeRow(p, tx, t, pc, "", vals)
 }
 
 // uniquenessCheck verifies no other row has the same values for a unique
@@ -412,7 +457,7 @@ func (s *Session) upsertRow(p *sim.Proc, tx *txn.Txn, t *Table, db *core.Databas
 // elided (see uniqueProbeRegions). Absence must hold everywhere, so unlike
 // LOS there is no early exit (the latency is the max RTT). excludePK skips
 // a row with the same primary key (for UPDATEs rewriting themselves).
-func (s *Session) uniquenessCheck(p *sim.Proc, tx *txn.Txn, t *Table, db *core.Database, idx *Index, region simnet.Region, vals map[ColumnID]Datum, fromDefault map[ColumnID]bool, excludePK []Datum) error {
+func (s *Session) uniquenessCheck(p *sim.Proc, tx *txn.Txn, t *Table, db *core.Database, idx *Index, pc *prefixCache, region simnet.Region, vals map[ColumnID]Datum, fromDefault map[ColumnID]bool, excludePK []Datum) error {
 	var tuple []Datum
 	for _, cid := range idx.Cols {
 		tuple = append(tuple, vals[cid])
@@ -420,7 +465,7 @@ func (s *Session) uniquenessCheck(p *sim.Proc, tx *txn.Txn, t *Table, db *core.D
 	checkRegions := uniqueProbeRegions(t, db, idx, region, fromDefault, s.UniquenessChecks)
 	keys := make([]mvcc.Key, len(checkRegions))
 	for i, r := range checkRegions {
-		keys[i] = EncodeIndexKey(t, idx, r, tuple)
+		keys[i] = encodeIndexKey(pc, t, idx, r, tuple)
 	}
 	found, err := tx.GetParallel(p, keys)
 	if err != nil {
@@ -452,12 +497,12 @@ func (s *Session) uniquenessCheck(p *sim.Proc, tx *txn.Txn, t *Table, db *core.D
 }
 
 // writeRow writes the primary row and every index entry as one batch.
-func (s *Session) writeRow(p *sim.Proc, tx *txn.Txn, t *Table, region simnet.Region, vals map[ColumnID]Datum) error {
-	return tx.PutParallel(p, rowKVs(t, region, vals))
+func (s *Session) writeRow(p *sim.Proc, tx *txn.Txn, t *Table, pc *prefixCache, region simnet.Region, vals map[ColumnID]Datum) error {
+	return tx.PutParallel(p, rowKVs(t, pc, region, vals))
 }
 
 // rowKVs builds the primary-row and index-entry writes for one row.
-func rowKVs(t *Table, region simnet.Region, vals map[ColumnID]Datum) []mvcc.KeyValue {
+func rowKVs(t *Table, pc *prefixCache, region simnet.Region, vals map[ColumnID]Datum) []mvcc.KeyValue {
 	var kvs []mvcc.KeyValue
 	primary := t.Primary()
 	var pkTuple []Datum
@@ -478,7 +523,7 @@ func rowKVs(t *Table, region simnet.Region, vals map[ColumnID]Datum) []mvcc.KeyV
 		for _, cid := range idx.Cols {
 			tuple = append(tuple, vals[cid])
 		}
-		key := EncodeIndexKey(t, idx, idxRegion, tuple)
+		key := encodeIndexKey(pc, t, idx, idxRegion, tuple)
 		if !idx.Unique {
 			key = append(key, EncodeTupleSuffix(pkTuple)...)
 		}
@@ -495,12 +540,12 @@ func rowKVs(t *Table, region simnet.Region, vals map[ColumnID]Datum) []mvcc.KeyV
 }
 
 // deleteRow removes the primary row and index entries.
-func (s *Session) deleteRow(p *sim.Proc, tx *txn.Txn, t *Table, region simnet.Region, vals map[ColumnID]Datum) error {
-	return tx.PutParallel(p, deleteKVs(t, region, vals))
+func (s *Session) deleteRow(p *sim.Proc, tx *txn.Txn, t *Table, pc *prefixCache, region simnet.Region, vals map[ColumnID]Datum) error {
+	return tx.PutParallel(p, deleteKVs(t, pc, region, vals))
 }
 
 // deleteKVs builds the tombstone writes removing one row.
-func deleteKVs(t *Table, region simnet.Region, vals map[ColumnID]Datum) []mvcc.KeyValue {
+func deleteKVs(t *Table, pc *prefixCache, region simnet.Region, vals map[ColumnID]Datum) []mvcc.KeyValue {
 	var kvs []mvcc.KeyValue
 	primary := t.Primary()
 	var pkTuple []Datum
@@ -516,7 +561,7 @@ func deleteKVs(t *Table, region simnet.Region, vals map[ColumnID]Datum) []mvcc.K
 		for _, cid := range idx.Cols {
 			tuple = append(tuple, vals[cid])
 		}
-		key := EncodeIndexKey(t, idx, idxRegion, tuple)
+		key := encodeIndexKey(pc, t, idx, idxRegion, tuple)
 		if !idx.Unique {
 			key = append(key, EncodeTupleSuffix(pkTuple)...)
 		}
@@ -532,19 +577,23 @@ func (s *Session) execUpdate(p *sim.Proc, tx *txn.Txn, st *Update) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	plan, err := s.planRead(t, db, st.Where, 0)
+	plan, err := s.planReadCached(st, t, db, st.Where, 0)
 	if err != nil {
 		return nil, err
 	}
+	pc := plan.prefixes
 	// UPDATE reads lock their rows (implicit SELECT FOR UPDATE) so
 	// read-modify-write transactions queue rather than restart.
-	rows, err := s.fetchRows(p, &txnFetcher{tx: tx, forUpdate: plan.lookups != nil}, plan)
+	fetched, err := s.fetchRows(p, &txnFetcher{tx: tx, forUpdate: plan.lookups != nil}, plan)
 	if err != nil {
 		return nil, err
 	}
-	rows, err = s.filterRows(t, rows, st.Where)
-	if err != nil {
-		return nil, err
+	rows := fetched
+	if !plan.filterRedundant {
+		rows, err = s.filterRows(t, rows, st.Where)
+		if err != nil {
+			return nil, err
+		}
 	}
 	pkSet := map[ColumnID]bool{}
 	for _, cid := range t.Primary().Cols {
@@ -621,31 +670,36 @@ func (s *Session) execUpdate(p *sim.Proc, tx *txn.Txn, st *Update) (*Result, err
 				}
 			}
 			if touched {
-				if err := s.uniquenessCheck(p, tx, t, db, idx, newRegion, newVals, nil, pkTuple); err != nil {
+				if err := s.uniquenessCheck(p, tx, t, db, idx, pc, newRegion, newVals, nil, pkTuple); err != nil {
 					return nil, err
 				}
 			}
 		}
 		if newRegion != row.region && t.IsPartitioned() {
 			// Cross-partition move (rehoming): delete + reinsert.
-			if err := s.deleteRow(p, tx, t, row.region, row.vals); err != nil {
+			if err := s.deleteRow(p, tx, t, pc, row.region, row.vals); err != nil {
 				return nil, err
 			}
-			if err := s.writeRow(p, tx, t, newRegion, newVals); err != nil {
+			if err := s.writeRow(p, tx, t, pc, newRegion, newVals); err != nil {
 				return nil, err
 			}
 		} else {
 			// Rewrite the row; refresh index entries whose keys changed.
-			if err := s.updateIndexEntries(p, tx, t, row.region, row.vals, newVals, changed); err != nil {
+			if err := s.updateIndexEntries(p, tx, t, pc, row.region, row.vals, newVals, changed); err != nil {
 				return nil, err
 			}
 		}
 		updated++
 	}
-	return &Result{RowsAffected: updated}, nil
+	if pc != nil {
+		s.releaseRows(fetched)
+	}
+	res := s.takeResult()
+	res.RowsAffected = updated
+	return res, nil
 }
 
-func (s *Session) updateIndexEntries(p *sim.Proc, tx *txn.Txn, t *Table, region simnet.Region, oldVals, newVals map[ColumnID]Datum, changed map[ColumnID]bool) error {
+func (s *Session) updateIndexEntries(p *sim.Proc, tx *txn.Txn, t *Table, pc *prefixCache, region simnet.Region, oldVals, newVals map[ColumnID]Datum, changed map[ColumnID]bool) error {
 	var kvs []mvcc.KeyValue
 	primary := t.Primary()
 	var pkTuple []Datum
@@ -672,7 +726,7 @@ func (s *Session) updateIndexEntries(p *sim.Proc, tx *txn.Txn, t *Table, region 
 		for _, cid := range idx.Cols {
 			newTuple = append(newTuple, newVals[cid])
 		}
-		newKey := EncodeIndexKey(t, idx, idxRegion, newTuple)
+		newKey := encodeIndexKey(pc, t, idx, idxRegion, newTuple)
 		if !idx.Unique {
 			newKey = append(newKey, EncodeTupleSuffix(pkTuple)...)
 		}
@@ -681,7 +735,7 @@ func (s *Session) updateIndexEntries(p *sim.Proc, tx *txn.Txn, t *Table, region 
 			for _, cid := range idx.Cols {
 				oldTuple = append(oldTuple, oldVals[cid])
 			}
-			oldKey := EncodeIndexKey(t, idx, idxRegion, oldTuple)
+			oldKey := encodeIndexKey(pc, t, idx, idxRegion, oldTuple)
 			if !idx.Unique {
 				oldKey = append(oldKey, EncodeTupleSuffix(pkTuple)...)
 			}
@@ -708,27 +762,36 @@ func (s *Session) execDelete(p *sim.Proc, tx *txn.Txn, st *Delete) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	plan, err := s.planRead(t, db, st.Where, 0)
+	plan, err := s.planReadCached(st, t, db, st.Where, 0)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := s.fetchRows(p, &txnFetcher{tx: tx, forUpdate: plan.lookups != nil}, plan)
+	fetched, err := s.fetchRows(p, &txnFetcher{tx: tx, forUpdate: plan.lookups != nil}, plan)
 	if err != nil {
 		return nil, err
 	}
-	rows, err = s.filterRows(t, rows, st.Where)
-	if err != nil {
-		return nil, err
+	rows := fetched
+	if !plan.filterRedundant {
+		rows, err = s.filterRows(t, rows, st.Where)
+		if err != nil {
+			return nil, err
+		}
 	}
 	// All rows' tombstones go out as one per-range-batched write.
 	var kvs []mvcc.KeyValue
 	for _, row := range rows {
-		kvs = append(kvs, deleteKVs(t, row.region, row.vals)...)
+		kvs = append(kvs, deleteKVs(t, plan.prefixes, row.region, row.vals)...)
 	}
 	if err := tx.PutParallel(p, kvs); err != nil {
 		return nil, err
 	}
-	return &Result{RowsAffected: len(rows)}, nil
+	n := len(rows)
+	if plan.prefixes != nil {
+		s.releaseRows(fetched)
+	}
+	res := s.takeResult()
+	res.RowsAffected = n
+	return res, nil
 }
 
 // --- Backfills ---
@@ -806,11 +869,16 @@ func (s *Session) backfillLocalityChange(p *sim.Proc, t *Table, db *core.Databas
 				if err != nil {
 					return err
 				}
-				// Write through the new index set only.
+				// Write through the new index set only. writeRow yields, so
+				// bump across the swap: a concurrent session must not cache
+				// a plan against the transient index set (or keep one from
+				// before the restore).
 				saved := t.Indexes
 				t.Indexes = newIndexes
-				err = s.writeRow(p, tx, t, region, vals)
+				s.Catalog.Bump()
+				err = s.writeRow(p, tx, t, nil, region, vals)
 				t.Indexes = saved
+				s.Catalog.Bump()
 				if err != nil {
 					return err
 				}

@@ -18,6 +18,7 @@ import (
 // bit-identical across same-seed runs.
 type elasticLoopResult struct {
 	ranges     string // canonical mrdb_internal.ranges rendering
+	stats      string // statement-statistics registry rendering
 	spanHash   uint64 // full-run span-tree hash
 	loadSplits int64
 	merges     int64
@@ -27,8 +28,9 @@ type elasticLoopResult struct {
 // runElasticLoop drives the full elastic cycle on one cluster: hot SQL
 // traffic that load-splits a table partition, a region added and dropped
 // mid-run, single-region KV traffic that attracts a lease move, and a cold
-// tail in which the split remnants merge back.
-func runElasticLoop(t *testing.T, seed int64) elasticLoopResult {
+// tail in which the split remnants merge back. planCacheOff runs the loop
+// on the plan-cache ablation arm.
+func runElasticLoop(t *testing.T, seed int64, planCacheOff bool) elasticLoopResult {
 	t.Helper()
 	c := cluster.New(cluster.Config{
 		Seed:      seed,
@@ -43,6 +45,7 @@ func runElasticLoop(t *testing.T, seed int64) elasticLoopResult {
 		},
 	})
 	catalog := NewCatalog()
+	catalog.PlanCacheOff = planCacheOff
 	us := NewSession(c, catalog, c.GatewayFor(simnet.USEast1))
 	var out elasticLoopResult
 	c.Sim.Spawn("test", func(p *sim.Proc) {
@@ -148,6 +151,7 @@ func runElasticLoop(t *testing.T, seed int64) elasticLoopResult {
 	if n := c.ApplyErrors(); n != 0 {
 		t.Fatalf("%d apply errors", n)
 	}
+	out.stats = c.StmtStats.String()
 	out.spanHash = c.Tracer.Hash()
 	out.loadSplits = c.Admin.LoadSplits
 	out.merges = c.Admin.Merges
@@ -161,8 +165,8 @@ func runElasticLoop(t *testing.T, seed int64) elasticLoopResult {
 // every recorded trace and the canonical mrdb_internal.ranges rendering.
 // This is the property that keeps every dynamic scenario replayable.
 func TestElasticLoopMetamorphicDeterminism(t *testing.T) {
-	a := runElasticLoop(t, 907)
-	b := runElasticLoop(t, 907)
+	a := runElasticLoop(t, 907, false)
+	b := runElasticLoop(t, 907, false)
 	// The loop genuinely exercised every elastic mechanism.
 	if a.loadSplits == 0 {
 		t.Error("hot phase produced no load-based splits")

@@ -36,6 +36,36 @@ type Session struct {
 
 	// explicit transaction, when the caller manages one.
 	activeTxn *txn.Txn
+
+	// --- statement-execution fast path state ---
+
+	// curFP is the fingerprint of the statement currently executing, when
+	// the entry point already computed it (ExecStmt, ExecPrepared); the
+	// plan cache and StmtStats reuse it instead of recomputing.
+	curFP string
+	// phArgs are the placeholder arguments bound by ExecPrepared.
+	phArgs []Datum
+	// curRes is the prepared statement's reusable result buffer.
+	curRes *Result
+	// lastPlanCache records the plan-cache outcome ("hit"/"miss"/"off") of
+	// the last planned statement, for EXPLAIN ANALYZE.
+	lastPlanCache string
+
+	// Per-statement scratch reused across executions (the cooperative
+	// scheduler runs one statement of this session at a time).
+	keyScratch    []byte
+	planScratch   readPlan
+	tupleScratch  []Datum
+	lookupScratch [][]Datum
+	regionScratch []simnet.Region
+	rowPool       []map[ColumnID]Datum
+	// consScratch/consSlab back constraints(); the returned map and its
+	// value slices are valid only until the next constraints call.
+	consScratch map[string][]Datum
+	consSlab    []Datum
+	// crRow/crCtx back computedRegionFromConstraints.
+	crRow map[string]Datum
+	crCtx evalCtx
 }
 
 // NewSession opens a session at the given gateway node.
@@ -61,6 +91,20 @@ type Result struct {
 	Columns      []string
 	Rows         [][]Datum
 	RowsAffected int
+}
+
+// takeResult returns the prepared statement's reusable result buffer
+// (truncated for refill) when one is bound, or a fresh Result. A reused
+// Result is valid until the next ExecPrepared on the same Prepared.
+func (s *Session) takeResult() *Result {
+	r := s.curRes
+	if r == nil {
+		return &Result{}
+	}
+	s.curRes = nil
+	r.Rows = r.Rows[:0]
+	r.RowsAffected = 0
+	return r
 }
 
 // Exec parses and executes one statement. DML runs in its own transaction
@@ -102,6 +146,9 @@ func (s *Session) ExecStmt(p *sim.Proc, stmt Statement) (*Result, error) {
 	case *Insert, *Update, *Delete, *Select:
 		if !isVirtualStmt(stmt) {
 			record = true
+			// Computed once here, then shared by the plan-cache key and the
+			// statistics record below.
+			s.curFP = Fingerprint(stmt)
 			start = p.Now()
 			retries0 = s.Coord.Restarts
 			wan0 = s.Coord.Sender.WANRPCs
@@ -113,8 +160,9 @@ func (s *Session) ExecStmt(p *sim.Proc, stmt Statement) (*Result, error) {
 	}
 	done()
 	if record {
-		s.Cluster.StmtStats.Record(Fingerprint(stmt), p.Now().Sub(start),
+		s.Cluster.StmtStats.Record(s.curFP, p.Now().Sub(start),
 			s.Coord.Restarts-retries0, s.Coord.Sender.WANRPCs-wan0, err != nil)
+		s.curFP = ""
 	}
 	return res, err
 }
@@ -353,7 +401,7 @@ func (s *Session) execTruncate(p *sim.Proc, st *Truncate) (*Result, error) {
 				if err != nil {
 					return err
 				}
-				if err := s.deleteRow(p, tx, t, region, vals); err != nil {
+				if err := s.deleteRow(p, tx, t, nil, region, vals); err != nil {
 					return err
 				}
 				deleted++
@@ -442,6 +490,11 @@ func (s *Session) evalExpr(e Expr, ctx *evalCtx) (Datum, error) {
 	switch ex := e.(type) {
 	case *Lit:
 		return ex.Val, nil
+	case *Placeholder:
+		if ex.Idx < 1 || ex.Idx > len(s.phArgs) {
+			return nil, fmt.Errorf("sql: no value for placeholder $%d", ex.Idx)
+		}
+		return s.phArgs[ex.Idx-1], nil
 	case *ColRef:
 		if ctx == nil || ctx.row == nil {
 			return nil, fmt.Errorf("sql: column %q not available here", ex.Name)

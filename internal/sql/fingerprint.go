@@ -103,6 +103,10 @@ func fingerprintExpr(e Expr) string {
 	switch ex := e.(type) {
 	case *Lit:
 		return "_"
+	case *Placeholder:
+		// Placeholders fingerprint like literals, so a prepared statement
+		// shares its fingerprint — and cached plan — with its ad-hoc form.
+		return "_"
 	case *ColRef:
 		return ex.Name
 	case *FuncCall:

@@ -47,11 +47,16 @@ type CaseWhen struct {
 	Then Expr
 }
 
-func (*Lit) expr()        {}
-func (*ColRef) expr()     {}
-func (*FuncCall) expr()   {}
-func (*BinaryExpr) expr() {}
-func (*CaseExpr) expr()   {}
+// Placeholder is a prepared-statement parameter ($1, $2, ...); Idx is
+// 1-based. It evaluates to the argument bound by ExecPrepared.
+type Placeholder struct{ Idx int }
+
+func (*Lit) expr()         {}
+func (*ColRef) expr()      {}
+func (*FuncCall) expr()    {}
+func (*BinaryExpr) expr()  {}
+func (*CaseExpr) expr()    {}
+func (*Placeholder) expr() {}
 
 // CreateDatabase is CREATE DATABASE name [PRIMARY REGION r [REGIONS ...]].
 type CreateDatabase struct {
@@ -252,6 +257,7 @@ const (
 	tkString // '...'
 	tkNumber
 	tkPunct
+	tkPlaceholder // $1, $2, ...
 )
 
 type token struct {
@@ -291,6 +297,9 @@ func lex(src string) ([]token, error) {
 			l.toks = append(l.toks, token{kind: tkNumber, text: l.lexNumber()})
 		case isIdentStart(c):
 			l.toks = append(l.toks, token{kind: tkIdent, text: l.lexIdent()})
+		case c == '$' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			l.pos++
+			l.toks = append(l.toks, token{kind: tkPlaceholder, text: l.lexNumber()})
 		case strings.ContainsRune("(),=*;+-.", rune(c)):
 			l.toks = append(l.toks, token{kind: tkPunct, text: string(c)})
 			l.pos++
@@ -1196,6 +1205,13 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case t.kind == tkString:
 		p.advance()
 		return &Lit{Val: t.text}, nil
+	case t.kind == tkPlaceholder:
+		p.advance()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("sql: bad placeholder $%s", t.text)
+		}
+		return &Placeholder{Idx: n}, nil
 	case t.kind == tkNumber:
 		p.advance()
 		if strings.Contains(t.text, ".") {

@@ -52,23 +52,44 @@ type readPlan struct {
 	los bool
 	// limit bounds scan row counts (0 = unlimited).
 	limit int
+	// prefixes, when non-nil, is the cached plan's memoized index-prefix
+	// table; fetch paths build keys through it. Nil on the from-scratch
+	// path, which keeps the ablation arm's allocation profile untouched.
+	prefixes *prefixCache
+	// filterRedundant (cached plans only) marks the per-row WHERE filter as
+	// a provable no-op: every conjunct is already enforced by the lookup
+	// tuples and its values are pure, so skipping the pass changes neither
+	// results nor RNG draws.
+	filterRedundant bool
 }
 
 // constraints extracts per-column candidate values from a WHERE clause.
+// The returned map and its value slices are session scratch: valid only
+// until the next constraints call on this session, and never retained by
+// planRead or bindRead.
 func (s *Session) constraints(w *Where, ctx *evalCtx) (map[string][]Datum, error) {
-	out := map[string][]Datum{}
+	if s.consScratch == nil {
+		s.consScratch = map[string][]Datum{}
+	}
+	clear(s.consScratch)
+	out := s.consScratch
 	if w == nil {
 		return out, nil
 	}
+	s.consSlab = s.consSlab[:0]
 	for _, c := range w.Conds {
-		var vals []Datum
+		start := len(s.consSlab)
 		for _, e := range c.Vals {
 			v, err := s.evalExpr(e, ctx)
 			if err != nil {
 				return nil, err
 			}
-			vals = append(vals, v)
+			s.consSlab = append(s.consSlab, v)
 		}
+		// Full slice expression: a later cond growing the slab cannot
+		// clobber this cond's values (growth copies; the old backing array
+		// keeps the already-written datums alive).
+		vals := s.consSlab[start:len(s.consSlab):len(s.consSlab)]
 		if existing, ok := out[c.Col]; ok {
 			// Conjunction: intersect value sets.
 			var merged []Datum
@@ -93,8 +114,16 @@ func (s *Session) computedRegionFromConstraints(t *Table, cons map[string][]Datu
 	if !ok || col.Computed == nil {
 		return "", false
 	}
-	deps := exprColumnDeps(col.Computed)
-	row := map[string]Datum{}
+	if col.computedDepsOf != col.Computed {
+		col.computedDeps = exprColumnDeps(col.Computed)
+		col.computedDepsOf = col.Computed
+	}
+	deps := col.computedDeps
+	if s.crRow == nil {
+		s.crRow = map[string]Datum{}
+	}
+	clear(s.crRow)
+	row := s.crRow
 	for _, d := range deps {
 		vals, ok := cons[d]
 		if !ok || len(vals) != 1 {
@@ -102,7 +131,8 @@ func (s *Session) computedRegionFromConstraints(t *Table, cons map[string][]Datu
 		}
 		row[d] = vals[0]
 	}
-	v, err := s.evalExpr(col.Computed, &evalCtx{session: s, row: row})
+	s.crCtx = evalCtx{session: s, row: row}
+	v, err := s.evalExpr(col.Computed, &s.crCtx)
 	if err != nil {
 		return "", false
 	}
@@ -327,7 +357,7 @@ func (s *Session) fetchPoint(p *sim.Proc, f rowFetcher, plan *readPlan) ([]table
 				p.Sim().Spawn("sql/probe", func(wp *sim.Proc) {
 					defer wg.Done()
 					obs.SetProcSpan(wp, parent)
-					row, err := s.lookupOne(wp, f, t, idx, region, tuple)
+					row, err := s.lookupOne(wp, f, t, idx, plan.prefixes, region, tuple)
 					slots[slot] = result{row: row, err: err}
 				})
 			}
@@ -375,7 +405,7 @@ func (s *Session) fetchPoint(p *sim.Proc, f rowFetcher, plan *readPlan) ([]table
 			region := region
 			p.Sim().Spawn("sql/probe", func(wp *sim.Proc) {
 				obs.SetProcSpan(wp, parent)
-				row, err := s.lookupOne(wp, f, t, idx, region, tuple)
+				row, err := s.lookupOne(wp, f, t, idx, plan.prefixes, region, tuple)
 				pending--
 				if res.Done() {
 					return
@@ -425,9 +455,11 @@ func (s *Session) fetchPoint(p *sim.Proc, f rowFetcher, plan *readPlan) ([]table
 }
 
 // lookupOne fetches one index tuple in one partition, following secondary
-// index entries to the primary row.
-func (s *Session) lookupOne(p *sim.Proc, f rowFetcher, t *Table, idx *Index, region simnet.Region, tuple []Datum) (*tableRow, error) {
-	key := EncodeIndexKey(t, idx, region, tuple)
+// index entries to the primary row. With a prefix cache attached (cached
+// plans), keys are built from memoized prefixes and row maps come from the
+// session pool; without one the pre-cache path runs unchanged.
+func (s *Session) lookupOne(p *sim.Proc, f rowFetcher, t *Table, idx *Index, pc *prefixCache, region simnet.Region, tuple []Datum) (*tableRow, error) {
+	key := encodeIndexKey(pc, t, idx, region, tuple)
 	val, err := f.get(p, key)
 	if err != nil {
 		return nil, err
@@ -436,7 +468,7 @@ func (s *Session) lookupOne(p *sim.Proc, f rowFetcher, t *Table, idx *Index, reg
 		return nil, nil
 	}
 	if idx.ID == t.Primary().ID || len(idx.Storing) > 0 {
-		vals, err := DecodeRow(val)
+		vals, err := s.decodeRowPooled(pc, val)
 		if err != nil {
 			return nil, err
 		}
@@ -444,7 +476,7 @@ func (s *Session) lookupOne(p *sim.Proc, f rowFetcher, t *Table, idx *Index, reg
 	}
 	// Secondary index: value holds the PK; the row lives in the same
 	// partition as the index entry.
-	pkVals, err := DecodeRow(val)
+	pkVals, err := s.decodeRowPooled(pc, val)
 	if err != nil {
 		return nil, err
 	}
@@ -453,19 +485,36 @@ func (s *Session) lookupOne(p *sim.Proc, f rowFetcher, t *Table, idx *Index, reg
 	for _, cid := range primary.Cols {
 		pkTuple = append(pkTuple, pkVals[cid])
 	}
-	rowKey := EncodeIndexKey(t, primary, region, pkTuple)
+	rowKey := encodeIndexKey(pc, t, primary, region, pkTuple)
 	rowVal, err := f.get(p, rowKey)
+	if pc != nil {
+		s.putRowMap(pkVals)
+	}
 	if err != nil {
 		return nil, err
 	}
 	if rowVal == nil {
 		return nil, nil
 	}
-	vals, err := DecodeRow(rowVal)
+	vals, err := s.decodeRowPooled(pc, rowVal)
 	if err != nil {
 		return nil, err
 	}
 	return &tableRow{vals: vals, region: region}, nil
+}
+
+// decodeRowPooled decodes a row value, drawing the destination map from the
+// session pool when the fetch runs under a cached plan.
+func (s *Session) decodeRowPooled(pc *prefixCache, val mvcc.Value) (map[ColumnID]Datum, error) {
+	if pc == nil {
+		return DecodeRow(val)
+	}
+	m := s.getRowMap()
+	if err := DecodeRowInto(m, val); err != nil {
+		s.putRowMap(m)
+		return nil, err
+	}
+	return m, nil
 }
 
 // fetchScan scans every candidate partition of the plan's index in

@@ -1,0 +1,190 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"mrdb/internal/sim"
+	"mrdb/internal/txn"
+)
+
+// Prepared statements: parse and fingerprint a DML statement once, then
+// execute it repeatedly with placeholder arguments. Combined with the plan
+// cache this takes parsing, fingerprinting and plan-shape work off the hot
+// path entirely — each execution binds values into a cached plan.
+
+// Prepared is a parsed, fingerprinted DML statement with $n placeholders.
+type Prepared struct {
+	Stmt Statement
+	fp   string
+	// numArgs is the highest placeholder index referenced.
+	numArgs int
+	// res is the reusable result buffer; ExecPrepared returns it (or a view
+	// of it), so a result is valid only until the next execution of the
+	// same Prepared.
+	res Result
+}
+
+// Fingerprint returns the statement's fingerprint (computed at Prepare).
+func (ps *Prepared) Fingerprint() string { return ps.fp }
+
+// NumArgs returns how many placeholder arguments each execution takes.
+func (ps *Prepared) NumArgs() int { return ps.numArgs }
+
+// Prepare parses and prepares one DML statement for repeated execution.
+func (s *Session) Prepare(sqlText string) (*Prepared, error) {
+	stmt, err := Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return s.PrepareStmt(stmt)
+}
+
+// MustPrepare is Prepare that panics on error; for tests and workloads.
+func (s *Session) MustPrepare(sqlText string) *Prepared {
+	ps, err := s.Prepare(sqlText)
+	if err != nil {
+		panic(fmt.Sprintf("sql: %v", err))
+	}
+	return ps
+}
+
+// PrepareStmt prepares an already-parsed DML statement.
+func (s *Session) PrepareStmt(stmt Statement) (*Prepared, error) {
+	switch stmt.(type) {
+	case *Insert, *Select, *Update, *Delete:
+	default:
+		return nil, fmt.Errorf("sql: cannot prepare %T (DML only)", stmt)
+	}
+	return &Prepared{
+		Stmt:    stmt,
+		fp:      Fingerprint(stmt),
+		numArgs: maxPlaceholder(stmt),
+	}, nil
+}
+
+// ExecPrepared executes a prepared statement with the given placeholder
+// arguments. Semantics match ExecStmt (auto-commit transaction with
+// retries, root trace span, statement statistics under the prepared
+// fingerprint); only the per-execution parse/fingerprint work and the
+// result allocation are gone.
+func (s *Session) ExecPrepared(p *sim.Proc, ps *Prepared, args ...Datum) (*Result, error) {
+	if len(args) != ps.numArgs {
+		return nil, fmt.Errorf("sql: prepared statement wants %d args, got %d", ps.numArgs, len(args))
+	}
+	sp, done := s.Cluster.Tracer.StartRootIn(p, "sql.exec")
+	sp.SetTag("stmt", strings.TrimPrefix(fmt.Sprintf("%T", ps.Stmt), "*sql.")).
+		SetTag("gateway_region", string(s.Region()))
+	s.bindPrepared(ps, args)
+	record := !isVirtualStmt(ps.Stmt)
+	var start sim.Time
+	var retries0, wan0 int64
+	if record {
+		start = p.Now()
+		retries0 = s.Coord.Restarts
+		wan0 = s.Coord.Sender.WANRPCs
+	}
+	res, err := s.execDML(p, ps.Stmt)
+	if err != nil {
+		sp.SetError(err)
+	}
+	done()
+	if record {
+		s.Cluster.StmtStats.Record(ps.fp, p.Now().Sub(start),
+			s.Coord.Restarts-retries0, s.Coord.Sender.WANRPCs-wan0, err != nil)
+	}
+	s.unbindPrepared()
+	return res, err
+}
+
+// ExecPreparedTxn executes a prepared statement inside the given
+// transaction; the in-txn analogue of ExecStmtTxn (no statistics record,
+// no root span — the enclosing RunTxn carries the trace).
+func (s *Session) ExecPreparedTxn(p *sim.Proc, tx *txn.Txn, ps *Prepared, args ...Datum) (*Result, error) {
+	if len(args) != ps.numArgs {
+		return nil, fmt.Errorf("sql: prepared statement wants %d args, got %d", ps.numArgs, len(args))
+	}
+	s.bindPrepared(ps, args)
+	res, err := s.execDMLInTxn(p, tx, ps.Stmt)
+	s.unbindPrepared()
+	return res, err
+}
+
+func (s *Session) bindPrepared(ps *Prepared, args []Datum) {
+	s.phArgs = args
+	s.curFP = ps.fp
+	s.curRes = &ps.res
+}
+
+func (s *Session) unbindPrepared() {
+	s.phArgs = nil
+	s.curFP = ""
+	s.curRes = nil
+}
+
+// maxPlaceholder returns the highest $n index in a statement.
+func maxPlaceholder(stmt Statement) int {
+	max := 0
+	see := func(e Expr) {
+		var walk func(Expr)
+		walk = func(e Expr) {
+			switch ex := e.(type) {
+			case *Placeholder:
+				if ex.Idx > max {
+					max = ex.Idx
+				}
+			case *FuncCall:
+				for _, a := range ex.Args {
+					walk(a)
+				}
+			case *BinaryExpr:
+				walk(ex.L)
+				walk(ex.R)
+			case *CaseExpr:
+				for _, w := range ex.Whens {
+					walk(w.Cond)
+					walk(w.Then)
+				}
+				if ex.Else != nil {
+					walk(ex.Else)
+				}
+			}
+		}
+		walk(e)
+	}
+	seeWhere := func(w *Where) {
+		if w == nil {
+			return
+		}
+		for _, c := range w.Conds {
+			for _, v := range c.Vals {
+				see(v)
+			}
+		}
+	}
+	switch st := stmt.(type) {
+	case *Insert:
+		for _, row := range st.Rows {
+			for _, e := range row {
+				see(e)
+			}
+		}
+	case *Select:
+		seeWhere(st.Where)
+		if st.AsOf != nil {
+			for _, e := range []Expr{st.AsOf.Exact, st.AsOf.MinTimestamp, st.AsOf.MaxStaleness} {
+				if e != nil {
+					see(e)
+				}
+			}
+		}
+	case *Update:
+		for _, a := range st.Set {
+			see(a.Val)
+		}
+		seeWhere(st.Where)
+	case *Delete:
+		seeWhere(st.Where)
+	}
+	return max
+}

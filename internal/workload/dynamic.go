@@ -163,6 +163,7 @@ func (f *FollowTheSun) Run(p *sim.Proc, phases []SunPhase) error {
 func (f *FollowTheSun) client(wp *sim.Proc, ri int, region simnet.Region, hot bool, deadline sim.Time) error {
 	m := f.M
 	s := m.session(region)
+	ps := m.prepare(s)
 	rng := wp.Rand()
 	var firstErr error
 	for wp.Now() < deadline {
@@ -171,14 +172,14 @@ func (f *FollowTheSun) client(wp *sim.Proc, ri int, region simnet.Region, hot bo
 		var err error
 		switch {
 		case roll < 0.70:
-			err = m.browse(wp, s, rng.Intn(m.Promos))
+			err = m.browse(wp, s, ps, rng.Intn(m.Promos))
 			record(m.BrowseLat, wp.Now().Sub(start), err)
 		case roll < 0.95:
 			userID := ri*m.UsersPerRegion + 1 + rng.Intn(m.UsersPerRegion)
-			err = m.startRide(wp, s, userID, rng.Intn(m.Promos))
+			err = m.startRide(wp, s, ps, userID, rng.Intn(m.Promos))
 			record(m.RideLat, wp.Now().Sub(start), err)
 		default:
-			err = m.signup(wp, s)
+			err = m.signup(wp, s, ps)
 			record(m.SignupLat, wp.Now().Sub(start), err)
 		}
 		lat := wp.Now().Sub(start)

@@ -121,6 +121,25 @@ func (m *Movr) Load(p *sim.Proc) error {
 	return nil
 }
 
+// movrStmts is the per-client prepared-statement set. Each client
+// prepares once and binds values per op, so repeated shapes hit the
+// session's plan cache instead of re-planning.
+type movrStmts struct {
+	browsePromo *sql.Prepared
+	userByID    *sql.Prepared
+	insertRide  *sql.Prepared
+	insertUser  *sql.Prepared
+}
+
+func (m *Movr) prepare(s *sql.Session) *movrStmts {
+	return &movrStmts{
+		browsePromo: s.MustPrepare(`SELECT * FROM promo_codes WHERE code = $1`),
+		userByID:    s.MustPrepare(`SELECT name FROM users WHERE id = $1`),
+		insertRide:  s.MustPrepare(`INSERT INTO rides (id, rider_id, vehicle, promo) VALUES ($1, $2, $3, $4)`),
+		insertUser:  s.MustPrepare(`INSERT INTO users (id, email, name) VALUES ($1, $2, $3)`),
+	}
+}
+
 // Run executes ops per client in every region: a mix of promo browsing
 // (70%), ride starts (25%) and signups (5%).
 func (m *Movr) Run(p *sim.Proc, clientsPerRegion, opsPerClient int) error {
@@ -133,6 +152,7 @@ func (m *Movr) Run(p *sim.Proc, clientsPerRegion, opsPerClient int) error {
 			m.Cluster.Sim.Spawn(fmt.Sprintf("movr/%s/%d", region, cl), func(wp *sim.Proc) {
 				defer wg.Done()
 				s := m.session(region)
+				ps := m.prepare(s)
 				rng := wp.Rand()
 				for op := 0; op < opsPerClient; op++ {
 					roll := rng.Float64()
@@ -140,14 +160,14 @@ func (m *Movr) Run(p *sim.Proc, clientsPerRegion, opsPerClient int) error {
 					var err error
 					switch {
 					case roll < 0.70:
-						err = m.browse(wp, s, rng.Intn(m.Promos))
+						err = m.browse(wp, s, ps, rng.Intn(m.Promos))
 						record(m.BrowseLat, wp.Now().Sub(start), err)
 					case roll < 0.95:
 						userID := ri*m.UsersPerRegion + 1 + rng.Intn(m.UsersPerRegion)
-						err = m.startRide(wp, s, userID, rng.Intn(m.Promos))
+						err = m.startRide(wp, s, ps, userID, rng.Intn(m.Promos))
 						record(m.RideLat, wp.Now().Sub(start), err)
 					default:
-						err = m.signup(wp, s)
+						err = m.signup(wp, s, ps)
 						record(m.SignupLat, wp.Now().Sub(start), err)
 					}
 					if err != nil && firstErr == nil {
@@ -161,14 +181,8 @@ func (m *Movr) Run(p *sim.Proc, clientsPerRegion, opsPerClient int) error {
 	return firstErr
 }
 
-func (m *Movr) browse(p *sim.Proc, s *sql.Session, promo int) error {
-	res, err := s.ExecStmt(p, &sql.Select{
-		Table: "promo_codes",
-		Where: &sql.Where{Conds: []sql.Cond{{
-			Col: "code", Op: sql.OpEq,
-			Vals: []sql.Expr{&sql.Lit{Val: fmt.Sprintf("PROMO%d", promo)}},
-		}}},
-	})
+func (m *Movr) browse(p *sim.Proc, s *sql.Session, ps *movrStmts, promo int) error {
+	res, err := s.ExecPrepared(p, ps.browsePromo, fmt.Sprintf("PROMO%d", promo))
 	if err != nil {
 		return err
 	}
@@ -180,54 +194,30 @@ func (m *Movr) browse(p *sim.Proc, s *sql.Session, promo int) error {
 
 // startRide is the paper's canonical multi-table transaction: a REGIONAL
 // BY ROW write that reads a GLOBAL dimension table, staying region-local.
-func (m *Movr) startRide(p *sim.Proc, s *sql.Session, userID, promo int) error {
+func (m *Movr) startRide(p *sim.Proc, s *sql.Session, ps *movrStmts, userID, promo int) error {
 	m.nextID++
 	rideID := 1000000 + m.nextID
 	return s.RunTxn(p, func(tx *txn.Txn) error {
-		res, err := s.ExecStmtTxn(p, tx, &sql.Select{
-			Table: "users", Columns: []string{"name"},
-			Where: &sql.Where{Conds: []sql.Cond{{
-				Col: "id", Op: sql.OpEq, Vals: []sql.Expr{&sql.Lit{Val: int64(userID)}},
-			}}},
-		})
+		res, err := s.ExecPreparedTxn(p, tx, ps.userByID, int64(userID))
 		if err != nil {
 			return err
 		}
 		if len(res.Rows) == 0 {
 			return fmt.Errorf("movr: user %d missing", userID)
 		}
-		if _, err := s.ExecStmtTxn(p, tx, &sql.Select{
-			Table: "promo_codes",
-			Where: &sql.Where{Conds: []sql.Cond{{
-				Col: "code", Op: sql.OpEq,
-				Vals: []sql.Expr{&sql.Lit{Val: fmt.Sprintf("PROMO%d", promo)}},
-			}}},
-		}); err != nil {
+		if _, err := s.ExecPreparedTxn(p, tx, ps.browsePromo, fmt.Sprintf("PROMO%d", promo)); err != nil {
 			return err
 		}
-		_, err = s.ExecStmtTxn(p, tx, &sql.Insert{
-			Table:   "rides",
-			Columns: []string{"id", "rider_id", "vehicle", "promo"},
-			Rows: [][]sql.Expr{{
-				&sql.Lit{Val: int64(rideID)}, &sql.Lit{Val: int64(userID)},
-				&sql.Lit{Val: "scooter"}, &sql.Lit{Val: fmt.Sprintf("PROMO%d", promo)},
-			}},
-		})
+		_, err = s.ExecPreparedTxn(p, tx, ps.insertRide,
+			int64(rideID), int64(userID), "scooter", fmt.Sprintf("PROMO%d", promo))
 		return err
 	})
 }
 
-func (m *Movr) signup(p *sim.Proc, s *sql.Session) error {
+func (m *Movr) signup(p *sim.Proc, s *sql.Session, ps *movrStmts) error {
 	m.nextID++
 	id := m.nextID
-	_, err := s.ExecStmt(p, &sql.Insert{
-		Table:   "users",
-		Columns: []string{"id", "email", "name"},
-		Rows: [][]sql.Expr{{
-			&sql.Lit{Val: int64(id)},
-			&sql.Lit{Val: fmt.Sprintf("user%d@movr.com", id)},
-			&sql.Lit{Val: fmt.Sprintf("user-%d", id)},
-		}},
-	})
+	_, err := s.ExecPrepared(p, ps.insertUser,
+		int64(id), fmt.Sprintf("user%d@movr.com", id), fmt.Sprintf("user-%d", id))
 	return err
 }

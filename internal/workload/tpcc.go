@@ -264,11 +264,117 @@ func (t *TPCC) TpmC() float64 {
 	return float64(t.NewOrders) / (float64(d) / float64(60*sim.Second))
 }
 
+// lineNums is the bounded IN list over possible order-line numbers
+// (TPC-C orders carry 5-15 lines).
+const lineNums = "0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14"
+
+// tpccStmts is the per-terminal prepared-statement set: every statement
+// shape in the five transactions, prepared once so repeated executions
+// bind values into a cached plan.
+type tpccStmts struct {
+	warehouseTax *sql.Prepared
+	districtBump *sql.Prepared
+	districtNext *sql.Prepared
+	customerName *sql.Prepared
+	insertOrder  *sql.Prepared
+	insertNewOrd *sql.Prepared
+	itemPrice    *sql.Prepared
+	stockQty     *sql.Prepared
+	stockUpdate  *sql.Prepared
+	insertLine   *sql.Prepared
+	whPay        *sql.Prepared
+	distPay      *sql.Prepared
+	custPay      *sql.Prepared
+	insertHist   *sql.Prepared
+	custStatus   *sql.Prepared
+	orderByID    *sql.Prepared
+	orderLines   *sql.Prepared
+	lineItemIDs  *sql.Prepared
+	newOrdByID   *sql.Prepared
+	delNewOrd    *sql.Prepared
+	orderCarrier *sql.Prepared
+}
+
+func (t *TPCC) prepare(s *sql.Session) *tpccStmts {
+	return &tpccStmts{
+		warehouseTax: s.MustPrepare(`SELECT w_tax FROM warehouse WHERE w_id = $1`),
+		districtBump: s.MustPrepare(`UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = $1 AND d_id = $2`),
+		districtNext: s.MustPrepare(`SELECT d_next_o_id FROM district WHERE d_w_id = $1 AND d_id = $2`),
+		customerName: s.MustPrepare(`SELECT c_name FROM customer WHERE c_w_id = $1 AND c_d_id = $2 AND c_id = $3`),
+		insertOrder:  s.MustPrepare(`INSERT INTO orders (o_w_id, o_d_id, o_id, o_c_id, o_carrier_id, o_ol_cnt) VALUES ($1, $2, $3, $4, $5, $6)`),
+		insertNewOrd: s.MustPrepare(`INSERT INTO new_order (no_w_id, no_d_id, no_o_id) VALUES ($1, $2, $3)`),
+		itemPrice:    s.MustPrepare(`SELECT i_price FROM item WHERE i_id = $1`),
+		stockQty:     s.MustPrepare(`SELECT s_quantity FROM stock WHERE s_w_id = $1 AND s_i_id = $2`),
+		stockUpdate:  s.MustPrepare(`UPDATE stock SET s_quantity = $1, s_ytd = s_ytd + $2 WHERE s_w_id = $3 AND s_i_id = $4`),
+		insertLine:   s.MustPrepare(`INSERT INTO order_line (ol_w_id, ol_d_id, ol_o_id, ol_number, ol_i_id, ol_quantity, ol_amount) VALUES ($1, $2, $3, $4, $5, $6, $7)`),
+		whPay:        s.MustPrepare(`UPDATE warehouse SET w_ytd = w_ytd + $1 WHERE w_id = $2`),
+		distPay:      s.MustPrepare(`UPDATE district SET d_ytd = d_ytd + $1 WHERE d_w_id = $2 AND d_id = $3`),
+		custPay:      s.MustPrepare(`UPDATE customer SET c_balance = c_balance - $1, c_ytd_payment = c_ytd_payment + $2, c_payment_cnt = c_payment_cnt + 1 WHERE c_w_id = $3 AND c_d_id = $4 AND c_id = $5`),
+		insertHist:   s.MustPrepare(`INSERT INTO history (h_w_id, h_seq, h_amount) VALUES ($1, $2, $3)`),
+		custStatus:   s.MustPrepare(`SELECT c_balance, c_name FROM customer WHERE c_w_id = $1 AND c_d_id = $2 AND c_id = $3`),
+		orderByID:    s.MustPrepare(`SELECT * FROM orders WHERE o_w_id = $1 AND o_d_id = $2 AND o_id = $3`),
+		orderLines:   s.MustPrepare(`SELECT * FROM order_line WHERE ol_w_id = $1 AND ol_d_id = $2 AND ol_o_id = $3 AND ol_number IN (` + lineNums + `)`),
+		lineItemIDs:  s.MustPrepare(`SELECT ol_i_id FROM order_line WHERE ol_w_id = $1 AND ol_d_id = $2 AND ol_o_id = $3 AND ol_number IN (` + lineNums + `)`),
+		newOrdByID:   s.MustPrepare(`SELECT * FROM new_order WHERE no_w_id = $1 AND no_d_id = $2 AND no_o_id = $3`),
+		delNewOrd:    s.MustPrepare(`DELETE FROM new_order WHERE no_w_id = $1 AND no_d_id = $2 AND no_o_id = $3`),
+		orderCarrier: s.MustPrepare(`UPDATE orders SET o_carrier_id = 7 WHERE o_w_id = $1 AND o_d_id = $2 AND o_id = $3`),
+	}
+}
+
+// PlanOnly runs the planning half of n TPC-C transactions against the
+// session — every statement shape of the transaction mix, via the same
+// prepared set the terminals use — without executing anything. It returns
+// the number of statements planned. The speed benchmark uses it to measure
+// planning throughput with the plan cache on and off: in the executing
+// workloads the simulated replication and network layers dominate wall
+// time, so this is where the cache's per-statement saving is visible.
+func (t *TPCC) PlanOnly(s *sql.Session, n int) (int, error) {
+	ps := t.prepare(s)
+	w, d, c, item, oid := int64(0), int64(1), int64(2), int64(3), int64(4)
+	set := []struct {
+		ps   *sql.Prepared
+		args []sql.Datum
+	}{
+		{ps.warehouseTax, []sql.Datum{w}},
+		{ps.districtBump, []sql.Datum{w, d}},
+		{ps.districtNext, []sql.Datum{w, d}},
+		{ps.customerName, []sql.Datum{w, d, c}},
+		{ps.insertOrder, []sql.Datum{w, d, oid, c, int64(0), int64(10)}},
+		{ps.insertNewOrd, []sql.Datum{w, d, oid}},
+		{ps.itemPrice, []sql.Datum{item}},
+		{ps.stockQty, []sql.Datum{w, item}},
+		{ps.stockUpdate, []sql.Datum{int64(50), int64(5), w, item}},
+		{ps.insertLine, []sql.Datum{w, d, oid, int64(1), item, int64(5), 12.5}},
+		{ps.whPay, []sql.Datum{10.0, w}},
+		{ps.distPay, []sql.Datum{10.0, w, d}},
+		{ps.custPay, []sql.Datum{10.0, 10.0, w, d, c}},
+		{ps.insertHist, []sql.Datum{w, oid, 10.0}},
+		{ps.custStatus, []sql.Datum{w, d, c}},
+		{ps.orderByID, []sql.Datum{w, d, oid}},
+		{ps.orderLines, []sql.Datum{w, d, oid}},
+		{ps.lineItemIDs, []sql.Datum{w, d, oid}},
+		{ps.newOrdByID, []sql.Datum{w, d, oid}},
+		{ps.delNewOrd, []sql.Datum{w, d, oid}},
+		{ps.orderCarrier, []sql.Datum{w, d, oid}},
+	}
+	planned := 0
+	for i := 0; i < n; i++ {
+		for _, st := range set {
+			if err := s.PlanForBench(st.ps, st.args...); err != nil {
+				return planned, err
+			}
+			planned++
+		}
+	}
+	return planned, nil
+}
+
 // terminal runs one closed-loop client: standard-ish mix of 45% new-order,
 // 43% payment, 4% each of order-status, delivery, stock-level.
 func (t *TPCC) terminal(p *sim.Proc, region simnet.Region, regionIdx, termIdx int) error {
 	s := sql.NewSession(t.Cluster, t.Catalog, t.Cluster.GatewayFor(region))
 	s.Database = "tpcc"
+	ps := t.prepare(s)
 	rng := p.Rand()
 	localWarehouse := func() int {
 		return regionIdx + len(t.regions)*(rng.Intn(t.Cfg.WarehousesPerRegion))
@@ -292,7 +398,7 @@ func (t *TPCC) terminal(p *sim.Proc, region simnet.Region, regionIdx, termIdx in
 			// (§7.4: "only the 10% of new-order transactions that
 			// access remote warehouses" cross regions).
 			remote := rng.Float64() < t.Cfg.RemoteWarehouseFrac
-			err = t.newOrder(p, s, w, rng.Intn(t.Cfg.DistrictsPerWH), rng.Intn(t.Cfg.CustomersPerDist), remote, rng)
+			err = t.newOrder(p, s, ps, w, rng.Intn(t.Cfg.DistrictsPerWH), rng.Intn(t.Cfg.CustomersPerDist), remote, rng)
 			if err == nil {
 				t.NewOrders++
 				t.NewOrderLat.Record(p.Now().Sub(start))
@@ -301,16 +407,16 @@ func (t *TPCC) terminal(p *sim.Proc, region simnet.Region, regionIdx, termIdx in
 				t.NewOrderLat.RecordError()
 			}
 		case roll < 0.88:
-			err = t.payment(p, s, w, rng.Intn(t.Cfg.DistrictsPerWH), rng.Intn(t.Cfg.CustomersPerDist), rng)
+			err = t.payment(p, s, ps, w, rng.Intn(t.Cfg.DistrictsPerWH), rng.Intn(t.Cfg.CustomersPerDist), rng)
 			record(t.PaymentLat, p.Now().Sub(start), err)
 		case roll < 0.92:
-			err = t.orderStatus(p, s, w, rng.Intn(t.Cfg.DistrictsPerWH), rng.Intn(t.Cfg.CustomersPerDist))
+			err = t.orderStatus(p, s, ps, w, rng.Intn(t.Cfg.DistrictsPerWH), rng.Intn(t.Cfg.CustomersPerDist))
 			record(t.OrderStatusLat, p.Now().Sub(start), err)
 		case roll < 0.96:
-			err = t.delivery(p, s, w)
+			err = t.delivery(p, s, ps, w)
 			record(t.DeliveryLat, p.Now().Sub(start), err)
 		default:
-			err = t.stockLevel(p, s, w, rng.Intn(t.Cfg.DistrictsPerWH))
+			err = t.stockLevel(p, s, ps, w, rng.Intn(t.Cfg.DistrictsPerWH))
 			record(t.StockLevelLat, p.Now().Sub(start), err)
 		}
 		if err != nil {
@@ -333,8 +439,9 @@ func record(r *LatencyRecorder, d sim.Duration, err error) {
 
 // --- Transactions ---
 
-func selectOne(p *sim.Proc, s *sql.Session, tx *txn.Txn, table string, where *sql.Where, cols ...string) ([]sql.Datum, error) {
-	res, err := s.ExecStmtTxn(p, tx, &sql.Select{Table: table, Columns: cols, Where: where})
+// selectOne executes a prepared single-row lookup and returns the row.
+func selectOne(p *sim.Proc, s *sql.Session, tx *txn.Txn, ps *sql.Prepared, table string, args ...sql.Datum) ([]sql.Datum, error) {
+	res, err := s.ExecPreparedTxn(p, tx, ps, args...)
 	if err != nil {
 		return nil, err
 	}
@@ -344,19 +451,10 @@ func selectOne(p *sim.Proc, s *sql.Session, tx *txn.Txn, table string, where *sq
 	return res.Rows[0], nil
 }
 
-func lit(v interface{}) sql.Expr {
-	switch x := v.(type) {
-	case int:
-		return &sql.Lit{Val: int64(x)}
-	default:
-		return &sql.Lit{Val: v}
-	}
-}
-
 // newOrder implements the New-Order transaction: read warehouse/district/
 // customer, consume an order ID, insert orders/new_order, and for each of
 // 5-15 lines read the GLOBAL item table, update stock, insert order_line.
-func (t *TPCC) newOrder(p *sim.Proc, s *sql.Session, w, d, c int, remote bool, rng interface{ Intn(int) int }) error {
+func (t *TPCC) newOrder(p *sim.Proc, s *sql.Session, ps *tpccStmts, w, d, c int, remote bool, rng interface{ Intn(int) int }) error {
 	lines := 5 + rng.Intn(11)
 	items := make([]int, lines)
 	qtys := make([]int, lines)
@@ -371,47 +469,35 @@ func (t *TPCC) newOrder(p *sim.Proc, s *sql.Session, w, d, c int, remote bool, r
 		stockWH[rng.Intn(lines)] = (w + 1) % t.totalWarehouses()
 	}
 	return s.Coord.Run(p, func(tx *txn.Txn) error {
-		if _, err := selectOne(p, s, tx, "warehouse", whereInts("w_id", w), "w_tax"); err != nil {
+		if _, err := selectOne(p, s, tx, ps.warehouseTax, "warehouse", int64(w)); err != nil {
 			return err
 		}
 		// Consume the order ID with an in-place increment (the
 		// read-modify-write stays inside one statement, as with
 		// CockroachDB's implicit SELECT FOR UPDATE), then read our own
 		// intent back for the assigned ID.
-		if _, err := s.ExecStmtTxn(p, tx, &sql.Update{
-			Table: "district",
-			Set: []sql.Assignment{{Col: "d_next_o_id", Val: &sql.BinaryExpr{
-				Op: "+", L: &sql.ColRef{Name: "d_next_o_id"}, R: lit(1)}}},
-			Where: whereInts("d_w_id", w, "d_id", d),
-		}); err != nil {
+		if _, err := s.ExecPreparedTxn(p, tx, ps.districtBump, int64(w), int64(d)); err != nil {
 			return err
 		}
-		drow, err := selectOne(p, s, tx, "district", whereInts("d_w_id", w, "d_id", d), "d_next_o_id")
+		drow, err := selectOne(p, s, tx, ps.districtNext, "district", int64(w), int64(d))
 		if err != nil {
 			return err
 		}
 		oid := int(drow[0].(int64)) - 1
-		if _, err := selectOne(p, s, tx, "customer", whereInts("c_w_id", w, "c_d_id", d, "c_id", c), "c_name"); err != nil {
+		if _, err := selectOne(p, s, tx, ps.customerName, "customer", int64(w), int64(d), int64(c)); err != nil {
 			return err
 		}
-		if _, err := s.ExecStmtTxn(p, tx, &sql.Insert{
-			Table:   "orders",
-			Columns: []string{"o_w_id", "o_d_id", "o_id", "o_c_id", "o_carrier_id", "o_ol_cnt"},
-			Rows:    [][]sql.Expr{{lit(w), lit(d), lit(oid), lit(c), lit(0), lit(lines)}},
-		}); err != nil {
+		if _, err := s.ExecPreparedTxn(p, tx, ps.insertOrder,
+			int64(w), int64(d), int64(oid), int64(c), int64(0), int64(lines)); err != nil {
 			return err
 		}
-		if _, err := s.ExecStmtTxn(p, tx, &sql.Insert{
-			Table:   "new_order",
-			Columns: []string{"no_w_id", "no_d_id", "no_o_id"},
-			Rows:    [][]sql.Expr{{lit(w), lit(d), lit(oid)}},
-		}); err != nil {
+		if _, err := s.ExecPreparedTxn(p, tx, ps.insertNewOrd, int64(w), int64(d), int64(oid)); err != nil {
 			return err
 		}
 		for line := 0; line < lines; line++ {
 			item := items[line]
 			// GLOBAL item read: local in every region (§7.4).
-			irow, err := selectOne(p, s, tx, "item", whereInts("i_id", item), "i_price")
+			irow, err := selectOne(p, s, tx, ps.itemPrice, "item", int64(item))
 			if err != nil {
 				return err
 			}
@@ -419,7 +505,7 @@ func (t *TPCC) newOrder(p *sim.Proc, s *sql.Session, w, d, c int, remote bool, r
 			// Stock for this line may come from a remote warehouse
 			// (per-line, matching the TPC-C spec's remote item rule).
 			sw := stockWH[line]
-			srow, err := selectOne(p, s, tx, "stock", whereInts("s_w_id", sw, "s_i_id", item), "s_quantity")
+			srow, err := selectOne(p, s, tx, ps.stockQty, "stock", int64(sw), int64(item))
 			if err != nil {
 				return err
 			}
@@ -428,24 +514,13 @@ func (t *TPCC) newOrder(p *sim.Proc, s *sql.Session, w, d, c int, remote bool, r
 			if newQty < 10 {
 				newQty += 91
 			}
-			if _, err := s.ExecStmtTxn(p, tx, &sql.Update{
-				Table: "stock",
-				Set: []sql.Assignment{
-					{Col: "s_quantity", Val: lit(newQty)},
-					{Col: "s_ytd", Val: &sql.BinaryExpr{Op: "+", L: &sql.ColRef{Name: "s_ytd"}, R: lit(qtys[line])}},
-				},
-				Where: whereInts("s_w_id", sw, "s_i_id", item),
-			}); err != nil {
+			if _, err := s.ExecPreparedTxn(p, tx, ps.stockUpdate,
+				int64(newQty), int64(qtys[line]), int64(sw), int64(item)); err != nil {
 				return err
 			}
-			if _, err := s.ExecStmtTxn(p, tx, &sql.Insert{
-				Table:   "order_line",
-				Columns: []string{"ol_w_id", "ol_d_id", "ol_o_id", "ol_number", "ol_i_id", "ol_quantity", "ol_amount"},
-				Rows: [][]sql.Expr{{
-					lit(w), lit(d), lit(oid), lit(line), lit(item), lit(qtys[line]),
-					&sql.Lit{Val: price * float64(qtys[line])},
-				}},
-			}); err != nil {
+			if _, err := s.ExecPreparedTxn(p, tx, ps.insertLine,
+				int64(w), int64(d), int64(oid), int64(line), int64(item), int64(qtys[line]),
+				price*float64(qtys[line])); err != nil {
 				return err
 			}
 		}
@@ -455,59 +530,32 @@ func (t *TPCC) newOrder(p *sim.Proc, s *sql.Session, w, d, c int, remote bool, r
 
 // payment updates warehouse/district YTD and the customer balance, and
 // appends a history row.
-func (t *TPCC) payment(p *sim.Proc, s *sql.Session, w, d, c int, rng interface{ Intn(int) int }) error {
+func (t *TPCC) payment(p *sim.Proc, s *sql.Session, ps *tpccStmts, w, d, c int, rng interface{ Intn(int) int }) error {
 	amount := 1.0 + float64(rng.Intn(5000))/100
-	inc := func(col string, by sql.Datum) sql.Assignment {
-		return sql.Assignment{Col: col, Val: &sql.BinaryExpr{
-			Op: "+", L: &sql.ColRef{Name: col}, R: &sql.Lit{Val: by}}}
-	}
-	dec := func(col string, by sql.Datum) sql.Assignment {
-		return sql.Assignment{Col: col, Val: &sql.BinaryExpr{
-			Op: "-", L: &sql.ColRef{Name: col}, R: &sql.Lit{Val: by}}}
-	}
 	return s.Coord.Run(p, func(tx *txn.Txn) error {
-		if _, err := s.ExecStmtTxn(p, tx, &sql.Update{
-			Table: "warehouse",
-			Set:   []sql.Assignment{inc("w_ytd", amount)},
-			Where: whereInts("w_id", w),
-		}); err != nil {
+		if _, err := s.ExecPreparedTxn(p, tx, ps.whPay, amount, int64(w)); err != nil {
 			return err
 		}
-		if _, err := s.ExecStmtTxn(p, tx, &sql.Update{
-			Table: "district",
-			Set:   []sql.Assignment{inc("d_ytd", amount)},
-			Where: whereInts("d_w_id", w, "d_id", d),
-		}); err != nil {
+		if _, err := s.ExecPreparedTxn(p, tx, ps.distPay, amount, int64(w), int64(d)); err != nil {
 			return err
 		}
-		if _, err := s.ExecStmtTxn(p, tx, &sql.Update{
-			Table: "customer",
-			Set: []sql.Assignment{
-				dec("c_balance", amount),
-				inc("c_ytd_payment", amount),
-				inc("c_payment_cnt", int64(1)),
-			},
-			Where: whereInts("c_w_id", w, "c_d_id", d, "c_id", c),
-		}); err != nil {
+		if _, err := s.ExecPreparedTxn(p, tx, ps.custPay,
+			amount, amount, int64(w), int64(d), int64(c)); err != nil {
 			return err
 		}
 		t.histSeq++
-		_, err := s.ExecStmtTxn(p, tx, &sql.Insert{
-			Table:   "history",
-			Columns: []string{"h_w_id", "h_seq", "h_amount"},
-			Rows:    [][]sql.Expr{{lit(w), lit(t.histSeq), &sql.Lit{Val: amount}}},
-		})
+		_, err := s.ExecPreparedTxn(p, tx, ps.insertHist, int64(w), int64(t.histSeq), amount)
 		return err
 	})
 }
 
 // orderStatus reads a customer and their most recent order with its lines.
-func (t *TPCC) orderStatus(p *sim.Proc, s *sql.Session, w, d, c int) error {
+func (t *TPCC) orderStatus(p *sim.Proc, s *sql.Session, ps *tpccStmts, w, d, c int) error {
 	return s.Coord.Run(p, func(tx *txn.Txn) error {
-		if _, err := selectOne(p, s, tx, "customer", whereInts("c_w_id", w, "c_d_id", d, "c_id", c), "c_balance", "c_name"); err != nil {
+		if _, err := selectOne(p, s, tx, ps.custStatus, "customer", int64(w), int64(d), int64(c)); err != nil {
 			return err
 		}
-		drow, err := selectOne(p, s, tx, "district", whereInts("d_w_id", w, "d_id", d), "d_next_o_id")
+		drow, err := selectOne(p, s, tx, ps.districtNext, "district", int64(w), int64(d))
 		if err != nil {
 			return err
 		}
@@ -515,57 +563,38 @@ func (t *TPCC) orderStatus(p *sim.Proc, s *sql.Session, w, d, c int) error {
 		if last < 1 {
 			return nil // no orders yet
 		}
-		res, err := s.ExecStmtTxn(p, tx, &sql.Select{
-			Table: "orders",
-			Where: whereInts("o_w_id", w, "o_d_id", d, "o_id", last),
-		})
+		res, err := s.ExecPreparedTxn(p, tx, ps.orderByID, int64(w), int64(d), int64(last))
 		if err != nil || len(res.Rows) == 0 {
 			return err
 		}
 		// Order lines for that order: bounded IN over line numbers.
-		var nums []sql.Expr
-		for line := 0; line < 15; line++ {
-			nums = append(nums, lit(line))
-		}
-		where := whereInts("ol_w_id", w, "ol_d_id", d, "ol_o_id", last)
-		where.Conds = append(where.Conds, sql.Cond{Col: "ol_number", Op: sql.OpIn, Vals: nums})
-		_, err = s.ExecStmtTxn(p, tx, &sql.Select{Table: "order_line", Where: where})
+		_, err = s.ExecPreparedTxn(p, tx, ps.orderLines, int64(w), int64(d), int64(last))
 		return err
 	})
 }
 
 // delivery processes the oldest undelivered order in each district.
-func (t *TPCC) delivery(p *sim.Proc, s *sql.Session, w int) error {
+func (t *TPCC) delivery(p *sim.Proc, s *sql.Session, ps *tpccStmts, w int) error {
 	return s.Coord.Run(p, func(tx *txn.Txn) error {
 		for d := 0; d < t.Cfg.DistrictsPerWH; d++ {
-			drow, err := selectOne(p, s, tx, "district", whereInts("d_w_id", w, "d_id", d), "d_next_o_id")
+			drow, err := selectOne(p, s, tx, ps.districtNext, "district", int64(w), int64(d))
 			if err != nil {
 				return err
 			}
 			next := int(drow[0].(int64))
 			// Probe for the oldest new_order still present (bounded).
 			for o := 1; o < next && o < 50; o++ {
-				res, err := s.ExecStmtTxn(p, tx, &sql.Select{
-					Table: "new_order",
-					Where: whereInts("no_w_id", w, "no_d_id", d, "no_o_id", o),
-				})
+				res, err := s.ExecPreparedTxn(p, tx, ps.newOrdByID, int64(w), int64(d), int64(o))
 				if err != nil {
 					return err
 				}
 				if len(res.Rows) == 0 {
 					continue
 				}
-				if _, err := s.ExecStmtTxn(p, tx, &sql.Delete{
-					Table: "new_order",
-					Where: whereInts("no_w_id", w, "no_d_id", d, "no_o_id", o),
-				}); err != nil {
+				if _, err := s.ExecPreparedTxn(p, tx, ps.delNewOrd, int64(w), int64(d), int64(o)); err != nil {
 					return err
 				}
-				if _, err := s.ExecStmtTxn(p, tx, &sql.Update{
-					Table: "orders",
-					Set:   []sql.Assignment{{Col: "o_carrier_id", Val: lit(7)}},
-					Where: whereInts("o_w_id", w, "o_d_id", d, "o_id", o),
-				}); err != nil {
+				if _, err := s.ExecPreparedTxn(p, tx, ps.orderCarrier, int64(w), int64(d), int64(o)); err != nil {
 					return err
 				}
 				break
@@ -576,9 +605,9 @@ func (t *TPCC) delivery(p *sim.Proc, s *sql.Session, w int) error {
 }
 
 // stockLevel counts recently sold items below a stock threshold.
-func (t *TPCC) stockLevel(p *sim.Proc, s *sql.Session, w, d int) error {
+func (t *TPCC) stockLevel(p *sim.Proc, s *sql.Session, ps *tpccStmts, w, d int) error {
 	return s.Coord.Run(p, func(tx *txn.Txn) error {
-		drow, err := selectOne(p, s, tx, "district", whereInts("d_w_id", w, "d_id", d), "d_next_o_id")
+		drow, err := selectOne(p, s, tx, ps.districtNext, "district", int64(w), int64(d))
 		if err != nil {
 			return err
 		}
@@ -588,15 +617,7 @@ func (t *TPCC) stockLevel(p *sim.Proc, s *sql.Session, w, d int) error {
 			if o < 1 {
 				continue
 			}
-			var nums []sql.Expr
-			for line := 0; line < 15; line++ {
-				nums = append(nums, lit(line))
-			}
-			where := whereInts("ol_w_id", w, "ol_d_id", d, "ol_o_id", o)
-			where.Conds = append(where.Conds, sql.Cond{Col: "ol_number", Op: sql.OpIn, Vals: nums})
-			res, err := s.ExecStmtTxn(p, tx, &sql.Select{
-				Table: "order_line", Columns: []string{"ol_i_id"}, Where: where,
-			})
+			res, err := s.ExecPreparedTxn(p, tx, ps.lineItemIDs, int64(w), int64(d), int64(o))
 			if err != nil {
 				return err
 			}
@@ -611,7 +632,7 @@ func (t *TPCC) stockLevel(p *sim.Proc, s *sql.Session, w, d int) error {
 		sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
 		low := 0
 		for _, item := range items {
-			srow, err := selectOne(p, s, tx, "stock", whereInts("s_w_id", w, "s_i_id", int(item)), "s_quantity")
+			srow, err := selectOne(p, s, tx, ps.stockQty, "stock", int64(w), item)
 			if err != nil {
 				return err
 			}
